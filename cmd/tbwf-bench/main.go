@@ -1,0 +1,85 @@
+// Command tbwf-bench regenerates the evaluation tables E1–E10 described in
+// DESIGN.md and recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tbwf-bench                # run every experiment at full budgets
+//	tbwf-bench -quick         # smaller budgets (CI-sized)
+//	tbwf-bench -run E1,E7     # a subset, by id or name
+//	tbwf-bench -csv out/      # additionally write one CSV per table
+//	tbwf-bench -list          # list experiments and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"tbwf/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tbwf-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tbwf-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use reduced budgets")
+	runIDs := fs.String("run", "", "comma-separated experiment ids or names (default: all)")
+	csvDir := fs.String("csv", "", "directory to write per-table CSV files into")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	experiments := exp.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+	if *runIDs != "" {
+		var selected []exp.Experiment
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+		experiments = selected
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	for _, e := range experiments {
+		start := time.Now()
+		table, err := e.Run(*quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Printf("%s\n(%s, %.1fs)\n\n", table, e.Name, time.Since(start).Seconds())
+		if table.ID == "E1" {
+			if chart, err := exp.StaircaseChart(table); err == nil {
+				fmt.Printf("%s\n", chart)
+			}
+		}
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, fmt.Sprintf("%s-%s.csv", strings.ToLower(e.ID), e.Name))
+			if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

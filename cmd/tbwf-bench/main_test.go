@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSubsetWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-run", "A3", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "a3-ablate-reader-backoff.csv")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("csv empty")
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	if err := run([]string{"-run", "E99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,134 @@
+// Command tbwf-sim runs a single TBWF scenario on the simulation kernel
+// and prints a progress report: which processes were timely (observed
+// bounds), how many operations each completed, and whether the TBWF
+// condition held for the run.
+//
+// Usage:
+//
+//	tbwf-sim -n 4 -steps 3000000 -untimely 1 -omega atomic
+//	tbwf-sim -n 3 -omega abortable -wanted 5
+//	tbwf-sim -n 3 -crash 1@500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tbwf/internal/core"
+	"tbwf/internal/objtype"
+	"tbwf/internal/omega"
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tbwf-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tbwf-sim", flag.ContinueOnError)
+	n := fs.Int("n", 4, "number of processes")
+	steps := fs.Int64("steps", 3_000_000, "step budget")
+	untimely := fs.Int("untimely", 0, "how many low-id processes are untimely (growing gaps)")
+	omegaKind := fs.String("omega", "atomic", "omega implementation: atomic | abortable")
+	wanted := fs.Int64("wanted", 0, "ops per process (0 = hammer without target)")
+	crash := fs.String("crash", "", "crash spec proc@step (e.g. 1@500000)")
+	seed := fs.Int64("seed", 0, "random schedule seed (0 = round-robin base)")
+	nonCanonical := fs.Bool("non-canonical", false, "skip the canonical wait (demonstrates monopolization)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 2 {
+		return fmt.Errorf("need at least 2 processes")
+	}
+	if *untimely >= *n {
+		return fmt.Errorf("untimely (%d) must be < n (%d)", *untimely, *n)
+	}
+
+	var base sim.Schedule = sim.RoundRobin()
+	if *seed != 0 {
+		base = sim.Random(*seed, nil)
+	}
+	avail := map[int]sim.Availability{}
+	for p := 0; p < *untimely; p++ {
+		avail[p] = sim.GrowingGaps(400, int64(600+200*p), 1.5)
+	}
+	k := sim.New(*n, sim.WithSchedule(sim.Restrict(base, avail)))
+
+	if *crash != "" {
+		parts := strings.SplitN(*crash, "@", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("bad crash spec %q, want proc@step", *crash)
+		}
+		proc, err1 := strconv.Atoi(parts[0])
+		at, err2 := strconv.ParseInt(parts[1], 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad crash spec %q", *crash)
+		}
+		k.CrashAt(proc, at)
+	}
+
+	kind := core.OmegaRegisters
+	if *omegaKind == "abortable" {
+		kind = core.OmegaAbortable
+	} else if *omegaKind != "atomic" {
+		return fmt.Errorf("unknown omega kind %q", *omegaKind)
+	}
+
+	st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{},
+		core.BuildConfig{Kind: kind, NonCanonical: *nonCanonical})
+	if err != nil {
+		return err
+	}
+	obs := omega.NewObserver(st.Instances)
+	k.AfterStep(obs.Sample)
+
+	wantedSlice := make([]int64, *n)
+	for p := 0; p < *n; p++ {
+		p := p
+		target := *wanted
+		if target == 0 {
+			wantedSlice[p] = 0
+		} else {
+			wantedSlice[p] = target
+		}
+		k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+			for i := int64(0); target == 0 || i < target; i++ {
+				st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+			}
+		})
+	}
+
+	res, err := k.Run(*steps)
+	if err != nil {
+		return err
+	}
+	k.Shutdown()
+
+	rep, err := core.Evaluate(sim.Analyze(k.Trace().Schedule(), *n), st.CompletedOps(), wantedSlice, 256)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ran %d steps (%s Ω∆)%s\n\n", res.Steps, kind, idleNote(res))
+	fmt.Print(rep)
+	fmt.Printf("\nleaders at end: %v (stabilized at step %d, %d changes)\n",
+		obs.Leaders(), obs.StabilizedAt(), obs.Changes())
+	fmt.Printf("register ops: %d (%d aborted)\n", k.Metrics().TotalOps(), k.Metrics().TotalAborts())
+	if *wanted > 0 {
+		fmt.Printf("TBWF verdict: %v\n", rep.TBWFHolds())
+	}
+	return nil
+}
+
+func idleNote(res sim.RunResult) string {
+	if res.Idle {
+		return ", all clients finished early"
+	}
+	return ""
+}

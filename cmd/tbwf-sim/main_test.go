@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestBasicScenario(t *testing.T) {
+	if err := run([]string{"-n", "3", "-steps", "400000", "-wanted", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUntimelyAndCrash(t *testing.T) {
+	if err := run([]string{"-n", "3", "-steps", "400000", "-untimely", "1", "-crash", "1@100000", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortableOmega(t *testing.T) {
+	if err := run([]string{"-n", "2", "-steps", "600000", "-omega", "abortable", "-wanted", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadInputs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "1"},
+		{"-n", "3", "-untimely", "3"},
+		{"-omega", "nope"},
+		{"-crash", "garbage"},
+		{"-crash", "x@y"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module tbwf
+
+go 1.24

@@ -1,0 +1,159 @@
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tbwf/internal/prim"
+	"tbwf/internal/qa"
+)
+
+// AckClient is an acknowledgement-round booster in the style of [8]
+// (Guerraoui, Kapalka, Kouznetsov: boosting via an eventually perfect
+// failure detector). Before an operation may complete, the caller
+// announces it and waits until every process it does not currently
+// suspect has acknowledged the announcement. Suspicion uses per-process
+// adaptive timeouts: a timeout that proves wrong (the suspected process
+// later acknowledges) doubles, which is what gives the failure detector
+// its eventual accuracy.
+//
+// The collapse: an untimely-but-correct process keeps disproving its
+// suspicions, so its timeout grows without bound, and then every
+// operation of every process waits for its (unboundedly growing) gaps.
+// Crashed processes are harmless — they never disprove a suspicion, so
+// their timeout freezes and rounds skip them after a fixed wait. That is
+// the precise sense in which boosting through 3P-style detectors assumes
+// all correct processes are timely (Section 2 of the paper).
+type AckClient[S, O, R any] struct {
+	me     int
+	n      int
+	handle *qa.Handle[S, O, R]
+	// announce[p] is p's announcement register (the sequence number of
+	// the operation p wants to complete).
+	announce []prim.Register[int64]
+	// acks[q][p] is q's acknowledgement of p's announcement.
+	acks [][]prim.Register[int64]
+
+	seq         int64
+	timeout     []int64
+	suspectedAt []int64 // seq at which q was last suspected; 0 = none pending
+	completed   atomic.Int64
+}
+
+// NewAckClient wires process me's booster endpoint. announce[q] is q's
+// announcement register; acks[q][p] is the register q uses to acknowledge
+// p (both atomic, initialized to 0).
+func NewAckClient[S, O, R any](me int, h *qa.Handle[S, O, R], announce []prim.Register[int64], acks [][]prim.Register[int64]) (*AckClient[S, O, R], error) {
+	if h == nil {
+		return nil, fmt.Errorf("baseline: nil qa handle")
+	}
+	n := len(announce)
+	if me < 0 || me >= n || len(acks) != n {
+		return nil, fmt.Errorf("baseline: inconsistent ack wiring (me=%d, %d announces, %d ack rows)", me, n, len(acks))
+	}
+	c := &AckClient[S, O, R]{
+		me: me, n: n, handle: h,
+		announce:    announce,
+		acks:        acks,
+		timeout:     make([]int64, n),
+		suspectedAt: make([]int64, n),
+	}
+	for q := range c.timeout {
+		c.timeout[q] = 16
+	}
+	return c, nil
+}
+
+// AckerTask returns the acknowledgement task every process must run: it
+// watches the other processes' announcement registers and acknowledges
+// each new announcement.
+func (c *AckClient[S, O, R]) AckerTask() func(prim.Proc) {
+	return func(p prim.Proc) {
+		lastSeen := make([]int64, c.n)
+		for {
+			for q := 0; q < c.n; q++ {
+				if q == c.me {
+					continue
+				}
+				a := c.announce[q].Read()
+				if a != lastSeen[q] {
+					lastSeen[q] = a
+					c.acks[c.me][q].Write(a)
+				}
+			}
+			p.Step()
+		}
+	}
+}
+
+// Invoke executes op: announce, collect acknowledgements from every
+// non-suspected process, then drive the operation to completion on the
+// query-abortable object.
+func (c *AckClient[S, O, R]) Invoke(p prim.Proc, op O) R {
+	c.seq++
+	c.announce[c.me].Write(c.seq)
+
+	waited := make([]int64, c.n)
+	pending := make([]bool, c.n)
+	for q := 0; q < c.n; q++ {
+		pending[q] = q != c.me
+	}
+	remaining := c.n - 1
+	for remaining > 0 {
+		for q := 0; q < c.n; q++ {
+			if !pending[q] {
+				continue
+			}
+			got := c.acks[q][c.me].Read()
+			if got == c.seq {
+				pending[q] = false
+				remaining--
+				// Eventual accuracy: an ack from a process we previously
+				// suspected proves the suspicion false; grow its timeout.
+				if c.suspectedAt[q] != 0 {
+					c.timeout[q] *= 2
+					c.suspectedAt[q] = 0
+				}
+				continue
+			}
+			waited[q]++
+			if waited[q] > c.timeout[q] {
+				// Suspect q and move on without its ack.
+				pending[q] = false
+				remaining--
+				c.suspectedAt[q] = c.seq
+			}
+		}
+		p.Step()
+	}
+
+	// Acknowledged (or suspected) by everyone: apply the operation.
+	doQuery := false
+	for {
+		if doQuery {
+			r, out := c.handle.Query()
+			switch out {
+			case qa.QueryApplied:
+				c.completed.Add(1)
+				return r
+			case qa.QueryNotApplied:
+				doQuery = false
+			}
+		} else {
+			r, ok := c.handle.Invoke(op)
+			if ok {
+				c.completed.Add(1)
+				return r
+			}
+			doQuery = true
+		}
+		p.Step()
+	}
+}
+
+// Completed returns the number of operations the client has finished.
+func (c *AckClient[S, O, R]) Completed() int64 { return c.completed.Load() }
+
+// Timeout returns the client's current suspicion timeout for process q —
+// observable evidence of the unbounded growth that causes the collapse.
+func (c *AckClient[S, O, R]) Timeout(q int) int64 { return c.timeout[q] }

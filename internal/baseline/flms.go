@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tbwf/internal/prim"
+	"tbwf/internal/qa"
+)
+
+// PanicClient is the panic-mode booster in the style of [7] (Fich,
+// Luchangco, Moir, Shavit: "Obstruction-free algorithms can be practically
+// wait-free"). The fast path is an optimistic obstruction-free attempt; on
+// contention (⊥) the process publishes a timestamp in its panic register
+// and the whole system defers to the process with the minimum
+// (timestamp, id) until that process finishes and clears its register.
+//
+// If all processes are timely, the priority holder runs effectively solo
+// and finishes quickly, so every operation completes: obstruction-freedom
+// is boosted to wait-freedom. If the priority holder is *untimely*, every
+// other process — however timely — spins for the full length of its
+// scheduling gaps: a partial loss of synchrony becomes a total loss of
+// liveness, which is precisely the failure mode TBWF avoids (Section 1.2).
+type PanicClient[S, O, R any] struct {
+	me     int
+	n      int
+	handle *qa.Handle[S, O, R]
+	// panicReg[q] holds q's panic timestamp (0 = not in panic mode).
+	panicReg []prim.Register[int64]
+
+	clock     int64
+	completed atomic.Int64
+	inPanic   atomic.Bool
+}
+
+// Panicking reports whether the client's panic timestamp is visible in the
+// shared register (the flag is set only after the register write lands, so
+// an observer never sees a panic before the other processes can). It is a
+// harness observable (used to construct adversarial runs) and consumes no
+// simulated steps.
+func (c *PanicClient[S, O, R]) Panicking() bool { return c.inPanic.Load() }
+
+// NewPanicClient wires process me's booster endpoint. panicReg[q] must be
+// the shared panic register of process q (atomic, initialized to 0), for
+// every q including me.
+func NewPanicClient[S, O, R any](me int, h *qa.Handle[S, O, R], panicReg []prim.Register[int64]) (*PanicClient[S, O, R], error) {
+	if h == nil {
+		return nil, fmt.Errorf("baseline: nil qa handle")
+	}
+	if me < 0 || me >= len(panicReg) {
+		return nil, fmt.Errorf("baseline: me = %d out of range for %d panic registers", me, len(panicReg))
+	}
+	for q, r := range panicReg {
+		if r == nil {
+			return nil, fmt.Errorf("baseline: nil panic register for process %d", q)
+		}
+	}
+	return &PanicClient[S, O, R]{me: me, n: len(panicReg), handle: h, panicReg: panicReg}, nil
+}
+
+// anyPanicking reports whether some process currently advertises a panic
+// timestamp. In [7] every operation checks the panic state first: once
+// anyone panics, *all* processes serialize behind the priority queue —
+// which is exactly what couples everyone's progress to the slowest
+// panicking process.
+func (c *PanicClient[S, O, R]) anyPanicking() bool {
+	for q := 0; q < c.n; q++ {
+		if q == c.me {
+			continue
+		}
+		if c.panicReg[q].Read() != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Invoke executes op: optimistically if no one is panicking, then through
+// panic-mode arbitration. It blocks until the operation completes.
+func (c *PanicClient[S, O, R]) Invoke(p prim.Proc, op O) R {
+	attempted := false
+	if !c.anyPanicking() {
+		// Fast path: one optimistic obstruction-free attempt.
+		attempted = true
+		if r, ok := c.handle.Invoke(op); ok {
+			c.completed.Add(1)
+			return r
+		}
+	}
+	// Enter panic mode. If the optimistic attempt ran, its fate is
+	// unknown, so once we hold priority we start with a query.
+	c.clock++
+	myTS := c.clock
+	c.panicReg[c.me].Write(myTS)
+	c.inPanic.Store(true)
+	doQuery := attempted
+	for {
+		// Find the minimum (timestamp, id) among panicking processes.
+		winner, winTS := c.me, myTS
+		for q := 0; q < c.n; q++ {
+			if q == c.me {
+				continue
+			}
+			ts := c.panicReg[q].Read()
+			if ts != 0 && (ts < winTS || (ts == winTS && q < winner)) {
+				winner, winTS = q, ts
+			}
+		}
+		if winner == c.me {
+			// We hold priority: drive the Figure 8 machine one transition.
+			if doQuery {
+				r, out := c.handle.Query()
+				switch out {
+				case qa.QueryApplied:
+					c.panicReg[c.me].Write(0)
+					c.inPanic.Store(false)
+					c.completed.Add(1)
+					return r
+				case qa.QueryNotApplied:
+					doQuery = false
+				}
+			} else {
+				r, ok := c.handle.Invoke(op)
+				if ok {
+					c.panicReg[c.me].Write(0)
+					c.inPanic.Store(false)
+					c.completed.Add(1)
+					return r
+				}
+				doQuery = true
+			}
+		}
+		p.Step()
+	}
+}
+
+// Completed returns the number of operations the client has finished.
+func (c *PanicClient[S, O, R]) Completed() int64 { return c.completed.Load() }

@@ -1,0 +1,82 @@
+// Package baseline implements the comparison systems the paper positions
+// TBWF against (Sections 1.2 and 2):
+//
+//   - OFClient: a plain obstruction-free client — the Figure 8 retry loop
+//     on the query-abortable object with *no* leader election. It
+//     guarantees progress only to a process that eventually runs solo;
+//     under contention it may livelock.
+//   - PanicClient: a panic-mode booster in the style of Fich, Luchangco,
+//     Moir and Shavit (DISC'05) [7]: on contention, processes publish
+//     timestamps and defer to the minimum (timestamp, id). If every
+//     process is timely this boosts obstruction-freedom to (near)
+//     wait-freedom; if the priority holder is untimely, *everyone* stalls
+//     for the length of its scheduling gaps — the non-graceful collapse
+//     the paper describes.
+//   - AckClient: an acknowledgement-round booster in the style of the
+//     failure-detector boosting of Guerraoui, Kapalka and Kouznetsov [8]:
+//     an operation completes only after every non-suspected process
+//     acknowledges it, with adaptive suspicion timeouts (needed for
+//     eventual accuracy). An untimely process forces the timeouts up and
+//     then stalls every round for the length of its gaps, so throughput
+//     degrades to zero for everyone.
+//
+// These are mechanism-level reimplementations, not line-by-line
+// reproductions of [7] and [8]; they reproduce exactly the property the
+// paper contrasts with — progress collapses for all processes once one
+// process stops being timely — which the E2 experiment measures.
+package baseline
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"tbwf/internal/prim"
+	"tbwf/internal/qa"
+)
+
+// OFClient is an obstruction-free client of a query-abortable object: it
+// retries the invoke/query state machine of Figure 8 until the operation
+// lands. No arbitration: progress is guaranteed only in the absence of
+// contention.
+type OFClient[S, O, R any] struct {
+	handle    *qa.Handle[S, O, R]
+	completed atomic.Int64
+}
+
+// NewOFClient wraps a query-abortable handle.
+func NewOFClient[S, O, R any](h *qa.Handle[S, O, R]) (*OFClient[S, O, R], error) {
+	if h == nil {
+		return nil, fmt.Errorf("baseline: nil qa handle")
+	}
+	return &OFClient[S, O, R]{handle: h}, nil
+}
+
+// Invoke executes op, retrying through ⊥ and F outcomes until it takes
+// effect. It may never return under perpetual contention — that is the
+// point of this baseline.
+func (c *OFClient[S, O, R]) Invoke(p prim.Proc, op O) R {
+	doQuery := false
+	for {
+		if doQuery {
+			r, out := c.handle.Query()
+			switch out {
+			case qa.QueryApplied:
+				c.completed.Add(1)
+				return r
+			case qa.QueryNotApplied:
+				doQuery = false
+			}
+		} else {
+			r, ok := c.handle.Invoke(op)
+			if ok {
+				c.completed.Add(1)
+				return r
+			}
+			doQuery = true
+		}
+		p.Step()
+	}
+}
+
+// Completed returns the number of operations the client has finished.
+func (c *OFClient[S, O, R]) Completed() int64 { return c.completed.Load() }

@@ -1,0 +1,86 @@
+package consensus
+
+import (
+	"fmt"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/omegaab"
+	"tbwf/internal/prim"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// SimRegisters returns consensus register factories backed by the
+// simulation kernel's abortable registers.
+func SimRegisters[V comparable](k *sim.Kernel, opts ...register.AbOption) Registers[V] {
+	return Registers[V]{
+		Ballot: func(name string, writer int) prim.AbortableRegister[int64] {
+			return register.NewAbortable(k, name, int64(0), append(opts, register.WithRoles(writer, -1))...)
+		},
+		Accept: func(name string, writer int) prim.AbortableRegister[accepted[V]] {
+			return register.NewAbortable(k, name, accepted[V]{}, append(opts, register.WithRoles(writer, -1))...)
+		},
+		Msg: func(name string, writer, reader int) prim.AbortableRegister[decision[V]] {
+			return register.NewAbortable(k, name, decision[V]{}, append(opts, register.WithRoles(writer, reader))...)
+		},
+	}
+}
+
+// BuildSim wires a full consensus deployment on the kernel — Ω∆ from
+// abortable registers (or atomic registers when atomicOmega is set), one
+// consensus instance, and one participant task per process proposing
+// proposals[p] — and spawns everything.
+func BuildSim[V comparable](k *sim.Kernel, proposals []V, atomicOmega bool, opts ...register.AbOption) ([]*Participant[V], error) {
+	n := k.N()
+	if len(proposals) != n {
+		return nil, fmt.Errorf("consensus: %d proposals for %d processes", len(proposals), n)
+	}
+	var endpoints []*omega.Instance
+	if atomicOmega {
+		sys, err := omega.BuildRegisters(k)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: %w", err)
+		}
+		endpoints = sys.Instances
+	} else {
+		sys, err := omegaab.Build(k, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("consensus: %w", err)
+		}
+		endpoints = sys.Instances
+	}
+	inst, err := New(n, SimRegisters[V](k, opts...))
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*Participant[V], n)
+	for p := 0; p < n; p++ {
+		part, task, err := Task(p, inst, endpoints[p], proposals[p])
+		if err != nil {
+			return nil, err
+		}
+		parts[p] = part
+		k.Spawn(p, fmt.Sprintf("consensus[%d]", p), task)
+	}
+	return parts, nil
+}
+
+// DecidedAll reports whether every process in procs has decided, and if
+// so, whether they agree; it returns the agreed value.
+func DecidedAll[V comparable](parts []*Participant[V], procs []int) (val V, all bool, agree bool) {
+	var zero V
+	first := true
+	agree = true
+	for _, p := range procs {
+		if !parts[p].Decided.Get() {
+			return zero, false, false
+		}
+		v := parts[p].Value.Get()
+		if first {
+			val, first = v, false
+		} else if v != val {
+			agree = false
+		}
+	}
+	return val, true, agree
+}

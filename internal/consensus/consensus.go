@@ -1,0 +1,221 @@
+// Package consensus solves consensus from abortable registers and Ω,
+// realizing the paper's closing remark of Section 1.2: since Ω∆ — and
+// hence the failure detector Ω, which is sufficient to solve consensus
+// (Chandra, Hadzilacos, Toueg) — can be implemented from abortable
+// registers provided at least one process is timely, consensus itself
+// needs nothing stronger than abortable registers plus one timely process.
+//
+// The algorithm is leader-driven ballot voting over single-writer abortable
+// registers (the same structure that backs the qa log slots): the process
+// that Ω currently names leader runs ballots — claim a ballot in X[me],
+// check no higher ballot, adopt the highest accepted value from Y[...],
+// vote in Y[me], re-check X — and on success broadcasts the decision.
+//
+// The broadcast deliberately follows the paper's single-writer
+// single-reader discipline: a decided process ships the decision to each
+// peer through a dedicated Figure 4 Messenger channel (write until one
+// write succeeds; the reader backs off on aborts). A single shared
+// multi-reader decision register would livelock: two symmetric pollers
+// whose reads keep colliding grow their back-offs in lockstep and probe
+// together forever. Figure 4's mechanism is sound precisely because each
+// register has one reader.
+//
+// Ω is obtained from Ω∆ by making every participant a permanent candidate.
+package consensus
+
+import (
+	"fmt"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/omegaab"
+	"tbwf/internal/prim"
+)
+
+// accepted is one process's vote: the highest ballot at which it accepted
+// a value.
+type accepted[V any] struct {
+	Has    bool
+	Ballot int64
+	V      V
+}
+
+// decision is the message broadcast once a ballot succeeds.
+type decision[V any] struct {
+	Decided bool
+	V       V
+}
+
+// Instance is one consensus instance's shared state: the ballot/vote
+// registers plus the per-pair decision channels. V must be comparable
+// because the Figure 4 Messenger compares consecutive reads.
+type Instance[V comparable] struct {
+	n int
+	x []prim.AbortableRegister[int64]
+	y []prim.AbortableRegister[accepted[V]]
+	// dch[p][q] carries p's decision broadcast to q (SWSR).
+	dch [][]prim.AbortableRegister[decision[V]]
+}
+
+// Registers abstracts the substrate: factories for the instance's
+// abortable registers. X[p] and Y[p] are single-writer by p, multi-reader;
+// Msg(p,q) is single-writer p, single-reader q.
+type Registers[V comparable] struct {
+	Ballot func(name string, writer int) prim.AbortableRegister[int64]
+	Accept func(name string, writer int) prim.AbortableRegister[accepted[V]]
+	Msg    func(name string, writer, reader int) prim.AbortableRegister[decision[V]]
+}
+
+// New creates a consensus instance for n processes.
+func New[V comparable](n int, regs Registers[V]) (*Instance[V], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("consensus: n = %d, need at least 1", n)
+	}
+	if regs.Ballot == nil || regs.Accept == nil || regs.Msg == nil {
+		return nil, fmt.Errorf("consensus: incomplete register factories")
+	}
+	inst := &Instance[V]{
+		n:   n,
+		x:   make([]prim.AbortableRegister[int64], n),
+		y:   make([]prim.AbortableRegister[accepted[V]], n),
+		dch: make([][]prim.AbortableRegister[decision[V]], n),
+	}
+	for p := 0; p < n; p++ {
+		inst.x[p] = regs.Ballot(fmt.Sprintf("consensus.X[%d]", p), p)
+		inst.y[p] = regs.Accept(fmt.Sprintf("consensus.Y[%d]", p), p)
+		inst.dch[p] = make([]prim.AbortableRegister[decision[V]], n)
+		for q := 0; q < n; q++ {
+			if p != q {
+				inst.dch[p][q] = regs.Msg(fmt.Sprintf("consensus.D[%d,%d]", p, q), p, q)
+			}
+		}
+	}
+	return inst, nil
+}
+
+// tryBallot runs one ballot for value v. It returns the value this ballot
+// decided, or ok=false if a register operation aborted or a higher ballot
+// was observed.
+func (c *Instance[V]) tryBallot(me int, ballot int64, v V) (V, bool) {
+	var zero V
+	if !c.x[me].Write(ballot) {
+		return zero, false
+	}
+	for q := 0; q < c.n; q++ {
+		if q == me {
+			continue
+		}
+		b, ok := c.x[q].Read()
+		if !ok || b > ballot {
+			return zero, false
+		}
+	}
+	best := accepted[V]{}
+	for q := 0; q < c.n; q++ {
+		a, ok := c.y[q].Read()
+		if !ok {
+			return zero, false
+		}
+		if a.Has && (!best.Has || a.Ballot > best.Ballot) {
+			best = a
+		}
+	}
+	if best.Has {
+		v = best.V
+	}
+	if !c.y[me].Write(accepted[V]{Has: true, Ballot: ballot, V: v}) {
+		return zero, false
+	}
+	for q := 0; q < c.n; q++ {
+		if q == me {
+			continue
+		}
+		b, ok := c.x[q].Read()
+		if !ok || b > ballot {
+			return zero, false
+		}
+	}
+	return v, true
+}
+
+// Participant is one process's endpoint: it reports the decision through
+// output variables so harness hooks can observe it without taking steps.
+type Participant[V comparable] struct {
+	// Decided flips to true when the process learns the decision.
+	Decided *prim.Var[bool]
+	// Value holds the decision once Decided is true.
+	Value *prim.Var[V]
+}
+
+// Task returns the participant task for process me proposing v: it makes
+// the process a permanent candidate of Ω∆ (turning it into Ω), runs
+// ballots while it is the leader, receives decision broadcasts otherwise,
+// and once decided keeps shipping the decision to every peer until each
+// channel write has succeeded. The task never returns (a decided process
+// keeps serving late joiners); read the outcome from the Participant.
+func Task[V comparable](me int, inst *Instance[V], endpoint *omega.Instance, v V) (*Participant[V], func(prim.Proc), error) {
+	out := make([]prim.AbortableRegister[decision[V]], inst.n)
+	in := make([]prim.AbortableRegister[decision[V]], inst.n)
+	for q := 0; q < inst.n; q++ {
+		if q != me {
+			out[q] = inst.dch[me][q]
+			in[q] = inst.dch[q][me]
+		}
+	}
+	msgr, err := omegaab.NewMessenger(me, inst.n, out, in, decision[V]{})
+	if err != nil {
+		return nil, nil, fmt.Errorf("consensus: %w", err)
+	}
+	part := &Participant[V]{
+		Decided: prim.NewVar(false),
+		Value:   prim.NewVar(*new(V)),
+	}
+	task := func(p prim.Proc) {
+		endpoint.Candidate.Set(true) // permanent candidate: Ω∆ acts as Ω
+
+		var (
+			attempt    int64
+			decided    bool
+			decidedVal V
+			msgTo      = make([]decision[V], inst.n)
+		)
+		for {
+			if decided {
+				if !part.Decided.Get() {
+					part.Value.Set(decidedVal)
+					part.Decided.Set(true)
+					for q := range msgTo {
+						msgTo[q] = decision[V]{Decided: true, V: decidedVal}
+					}
+				}
+				// Ship the (never-changing) decision to every peer; the
+				// Figure 4 mechanism guarantees delivery to each timely-
+				// reachable reader, and is idempotent once done.
+				msgr.WriteMsgs(msgTo)
+				p.Step()
+				continue
+			}
+
+			// Receive decision broadcasts.
+			for _, m := range msgr.ReadMsgs() {
+				if m.Decided {
+					decided, decidedVal = true, m.V
+					break
+				}
+			}
+			if decided {
+				continue
+			}
+
+			if endpoint.Leader.Get() == me {
+				attempt++
+				ballot := attempt*int64(inst.n) + int64(me) + 1
+				if val, ok := inst.tryBallot(me, ballot, v); ok {
+					decided, decidedVal = true, val
+					continue
+				}
+			}
+			p.Step()
+		}
+	}
+	return part, task, nil
+}

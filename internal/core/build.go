@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/omegaab"
+	"tbwf/internal/qa"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// OmegaKind selects which Ω∆ implementation a TBWF stack runs on.
+type OmegaKind int
+
+const (
+	// OmegaRegisters is the Figure 3 implementation from activity
+	// monitors and atomic registers (Section 5).
+	OmegaRegisters OmegaKind = iota + 1
+	// OmegaAbortable is the Figure 4–6 implementation from abortable
+	// registers only (Section 6). Together with the qa construction it
+	// realizes Theorem 15: a TBWF object of any type from abortable
+	// registers alone.
+	OmegaAbortable
+)
+
+// String names the kind.
+func (k OmegaKind) String() string {
+	switch k {
+	case OmegaRegisters:
+		return "atomic-registers"
+	case OmegaAbortable:
+		return "abortable-registers"
+	default:
+		return fmt.Sprintf("OmegaKind(%d)", int(k))
+	}
+}
+
+// BuildConfig configures a TBWF stack.
+type BuildConfig struct {
+	// Kind selects the Ω∆ implementation; default OmegaRegisters.
+	Kind OmegaKind
+	// NonCanonical disables the Figure 7 line 2 wait (experiment E7 only).
+	NonCanonical bool
+	// RegisterOptions apply to every abortable register in the stack
+	// (the qa object's, and Ω∆'s when Kind is OmegaAbortable).
+	RegisterOptions []register.AbOption
+}
+
+// Stack is a fully wired TBWF object deployment on a simulation kernel:
+// Ω∆ (its tasks already spawned), the underlying query-abortable object,
+// and one client per process. Client *tasks* are not spawned — the caller
+// drives Clients[p].Invoke from its own workload tasks.
+type Stack[S, O, R any] struct {
+	Kind OmegaKind
+	// Instances[p] is process p's Ω∆ endpoint.
+	Instances []*omega.Instance
+	// Object is the shared query-abortable object.
+	Object *qa.SharedObject[S, O, R]
+	// Clients[p] is process p's TBWF endpoint.
+	Clients []*Client[S, O, R]
+}
+
+// Build wires a TBWF object of the given sequential type for every process
+// of the kernel.
+func Build[S, O, R any](k *sim.Kernel, typ qa.Type[S, O, R], cfg BuildConfig) (*Stack[S, O, R], error) {
+	if cfg.Kind == 0 {
+		cfg.Kind = OmegaRegisters
+	}
+	var instances []*omega.Instance
+	switch cfg.Kind {
+	case OmegaRegisters:
+		sys, err := omega.BuildRegisters(k)
+		if err != nil {
+			return nil, fmt.Errorf("core: build Ω∆ (registers): %w", err)
+		}
+		instances = sys.Instances
+	case OmegaAbortable:
+		sys, err := omegaab.Build(k, cfg.RegisterOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("core: build Ω∆ (abortable): %w", err)
+		}
+		instances = sys.Instances
+	default:
+		return nil, fmt.Errorf("core: unknown omega kind %d", int(cfg.Kind))
+	}
+
+	obj, err := qa.NewSim(k, typ, cfg.RegisterOptions...)
+	if err != nil {
+		return nil, fmt.Errorf("core: build qa object: %w", err)
+	}
+
+	st := &Stack[S, O, R]{
+		Kind:      cfg.Kind,
+		Instances: instances,
+		Object:    obj,
+		Clients:   make([]*Client[S, O, R], k.N()),
+	}
+	for p := 0; p < k.N(); p++ {
+		var c *Client[S, O, R]
+		var err error
+		if cfg.NonCanonical {
+			c, err = NewClientNonCanonical(instances[p], obj.Handle(p))
+		} else {
+			c, err = NewClient(instances[p], obj.Handle(p))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: client %d: %w", p, err)
+		}
+		st.Clients[p] = c
+	}
+	return st, nil
+}
+
+// CompletedOps returns each client's completed-operation count.
+func (st *Stack[S, O, R]) CompletedOps() []int64 {
+	out := make([]int64, len(st.Clients))
+	for p, c := range st.Clients {
+		out[p] = c.Completed()
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// spawnCounterClients gives each process a task that performs wanted[p]
+// fetch-and-add(1) operations through its TBWF client, recording responses.
+func spawnCounterClients(k *sim.Kernel, st *Stack[int64, objtype.CounterOp, int64], wanted []int64) [][]int64 {
+	resps := make([][]int64, k.N())
+	for p := 0; p < k.N(); p++ {
+		p := p
+		if wanted[p] == 0 {
+			continue
+		}
+		k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+			for i := int64(0); i < wanted[p]; i++ {
+				r := st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+				resps[p] = append(resps[p], r)
+			}
+		})
+	}
+	return resps
+}
+
+func buildCounterStack(t *testing.T, k *sim.Kernel, cfg BuildConfig) *Stack[int64, objtype.CounterOp, int64] {
+	t.Helper()
+	st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// checkDistinctResponses asserts the global fetch-and-add responses are
+// pairwise distinct (each op observed a unique previous value) — the
+// linearizability signal for the counter workload.
+func checkDistinctResponses(t *testing.T, resps [][]int64) {
+	t.Helper()
+	seen := map[int64]bool{}
+	for p, rs := range resps {
+		for _, r := range rs {
+			if seen[r] {
+				t.Fatalf("process %d: duplicate fetch-and-add response %d", p, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// All processes timely (round-robin): the TBWF object is wait-free in this
+// run — every client finishes every operation (Section 1.1's limit case).
+func TestAllTimelyIsWaitFree(t *testing.T) {
+	const n = 4
+	k := sim.New(n)
+	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters})
+	wanted := []int64{10, 10, 10, 10}
+	resps := spawnCounterClients(k, st, wanted)
+	if _, err := k.Run(3_000_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+
+	rep, err := Evaluate(sim.Analyze(k.Trace().Schedule(), n), st.CompletedOps(), wanted, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TBWFHolds() {
+		t.Fatalf("TBWF violated:\n%s", rep)
+	}
+	for p, c := range st.CompletedOps() {
+		if c != wanted[p] {
+			t.Errorf("process %d completed %d/%d ops", p, c, wanted[p])
+		}
+	}
+	checkDistinctResponses(t, resps)
+}
+
+// The heart of the paper (E1's single point): with k timely and the rest
+// untimely-but-competing, the timely clients must all finish; the untimely
+// ones cannot hinder them.
+func TestTimelyClientsUnhinderedByUntimelyOnes(t *testing.T) {
+	const n = 4
+	// Processes 0 and 1 have geometrically growing gaps: correct, always
+	// competing, but untimely. 2 and 3 are timely.
+	k := sim.New(n, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
+		0: sim.GrowingGaps(500, 1000, 1.5),
+		1: sim.GrowingGaps(500, 1500, 1.5),
+	})))
+	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters})
+	wanted := []int64{1000, 1000, 8, 8} // untimely ones want more than they can get
+	resps := spawnCounterClients(k, st, wanted)
+	if _, err := k.Run(6_000_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+
+	for _, p := range []int{2, 3} {
+		if got := st.Clients[p].Completed(); got != wanted[p] {
+			t.Errorf("timely process %d completed %d/%d ops", p, got, wanted[p])
+		}
+	}
+	checkDistinctResponses(t, resps)
+
+	// The report must classify 2,3 as timely and satisfied; 0,1 as
+	// untimely (whatever they managed).
+	rep, err := Evaluate(sim.Analyze(k.Trace().Schedule(), n), st.CompletedOps(), wanted, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pp := range rep.Procs {
+		switch pp.Proc {
+		case 0, 1:
+			if pp.Timely {
+				t.Errorf("process %d classified timely with bound %d", pp.Proc, pp.Bound)
+			}
+		case 2, 3:
+			if !pp.Timely {
+				t.Errorf("process %d classified untimely with bound %d", pp.Proc, pp.Bound)
+			}
+		}
+	}
+	if !rep.TBWFHolds() {
+		t.Fatalf("TBWF violated:\n%s", rep)
+	}
+}
+
+// Obstruction-freedom limit case: a client that eventually runs solo
+// completes its operations, however slow it is in real time (timeliness is
+// relative — a solo process is timely by definition).
+func TestSoloSuffixCompletes(t *testing.T) {
+	const n = 3
+	// After step 200k, only process 2 is scheduled.
+	k := sim.New(n, sim.WithSchedule(sim.SoloAfter(sim.RoundRobin(), 2, 200_000)))
+	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters})
+	wanted := []int64{0, 0, 5}
+	spawnCounterClients(k, st, wanted)
+	if _, err := k.Run(2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	if got := st.Clients[2].Completed(); got != 5 {
+		t.Fatalf("solo client completed %d/5 ops", got)
+	}
+}
+
+// Theorem 15 end to end: the full stack from abortable registers only
+// (Ω∆ of Figures 4–6 + the qa construction), strongest abort adversary,
+// all processes timely — everyone finishes.
+func TestAbortableStackAllTimely(t *testing.T) {
+	const n = 3
+	k := sim.New(n)
+	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaAbortable})
+	wanted := []int64{5, 5, 5}
+	resps := spawnCounterClients(k, st, wanted)
+	if _, err := k.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	for p, c := range st.CompletedOps() {
+		if c != wanted[p] {
+			t.Errorf("process %d completed %d/%d ops", p, c, wanted[p])
+		}
+	}
+	checkDistinctResponses(t, resps)
+}
+
+// Canonical use is load-bearing (Section 7): without the line 2 wait, a
+// greedy timely client monopolizes the object; with it, access is fair.
+func TestCanonicalUsePreventsMonopolization(t *testing.T) {
+	run := func(nonCanonical bool) []int64 {
+		const n = 3
+		k := sim.New(n)
+		st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters, NonCanonical: nonCanonical})
+		// Everyone wants effectively unbounded ops; the question is how
+		// completions are distributed at the end of the budget.
+		wanted := []int64{1 << 30, 1 << 30, 1 << 30}
+		spawnCounterClients(k, st, wanted)
+		if _, err := k.Run(3_000_000); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return st.CompletedOps()
+	}
+
+	canonical := run(false)
+	for p, c := range canonical {
+		if c == 0 {
+			t.Errorf("canonical: process %d starved (0 ops; distribution %v)", p, canonical)
+		}
+	}
+
+	greedy := run(true)
+	// Non-canonical: the paper predicts a monopolizer. Identify the top
+	// client and require the others to be (nearly) starved relative to it.
+	var maxP int
+	var total int64
+	for p, c := range greedy {
+		total += c
+		if c > greedy[maxP] {
+			maxP = p
+		}
+	}
+	if total == 0 {
+		t.Fatal("non-canonical run made no progress at all")
+	}
+	if frac := float64(greedy[maxP]) / float64(total); frac < 0.9 {
+		t.Errorf("non-canonical: expected monopolization, got distribution %v (top fraction %.2f)", greedy, frac)
+	}
+}
+
+func TestClientWiringValidation(t *testing.T) {
+	if _, err := NewClient[int64, objtype.CounterOp, int64](nil, nil); err == nil {
+		t.Error("nil wiring accepted")
+	}
+}
+
+func TestOmegaKindString(t *testing.T) {
+	if OmegaRegisters.String() != "atomic-registers" || OmegaAbortable.String() != "abortable-registers" {
+		t.Error("OmegaKind.String mismatch")
+	}
+}

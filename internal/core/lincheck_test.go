@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/lincheck"
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// The independent safety check: drive a TBWF register (write/CAS/read)
+// with concurrent clients, record the real invocation/response step
+// timestamps of every completed operation, and hand the history to the
+// Wing–Gong checker, which knows nothing about the implementation's
+// operation log.
+func TestTBWFRegisterHistoryLinearizes(t *testing.T) {
+	const n, opsEach = 3, 7
+	k := sim.New(n, sim.WithSchedule(sim.Random(13, nil)))
+	st, err := Build[int64, objtype.RegOp, objtype.RegResp](k, objtype.Register{}, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var history []lincheck.Op[objtype.RegOp, objtype.RegResp]
+	for p := 0; p < n; p++ {
+		p := p
+		k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+			for i := 0; i < opsEach; i++ {
+				var op objtype.RegOp
+				switch i % 3 {
+				case 0:
+					op = objtype.RegOp{Kind: objtype.RegWrite, New: int64(100*p + i)}
+				case 1:
+					op = objtype.RegOp{Kind: objtype.RegRead}
+				default:
+					// CAS against whatever we last read is racy on
+					// purpose; the response tells us whether it won.
+					op = objtype.RegOp{Kind: objtype.RegCAS, Old: int64(100*p + i - 2), New: int64(100*p + i)}
+				}
+				invoke := k.Step()
+				resp := st.Clients[p].Invoke(pp, op)
+				history = append(history, lincheck.Op[objtype.RegOp, objtype.RegResp]{
+					Proc: p, Invoke: invoke, Response: k.Step(), Arg: op, Resp: resp,
+				})
+			}
+		})
+	}
+	if _, err := k.Run(8_000_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+
+	if len(history) != n*opsEach {
+		t.Fatalf("collected %d ops, want %d (clients did not finish)", len(history), n*opsEach)
+	}
+	order, ok, err := lincheck.Check[int64](objtype.Register{}, history, lincheck.Options[int64, objtype.RegResp]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("TBWF register history is not linearizable:\n%+v", history)
+	}
+	if len(order) != len(history) {
+		t.Fatalf("linearization covers %d of %d ops", len(order), len(history))
+	}
+}
+
+// Same check for the abortable-register stack (Theorem 15 end to end) on a
+// smaller history.
+func TestTBWFAbortableStackHistoryLinearizes(t *testing.T) {
+	const n, opsEach = 3, 4
+	k := sim.New(n)
+	st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var history []lincheck.Op[objtype.CounterOp, int64]
+	for p := 0; p < n; p++ {
+		p := p
+		k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+			for i := 0; i < opsEach; i++ {
+				invoke := k.Step()
+				resp := st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+				history = append(history, lincheck.Op[objtype.CounterOp, int64]{
+					Proc: p, Invoke: invoke, Response: k.Step(),
+					Arg: objtype.CounterOp{Delta: 1}, Resp: resp,
+				})
+			}
+		})
+	}
+	if _, err := k.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if len(history) != n*opsEach {
+		t.Fatalf("collected %d ops, want %d", len(history), n*opsEach)
+	}
+	_, ok, err := lincheck.Check[int64](objtype.Counter{}, history, lincheck.Options[int64, int64]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("abortable-stack counter history is not linearizable:\n%+v", history)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"tbwf/internal/sim"
+)
+
+// This file turns a finished run into a progress-condition verdict.
+//
+// TBWF (Definition 3) quantifies over infinite runs; for a finite simulated
+// run we check the natural finite analogue: every process that was observed
+// timely (its scheduling bound is at most a caller-chosen threshold) and
+// that had work to do must have completed all of it within the step budget.
+// Untimely processes are allowed anything — the condition never promises
+// them progress, only that they cannot hinder the timely ones.
+
+// ProcProgress is one process's row in a progress report.
+type ProcProgress struct {
+	Proc int
+	// Bound is the observed timeliness bound (sim.Unbounded if the
+	// process took no steps).
+	Bound int64
+	// Timely reports whether Bound is finite and at most the report's
+	// threshold.
+	Timely bool
+	// Completed and Wanted count operations done vs. assigned.
+	Completed int64
+	Wanted    int64
+}
+
+// Satisfied reports whether the process completed everything it wanted.
+func (p ProcProgress) Satisfied() bool { return p.Completed >= p.Wanted }
+
+// Report is the progress verdict for one run.
+type Report struct {
+	// Threshold is the timeliness bound used to classify processes.
+	Threshold int64
+	Procs     []ProcProgress
+}
+
+// Evaluate classifies each process by its observed timeliness bound
+// (threshold picks who counts as timely) and records its operation counts.
+// completed and wanted must have length rep.N.
+func Evaluate(rep *sim.TimelinessReport, completed, wanted []int64, threshold int64) (Report, error) {
+	if len(completed) != rep.N || len(wanted) != rep.N {
+		return Report{}, fmt.Errorf("core: Evaluate: slice lengths %d/%d, want %d", len(completed), len(wanted), rep.N)
+	}
+	r := Report{Threshold: threshold, Procs: make([]ProcProgress, rep.N)}
+	for p := 0; p < rep.N; p++ {
+		b := rep.Bound[p]
+		r.Procs[p] = ProcProgress{
+			Proc:      p,
+			Bound:     b,
+			Timely:    b != sim.Unbounded && b <= threshold,
+			Completed: completed[p],
+			Wanted:    wanted[p],
+		}
+	}
+	return r, nil
+}
+
+// TBWFHolds reports whether every timely process with assigned work
+// completed all of it — the finite-run reading of Definition 3.
+func (r Report) TBWFHolds() bool {
+	for _, p := range r.Procs {
+		if p.Timely && !p.Satisfied() {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the timely processes that did not finish their work.
+func (r Report) Violations() []int {
+	var out []int
+	for _, p := range r.Procs {
+		if p.Timely && !p.Satisfied() {
+			out = append(out, p.Proc)
+		}
+	}
+	return out
+}
+
+// TimelyCompleted counts timely processes that finished their work, and
+// the total number of timely processes with work — the (k completed, k
+// timely) pair the graceful-degradation experiment plots.
+func (r Report) TimelyCompleted() (done, total int) {
+	for _, p := range r.Procs {
+		if !p.Timely || p.Wanted == 0 {
+			continue
+		}
+		total++
+		if p.Satisfied() {
+			done++
+		}
+	}
+	return done, total
+}
+
+// String renders the report as a fixed-width table.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc  bound      timely  completed/wanted\n")
+	for _, p := range r.Procs {
+		bound := "∞"
+		if p.Bound != sim.Unbounded {
+			bound = fmt.Sprintf("%d", p.Bound)
+		}
+		fmt.Fprintf(&b, "%4d  %-9s  %-6v  %d/%d\n", p.Proc, bound, p.Timely, p.Completed, p.Wanted)
+	}
+	return b.String()
+}

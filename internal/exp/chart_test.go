@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScalesAndLabels(t *testing.T) {
+	out := BarChart("demo", []string{"a", "bb"}, []float64{2, 4}, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if !strings.Contains(lines[1], "█████ 2") {
+		t.Errorf("half-scale bar wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "██████████ 4") {
+		t.Errorf("full-scale bar wrong: %q", lines[2])
+	}
+}
+
+func TestBarChartTinyNonZeroVisible(t *testing.T) {
+	out := BarChart("demo", []string{"x", "y"}, []float64{0.001, 100}, 10)
+	if !strings.Contains(out, "x █ ") {
+		t.Errorf("tiny value invisible:\n%s", out)
+	}
+}
+
+func TestStaircaseChartFromE1(t *testing.T) {
+	tb := &Table{ID: "E1", Columns: []string{"k timely", "timely done"}}
+	tb.AddRow(0, "0/0")
+	tb.AddRow(2, "2/2")
+	chart, err := StaircaseChart(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "k=2") {
+		t.Errorf("chart missing label:\n%s", chart)
+	}
+	if _, err := StaircaseChart(&Table{ID: "E2"}); err == nil {
+		t.Error("non-E1 table accepted")
+	}
+	bad := &Table{ID: "E1"}
+	bad.AddRow(0, "garbage")
+	if _, err := StaircaseChart(bad); err == nil {
+		t.Error("malformed cell accepted")
+	}
+}

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+
+	"tbwf/internal/monitor"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// E5Config parameterizes the activity-monitor property matrix.
+type E5Config struct {
+	// Steps is the per-run budget (default 400k).
+	Steps int64
+}
+
+// E5Monitor exercises the activity monitor A(p,q) across the input/behaviour
+// regimes of Definition 9 and reports the observed outputs (DESIGN.md E5,
+// validating Theorem 10). Process 0 monitors process 1.
+func E5Monitor(cfg E5Config) (*Table, error) {
+	if cfg.Steps == 0 {
+		cfg.Steps = 400_000
+	}
+	t := &Table{
+		ID:      "E5",
+		Title:   fmt.Sprintf("activity monitor A(p,q) property matrix, %d steps/run", cfg.Steps),
+		Columns: []string{"scenario", "final status", "faultCntr @half", "faultCntr @end", "growth", "property"},
+		Notes: []string{
+			"expected shape: status matches the regime (Props 1–4); faultCntr frozen between half and end in every bounded case (Prop 5) and still growing in the untimely case (Prop 6)",
+		},
+	}
+
+	type scenario struct {
+		name     string
+		sched    func() sim.Schedule
+		setup    func(k *sim.Kernel, m *monitor.Pair)
+		property string
+	}
+	scenarios := []scenario{
+		{
+			name:     "monitoring-off",
+			sched:    func() sim.Schedule { return sim.RoundRobin() },
+			setup:    func(k *sim.Kernel, m *monitor.Pair) { m.ActiveFor.Set(true) },
+			property: "P1/P5d: status ?, bounded",
+		},
+		{
+			name:  "q-timely-active",
+			sched: func() sim.Schedule { return sim.RoundRobin() },
+			setup: func(k *sim.Kernel, m *monitor.Pair) {
+				m.Monitoring.Set(true)
+				m.ActiveFor.Set(true)
+			},
+			property: "P2/P4/P5a: status active, bounded",
+		},
+		{
+			name:  "q-willing-stop",
+			sched: func() sim.Schedule { return sim.RoundRobin() },
+			setup: func(k *sim.Kernel, m *monitor.Pair) {
+				m.Monitoring.Set(true)
+				m.ActiveFor.Set(true)
+				k.AfterStep(func(step int64) {
+					if step == 10_000 {
+						m.ActiveFor.Set(false)
+					}
+				})
+			},
+			property: "P3/P5c: status inactive, bounded",
+		},
+		{
+			name:  "q-crashes",
+			sched: func() sim.Schedule { return sim.RoundRobin() },
+			setup: func(k *sim.Kernel, m *monitor.Pair) {
+				m.Monitoring.Set(true)
+				m.ActiveFor.Set(true)
+				k.CrashAt(1, 10_000)
+			},
+			property: "P3/P5b: status inactive, bounded",
+		},
+		{
+			name: "q-untimely-active",
+			sched: func() sim.Schedule {
+				return sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
+					1: sim.GrowingGaps(50, 100, 1.5),
+				})
+			},
+			setup: func(k *sim.Kernel, m *monitor.Pair) {
+				m.Monitoring.Set(true)
+				m.ActiveFor.Set(true)
+			},
+			property: "P6: faultCntr grows without bound",
+		},
+		{
+			name:  "q-flickers-timely",
+			sched: func() sim.Schedule { return sim.RoundRobin() },
+			setup: func(k *sim.Kernel, m *monitor.Pair) {
+				m.Monitoring.Set(true)
+				m.ActiveFor.Set(true)
+				k.AfterStep(func(step int64) {
+					if step%2_000 == 0 {
+						m.ActiveFor.Set(!m.ActiveFor.Get())
+					}
+				})
+			},
+			property: "P5a with flicker: bounded",
+		},
+	}
+
+	for _, sc := range scenarios {
+		k := sim.New(2, sim.WithSchedule(sc.sched()))
+		hb := register.NewAtomic(k, "Hb[1,0]", int64(-1))
+		m := monitor.NewPair(0, 1, hb)
+		k.Spawn(1, "monitored", m.MonitoredTask())
+		k.Spawn(0, "monitoring", m.MonitoringTask())
+		sc.setup(k, m)
+		if _, err := k.Run(cfg.Steps / 2); err != nil {
+			return nil, fmt.Errorf("E5 %s: %w", sc.name, err)
+		}
+		half := m.FaultCntr.Get()
+		if _, err := k.Run(cfg.Steps / 2); err != nil {
+			return nil, fmt.Errorf("E5 %s: %w", sc.name, err)
+		}
+		k.Shutdown()
+		end := m.FaultCntr.Get()
+		growth := "frozen"
+		if end > half {
+			growth = "growing"
+		}
+		t.AddRow(sc.name, m.Status.Get(), half, end, growth, sc.property)
+	}
+	return t, nil
+}

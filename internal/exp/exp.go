@@ -1,0 +1,121 @@
+package exp
+
+import "fmt"
+
+// Experiment is one runnable experiment.
+type Experiment struct {
+	// ID is the DESIGN.md experiment id.
+	ID string
+	// Name is a short slug (used for CSV filenames and CLI selection).
+	Name string
+	// Run executes the experiment with its default configuration; quick
+	// trims budgets for smoke runs.
+	Run func(quick bool) (*Table, error)
+}
+
+// All returns every experiment, in id order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Name: "degradation", Run: func(q bool) (*Table, error) {
+			cfg := E1Config{}
+			if q {
+				cfg = E1Config{N: 4, Steps: 1_200_000, Wanted: 8}
+			}
+			return E1Degradation(cfg)
+		}},
+		{ID: "E2", Name: "baselines", Run: func(q bool) (*Table, error) {
+			cfg := E2Config{}
+			if q {
+				cfg = E2Config{Steps: 2_000_000}
+			}
+			return E2Baselines(cfg)
+		}},
+		{ID: "E3", Name: "omega-atomic", Run: func(q bool) (*Table, error) {
+			cfg := E3Config{}
+			if q {
+				cfg = E3Config{Ns: []int{2, 4}, Steps: 600_000}
+			}
+			return E3OmegaAtomic(cfg)
+		}},
+		{ID: "E4", Name: "omega-abortable", Run: func(q bool) (*Table, error) {
+			cfg := E3Config{}
+			if q {
+				cfg = E3Config{Ns: []int{2, 3}, Steps: 1_000_000}
+			}
+			return E4OmegaAbortable(cfg)
+		}},
+		{ID: "E5", Name: "monitor", Run: func(q bool) (*Table, error) {
+			cfg := E5Config{}
+			if q {
+				cfg = E5Config{Steps: 200_000}
+			}
+			return E5Monitor(cfg)
+		}},
+		{ID: "E6", Name: "write-efficiency", Run: func(q bool) (*Table, error) {
+			cfg := E6Config{}
+			if q {
+				cfg = E6Config{N: 3, Steps: 300_000}
+			}
+			return E6WriteEfficiency(cfg)
+		}},
+		{ID: "E7", Name: "canonical", Run: func(q bool) (*Table, error) {
+			cfg := E7Config{}
+			if q {
+				cfg = E7Config{Steps: 1_200_000}
+			}
+			return E7Canonical(cfg)
+		}},
+		{ID: "E8", Name: "qa-object", Run: func(q bool) (*Table, error) {
+			cfg := E8Config{}
+			if q {
+				cfg = E8Config{N: 3, OpsEach: 10, Steps: 10_000_000}
+			}
+			return E8QAObject(cfg)
+		}},
+		{ID: "E9", Name: "consensus", Run: func(q bool) (*Table, error) {
+			cfg := E9Config{}
+			if q {
+				cfg = E9Config{Ns: []int{3}, Steps: 2_500_000}
+			}
+			return E9Consensus(cfg)
+		}},
+		{ID: "E10", Name: "abortable-comm", Run: func(q bool) (*Table, error) {
+			cfg := E10Config{}
+			if q {
+				cfg = E10Config{Steps: 300_000}
+			}
+			return E10AbortableComm(cfg)
+		}},
+		{ID: "A1", Name: "ablate-dual-heartbeat", Run: func(q bool) (*Table, error) {
+			cfg := A1Config{}
+			if q {
+				cfg = A1Config{Steps: 200_000}
+			}
+			return A1DualHeartbeat(cfg)
+		}},
+		{ID: "A2", Name: "ablate-self-punishment", Run: func(q bool) (*Table, error) {
+			cfg := A2Config{}
+			if q {
+				cfg = A2Config{Steps: 600_000}
+			}
+			return A2SelfPunishment(cfg)
+		}},
+		{ID: "A3", Name: "ablate-reader-backoff", Run: func(q bool) (*Table, error) {
+			cfg := A3Config{}
+			if q {
+				cfg = A3Config{Steps: 150_000}
+			}
+			return A3ReaderBackoff(cfg)
+		}},
+	}
+}
+
+// ByID returns the experiment with the given id or name.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id || e.Name == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}

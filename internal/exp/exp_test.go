@@ -1,0 +1,306 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// These tests run every experiment in quick mode and assert the *shapes*
+// the paper predicts (DESIGN.md §4). Runs are deterministic (seeded
+// schedules, seeded policies), so the assertions are exact reruns, not
+// statistical.
+
+func cell(t *testing.T, tb *Table, row, col int) string {
+	t.Helper()
+	if row >= len(tb.Rows) || col >= len(tb.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d); table:\n%s", tb.ID, row, col, tb)
+	}
+	return tb.Rows[row][col]
+}
+
+func cellInt(t *testing.T, tb *Table, row, col int) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(cell(t, tb, row, col), 10, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q is not an integer", tb.ID, row, col, cell(t, tb, row, col))
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, tb *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tb, row, col), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q is not a float", tb.ID, row, col, cell(t, tb, row, col))
+	}
+	return v
+}
+
+// E1: the staircase — every row reports k/k timely processes satisfied and
+// a true TBWF verdict.
+func TestE1Shape(t *testing.T) {
+	tb, err := E1Degradation(E1Config{N: 4, Steps: 1_200_000, Wanted: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("want 5 rows (k=0..4), got %d", len(tb.Rows))
+	}
+	for k, row := range tb.Rows {
+		want := strconv.Itoa(k) + "/" + strconv.Itoa(k)
+		if row[1] != want {
+			t.Errorf("k=%d: timely done = %s, want %s\n%s", k, row[1], want, tb)
+		}
+		if row[5] != "true" {
+			t.Errorf("k=%d: TBWF verdict %s, want true", k, row[5])
+		}
+	}
+}
+
+// E2: TBWF's 2nd/1st ratio stays near 1 with one untimely process; both
+// boosters collapse below 0.5.
+func TestE2Shape(t *testing.T) {
+	tb, err := E2Baselines(E2Config{Steps: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := map[string]float64{}
+	for _, row := range tb.Rows {
+		ratios[row[0]+"/"+row[1]] = mustFloat(t, row[4])
+	}
+	if r := ratios["tbwf/one-untimely"]; r < 0.6 {
+		t.Errorf("tbwf collapsed under one untimely process: ratio %.3f", r)
+	}
+	for _, sys := range []string{"panic-booster", "ack-booster"} {
+		if r := ratios[sys+"/all-timely"]; r < 0.6 {
+			t.Errorf("%s failed even with everyone timely: ratio %.3f", sys, r)
+		}
+		if r := ratios[sys+"/one-untimely"]; r > 0.5 {
+			t.Errorf("%s did not collapse: ratio %.3f", sys, r)
+		}
+	}
+}
+
+func mustFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return v
+}
+
+// E3/E4: every scenario ends "as specified" with a concrete leader.
+func TestE3E4Shape(t *testing.T) {
+	for _, run := range []func() (*Table, error){
+		func() (*Table, error) { return E3OmegaAtomic(E3Config{Ns: []int{2, 4}, Steps: 600_000}) },
+		func() (*Table, error) { return E4OmegaAbortable(E3Config{Ns: []int{2, 3}, Steps: 1_000_000}) },
+	} {
+		tb, err := run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tb.Rows {
+			last := row[len(row)-1]
+			if last != "true" {
+				t.Errorf("%s: scenario %q not as specified:\n%s", tb.ID, row[1], tb)
+			}
+			if row[2] == "none" {
+				t.Errorf("%s: scenario %q elected nobody", tb.ID, row[1])
+			}
+		}
+	}
+}
+
+// E5: statuses and growth classes match Definition 9 exactly.
+func TestE5Shape(t *testing.T) {
+	tb, err := E5Monitor(E5Config{Steps: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][2]string{ // scenario -> {status, growth}
+		"monitoring-off":    {"?", "frozen"},
+		"q-timely-active":   {"active", "frozen"},
+		"q-willing-stop":    {"inactive", "frozen"},
+		"q-crashes":         {"inactive", "frozen"},
+		"q-untimely-active": {"inactive", "growing"},
+		"q-flickers-timely": {"", "frozen"}, // status depends on the phase at cut-off
+	}
+	for _, row := range tb.Rows {
+		w, ok := want[row[0]]
+		if !ok {
+			t.Fatalf("unknown scenario %q", row[0])
+		}
+		if w[0] != "" && row[1] != w[0] {
+			t.Errorf("%s: status %q, want %q", row[0], row[1], w[0])
+		}
+		if row[4] != w[1] {
+			t.Errorf("%s: growth %q, want %q", row[0], row[4], w[1])
+		}
+	}
+}
+
+// E6: zero non-leader writes after stabilization.
+func TestE6Shape(t *testing.T) {
+	tb, err := E6WriteEfficiency(E6Config{N: 3, Steps: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tb, 1, 4); got != "0" {
+		t.Errorf("non-leader writes after stabilization = %s, want 0\n%s", got, tb)
+	}
+	if cellInt(t, tb, 1, 2) == 0 {
+		t.Error("leader stopped writing entirely")
+	}
+}
+
+// E7: canonical top share ≈ 1/n; non-canonical ≈ 1.
+func TestE7Shape(t *testing.T) {
+	tb, err := E7Canonical(E7Config{Steps: 1_200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cellFloat(t, tb, 0, 3); s > 0.5 {
+		t.Errorf("canonical run not fair: top share %.3f", s)
+	}
+	if s := cellFloat(t, tb, 1, 3); s < 0.9 {
+		t.Errorf("non-canonical run not monopolized: top share %.3f", s)
+	}
+}
+
+// E8: every policy finishes all ops with a consistent final state, and the
+// strongest adversary costs the most calls per op.
+func TestE8Shape(t *testing.T) {
+	tb, err := E8QAObject(E8Config{N: 3, OpsEach: 10, Steps: 10_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst, best float64
+	for i, row := range tb.Rows {
+		if row[6] != "true" {
+			t.Errorf("policy %s/%s: inconsistent final state", row[0], row[1])
+		}
+		if cellInt(t, tb, i, 2) != 30 {
+			t.Errorf("policy %s/%s: completed %s/30 ops", row[0], row[1], row[2])
+		}
+		cpo := cellFloat(t, tb, i, 5)
+		if i == 0 {
+			worst = cpo
+		}
+		best = cpo
+	}
+	if worst <= best {
+		t.Errorf("always-abort (%.1f calls/op) should cost more than prob-0.1 (%.1f)", worst, best)
+	}
+}
+
+// E9: agreement + validity + termination in every row.
+func TestE9Shape(t *testing.T) {
+	tb, err := E9Consensus(E9Config{Ns: []int{3}, Steps: 2_500_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		for col := 2; col <= 4; col++ {
+			if row[col] != "true" {
+				t.Errorf("n=%s %s: column %q = %s, want true", row[0], row[1], tb.Columns[col], row[col])
+			}
+		}
+	}
+}
+
+// E10: every row as specified; the timely writer delivers, the others
+// demonstrably do not in these constructed runs.
+func TestE10Shape(t *testing.T) {
+	tb, err := E10AbortableComm(E10Config{Steps: 300_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "true" {
+			t.Errorf("%s/%s: not as specified\n%s", row[0], row[1], tb)
+		}
+	}
+	if got := cell(t, tb, 0, 2); got != "delivered" {
+		t.Errorf("timely writer: %s", got)
+	}
+	for row := 1; row <= 2; row++ {
+		if got := cell(t, tb, row, 2); !strings.HasPrefix(got, "not delivered") {
+			t.Errorf("row %d: %s, want non-delivery in the constructed run", row, got)
+		}
+	}
+}
+
+// A1: the single-register receiver is fooled; the dual one is not.
+func TestA1Shape(t *testing.T) {
+	tb, err := A1DualHeartbeat(A1Config{Steps: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tb, 0, 2); got != "suspects the slow sender" {
+		t.Errorf("dual receiver: %s", got)
+	}
+	if got := cell(t, tb, 1, 2); got != "fooled: believes the sender timely" {
+		t.Errorf("single receiver: %s", got)
+	}
+}
+
+// A2: self-punishment stops churn from stealing leadership.
+func TestA2Shape(t *testing.T) {
+	tb, err := A2SelfPunishment(A2Config{Steps: 600_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellInt(t, tb, 0, 2); got > 2 {
+		t.Errorf("with self-punishment: %d second-half changes, want ~0", got)
+	}
+	if got := cellInt(t, tb, 1, 2); got < 10 {
+		t.Errorf("ablated variant should oscillate, saw only %d second-half changes", got)
+	}
+}
+
+// A3: the back-off is what defeats the phase-locked adversary.
+func TestA3Shape(t *testing.T) {
+	tb, err := A3ReaderBackoff(A3Config{Steps: 150_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tb, 0, 1); got != "delivered" {
+		t.Errorf("with back-off: %s", got)
+	}
+	if got := cell(t, tb, 1, 1); got != "not delivered" {
+		t.Errorf("without back-off: %s", got)
+	}
+}
+
+// The registry must resolve ids and names and reject junk.
+func TestRegistry(t *testing.T) {
+	if len(All()) != 13 {
+		t.Fatalf("want 13 experiments, got %d", len(All()))
+	}
+	if _, err := ByID("E1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("degradation"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// Table rendering round-trips content into both ASCII and CSV.
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow(1, "x,y")
+	tb.AddRow(2.5, `quote"inside`)
+	s := tb.String()
+	if !strings.Contains(s, "T — demo") || !strings.Contains(s, "x,y") {
+		t.Errorf("ascii rendering broken:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) || !strings.Contains(csv, `"quote""inside"`) {
+		t.Errorf("csv escaping broken:\n%s", csv)
+	}
+}

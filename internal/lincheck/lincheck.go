@@ -1,0 +1,140 @@
+// Package lincheck is a linearizability checker for concurrent histories
+// in the Wing–Gong / Lowe style: given a sequential specification (a
+// qa.Type) and a history of completed operations with invocation/response
+// timestamps, it searches for a legal linearization — a total order that
+// respects real-time precedence and replays to exactly the observed
+// responses.
+//
+// It verifies the repo's concurrent objects *independently* of their own
+// internals: the qa tests already cross-check against the operation log
+// (the construction's built-in witness), and lincheck confirms the same
+// histories linearize with no knowledge of that log.
+//
+// The search is exponential in the worst case; it memoizes on
+// (linearized-set, state) and is comfortably fast for the history sizes
+// the tests produce (≲ 64 operations with bounded concurrency).
+package lincheck
+
+import (
+	"fmt"
+	"math/bits"
+
+	"tbwf/internal/qa"
+)
+
+// Op is one completed operation of a history.
+type Op[O, R any] struct {
+	// Proc is the invoking process (informational).
+	Proc int
+	// Invoke and Response are the operation's start and end times; any
+	// monotone clock works (the tests use kernel step numbers). Response
+	// must be ≥ Invoke, and operations of one process must not overlap.
+	Invoke, Response int64
+	// Arg is the operation and Resp the response it returned.
+	Arg  O
+	Resp R
+}
+
+// Options tunes a check.
+type Options[S, R any] struct {
+	// Equal compares responses; nil means comparison via fmt.Sprintf("%v").
+	Equal func(a, b R) bool
+	// StateKey fingerprints states for memoization; nil means
+	// fmt.Sprintf("%v"), which is correct for any state whose %v form is
+	// canonical (all objtype states qualify).
+	StateKey func(S) string
+	// MaxOps caps the history size (the checker uses a 64-bit set);
+	// histories longer than 64 are rejected. 0 means 64.
+	MaxOps int
+}
+
+// Check reports whether history is linearizable with respect to typ.
+// It returns the linearization order (indices into history) when one
+// exists.
+func Check[S, O, R any](typ qa.Type[S, O, R], history []Op[O, R], opts Options[S, R]) (order []int, ok bool, err error) {
+	maxOps := opts.MaxOps
+	if maxOps == 0 || maxOps > 64 {
+		maxOps = 64
+	}
+	if len(history) > maxOps {
+		return nil, false, fmt.Errorf("lincheck: history has %d ops, max %d", len(history), maxOps)
+	}
+	eq := opts.Equal
+	if eq == nil {
+		eq = func(a, b R) bool { return fmt.Sprintf("%v", a) == fmt.Sprintf("%v", b) }
+	}
+	key := opts.StateKey
+	if key == nil {
+		key = func(s S) string { return fmt.Sprintf("%v", s) }
+	}
+	for i, op := range history {
+		if op.Response < op.Invoke {
+			return nil, false, fmt.Errorf("lincheck: op %d responds at %d before invoking at %d", i, op.Response, op.Invoke)
+		}
+	}
+
+	n := len(history)
+	c := &checker[S, O, R]{
+		typ:     typ,
+		history: history,
+		eq:      eq,
+		key:     key,
+		visited: make(map[string]bool),
+		order:   make([]int, 0, n),
+	}
+	if c.search(typ.Init(), 0) {
+		return c.order, true, nil
+	}
+	return nil, false, nil
+}
+
+type checker[S, O, R any] struct {
+	typ     qa.Type[S, O, R]
+	history []Op[O, R]
+	eq      func(a, b R) bool
+	key     func(S) string
+	visited map[string]bool
+	order   []int
+}
+
+// search extends a partial linearization. done is the bitset of linearized
+// operations.
+func (c *checker[S, O, R]) search(state S, done uint64) bool {
+	n := len(c.history)
+	if bits.OnesCount64(done) == n {
+		return true
+	}
+	memo := fmt.Sprintf("%d|%s", done, c.key(state))
+	if c.visited[memo] {
+		return false
+	}
+	c.visited[memo] = true
+
+	// An operation may linearize next only if no *unlinearized* operation
+	// responded strictly before it was invoked (real-time order).
+	minResp := int64(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		if done&(1<<i) == 0 && c.history[i].Response < minResp {
+			minResp = c.history[i].Response
+		}
+	}
+	for i := 0; i < n; i++ {
+		if done&(1<<i) != 0 {
+			continue
+		}
+		op := c.history[i]
+		if op.Invoke > minResp {
+			continue // some pending op finished before this one began
+		}
+		next, resp := c.typ.Apply(state, op.Arg)
+		if !c.eq(resp, op.Resp) {
+			continue
+		}
+		c.order = append(c.order, i)
+		if c.search(next, done|1<<i) {
+			return true
+		}
+		c.order = c.order[:len(c.order)-1]
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package monitor
+
+import (
+	"testing"
+
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// Both directions at once — A(0,1) and A(1,0) on the same two processes,
+// as Figure 3 deploys them — must behave independently: each side's
+// monitor tracks its own peer without interference.
+func TestBidirectionalMonitors(t *testing.T) {
+	k := sim.New(2)
+	hb01 := register.NewAtomic(k, "Hb[1,0]", int64(-1))
+	hb10 := register.NewAtomic(k, "Hb[0,1]", int64(-1))
+	m01 := NewPair(0, 1, hb01) // 0 monitors 1
+	m10 := NewPair(1, 0, hb10) // 1 monitors 0
+	k.Spawn(1, "A(0,1).monitored", m01.MonitoredTask())
+	k.Spawn(0, "A(0,1).monitoring", m01.MonitoringTask())
+	k.Spawn(0, "A(1,0).monitored", m10.MonitoredTask())
+	k.Spawn(1, "A(1,0).monitoring", m10.MonitoringTask())
+
+	m01.Monitoring.Set(true)
+	m10.Monitoring.Set(true)
+	m01.ActiveFor.Set(true) // 1 is active for 0
+	// 0 is NOT active for 1 (m10.ActiveFor stays false).
+
+	if _, err := k.Run(20_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+
+	if got := m01.Status.Get(); got != StatusActive {
+		t.Errorf("A(0,1) status = %v, want active (1 is active and timely)", got)
+	}
+	if got := m10.Status.Get(); got != StatusInactive {
+		t.Errorf("A(1,0) status = %v, want inactive (0 never activated)", got)
+	}
+	if m10.FaultCntr.Get() != 0 {
+		t.Errorf("A(1,0) charged %d faults to a willingly inactive peer", m10.FaultCntr.Get())
+	}
+}
+
+// Many monitors on one process (the n−1 pairs of Figure 3) share its steps
+// without starving each other.
+func TestManyMonitorsShareSteps(t *testing.T) {
+	const n = 5
+	k := sim.New(n)
+	pairs := make([]*Pair, 0, n-1)
+	for q := 1; q < n; q++ {
+		hb := register.NewAtomic(k, "Hb", int64(-1))
+		m := NewPair(0, q, hb)
+		pairs = append(pairs, m)
+		k.Spawn(q, "monitored", m.MonitoredTask())
+		k.Spawn(0, "monitoring", m.MonitoringTask())
+		m.Monitoring.Set(true)
+		m.ActiveFor.Set(true)
+	}
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	for i, m := range pairs {
+		if got := m.Status.Get(); got != StatusActive {
+			t.Errorf("monitor %d: status %v, want active", i, got)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package monitor
+
+import (
+	"testing"
+
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// wire builds A(0,1) on a fresh kernel: process 0 monitors process 1.
+func wire(k *sim.Kernel) *Pair {
+	hb := register.NewAtomic(k, "Hb[1,0]", int64(-1))
+	m := NewPair(0, 1, hb)
+	k.Spawn(1, "monitored", m.MonitoredTask())
+	k.Spawn(0, "monitoring", m.MonitoringTask())
+	return m
+}
+
+func run(t *testing.T, k *sim.Kernel, steps int64) {
+	t.Helper()
+	if _, err := k.Run(steps); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property 1: if eventually monitoring=off then eventually status=?.
+func TestProperty1StatusUnknownWhenNotMonitoring(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	if m.Status.Get() == StatusUnknown {
+		t.Fatal("status still ? while monitoring is on")
+	}
+	m.Monitoring.Set(false)
+	run(t, k, 2000)
+	k.Shutdown()
+	if got := m.Status.Get(); got != StatusUnknown {
+		t.Fatalf("status = %v after monitoring off, want ?", got)
+	}
+}
+
+// Property 2: if eventually monitoring=on then eventually status≠?.
+func TestProperty2StatusKnownWhenMonitoring(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true) // q stays inactive: status must still become known
+	run(t, k, 2000)
+	k.Shutdown()
+	if got := m.Status.Get(); got == StatusUnknown {
+		t.Fatal("status still ? while monitoring is on")
+	}
+}
+
+// Property 3 (willing stop): if eventually active-for=off then eventually
+// status ≠ active.
+func TestProperty3InactiveAfterWillingStop(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	if m.Status.Get() != StatusActive {
+		t.Fatalf("status = %v while q is active and timely, want active", m.Status.Get())
+	}
+	m.ActiveFor.Set(false)
+	run(t, k, 4000)
+	k.Shutdown()
+	if got := m.Status.Get(); got == StatusActive {
+		t.Fatal("status still active after q willingly stopped")
+	}
+}
+
+// Property 3 (crash): if q crashes then eventually status ≠ active.
+func TestProperty3InactiveAfterCrash(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	k.Crash(1)
+	run(t, k, 20000) // adaptive timeout may need a while to fire
+	k.Shutdown()
+	if got := m.Status.Get(); got == StatusActive {
+		t.Fatal("status still active long after q crashed")
+	}
+}
+
+// Property 4: if q is p-timely and eventually active-for=on then eventually
+// status ≠ inactive.
+func TestProperty4ActiveWhenTimely(t *testing.T) {
+	k := sim.New(2) // round-robin: q is 2-timely
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	// Sample the suffix: after convergence, status must never be inactive.
+	bad := 0
+	k.AfterStep(func(step int64) {
+		if m.Status.Get() == StatusInactive {
+			bad++
+		}
+	})
+	run(t, k, 8000)
+	k.Shutdown()
+	if bad != 0 {
+		t.Fatalf("status was inactive on %d suffix steps despite timely active q", bad)
+	}
+}
+
+// Property 5a: if q is p-timely, faultCntr is bounded.
+func TestProperty5aBoundedWhenTimely(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 20000)
+	mid := m.FaultCntr.Get()
+	run(t, k, 80000)
+	k.Shutdown()
+	end := m.FaultCntr.Get()
+	if end != mid {
+		t.Fatalf("faultCntr grew from %d to %d with a timely q; want bounded (stable)", mid, end)
+	}
+}
+
+// Property 5b: if q crashes, faultCntr is bounded (the allow-increment gate
+// charges a crashed process at most once more).
+func TestProperty5bBoundedAfterCrash(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	k.Crash(1)
+	run(t, k, 5000)
+	afterSettle := m.FaultCntr.Get()
+	run(t, k, 50000)
+	k.Shutdown()
+	if got := m.FaultCntr.Get(); got != afterSettle {
+		t.Fatalf("faultCntr grew from %d to %d after crash; want frozen", afterSettle, got)
+	}
+}
+
+// Property 5c: if eventually active-for=off, faultCntr is bounded: reading
+// −1 never increments it.
+func TestProperty5cBoundedAfterWillingStop(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	m.ActiveFor.Set(false)
+	run(t, k, 5000)
+	afterSettle := m.FaultCntr.Get()
+	run(t, k, 50000)
+	k.Shutdown()
+	if got := m.FaultCntr.Get(); got != afterSettle {
+		t.Fatalf("faultCntr grew from %d to %d after willing stop; want frozen", afterSettle, got)
+	}
+}
+
+// Property 5d: if eventually monitoring=off, faultCntr is bounded.
+func TestProperty5dBoundedWhenNotMonitoring(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 2000)
+	m.Monitoring.Set(false)
+	run(t, k, 2000)
+	frozen := m.FaultCntr.Get()
+	run(t, k, 20000)
+	k.Shutdown()
+	if got := m.FaultCntr.Get(); got != frozen {
+		t.Fatalf("faultCntr grew from %d to %d while not monitoring", frozen, got)
+	}
+}
+
+// Property 6: if q is correct but NOT p-timely, and both sides stay on,
+// faultCntr increases without bound.
+func TestProperty6UnboundedWhenUntimely(t *testing.T) {
+	// q's scheduling gaps grow geometrically: it is correct (infinitely
+	// many steps) but not p-timely (no fixed bound works).
+	k := sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
+		1: sim.GrowingGaps(50, 100, 1.5),
+	})))
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	run(t, k, 50000)
+	mid := m.FaultCntr.Get()
+	run(t, k, 250000)
+	k.Shutdown()
+	end := m.FaultCntr.Get()
+	if end <= mid {
+		t.Fatalf("faultCntr stalled at %d (was %d) despite q being untimely; want growth", end, mid)
+	}
+	if end < 5 {
+		t.Fatalf("faultCntr = %d after 300k steps of untimely q; want several suspicions", end)
+	}
+}
+
+// A flickering but timely q (active-for toggles forever) must not inflate
+// faultCntr forever — the −1 write on willing stops is what protects it
+// (Property 5a with intermittent activity, the paper's condition (a) on
+// the increment gate).
+func TestFlickeringTimelyProcessNotPunishedForever(t *testing.T) {
+	k := sim.New(2)
+	m := wire(k)
+	m.Monitoring.Set(true)
+	m.ActiveFor.Set(true)
+	// Toggle active-for every 500 steps, forever.
+	k.AfterStep(func(step int64) {
+		if step%500 == 0 {
+			m.ActiveFor.Set(!m.ActiveFor.Get())
+		}
+	})
+	run(t, k, 30000)
+	mid := m.FaultCntr.Get()
+	run(t, k, 120000)
+	k.Shutdown()
+	end := m.FaultCntr.Get()
+	// The adaptive timeout keeps growing only while faults happen; a
+	// timely q must stop being suspected eventually. Allow slack for the
+	// transition races but require clear flattening.
+	if end-mid > 3 {
+		t.Fatalf("faultCntr kept growing (%d -> %d) for a timely flickering q", mid, end)
+	}
+}
+
+func TestStatusStringNotation(t *testing.T) {
+	if StatusUnknown.String() != "?" || StatusActive.String() != "active" || StatusInactive.String() != "inactive" {
+		t.Fatal("Status.String does not match the paper's notation")
+	}
+}

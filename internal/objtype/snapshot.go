@@ -1,0 +1,59 @@
+package objtype
+
+import "tbwf/internal/qa"
+
+// Snapshot is an m-component atomic snapshot object: update writes one
+// component, scan returns an instantaneous view of all of them. Atomic
+// snapshots are a classic shared-memory abstraction with famously
+// intricate direct implementations; as a sequential type under the
+// paper's universal construction it comes for free — a demonstration of
+// "every type T" (Theorem 15).
+type Snapshot struct {
+	// Components is the number of segments m (at least 1).
+	Components int
+}
+
+var _ qa.Type[[]int64, SnapOp, SnapResp] = Snapshot{}
+
+// SnapOp is one snapshot operation: an update of component Index to V, or
+// a scan (Update false).
+type SnapOp struct {
+	Update bool
+	Index  int
+	V      int64
+}
+
+// SnapResp carries a scan's view (nil for updates; updates report the
+// component's previous value in Prev).
+type SnapResp struct {
+	View []int64
+	Prev int64
+}
+
+// Init implements qa.Type.
+func (s Snapshot) Init() []int64 {
+	m := s.Components
+	if m < 1 {
+		m = 1
+	}
+	return make([]int64, m)
+}
+
+// Apply implements qa.Type persistently. Out-of-range updates are ignored
+// (the response reports Prev 0) rather than panicking: operations are data
+// by the time they reach the log.
+func (s Snapshot) Apply(state []int64, op SnapOp) ([]int64, SnapResp) {
+	if !op.Update {
+		view := make([]int64, len(state))
+		copy(view, state)
+		return state, SnapResp{View: view}
+	}
+	if op.Index < 0 || op.Index >= len(state) {
+		return state, SnapResp{}
+	}
+	next := make([]int64, len(state))
+	copy(next, state)
+	prev := next[op.Index]
+	next[op.Index] = op.V
+	return next, SnapResp{Prev: prev}
+}

@@ -1,0 +1,69 @@
+package objtype
+
+import (
+	"testing"
+)
+
+func TestSnapshotUpdateAndScan(t *testing.T) {
+	sn := Snapshot{Components: 3}
+	s := sn.Init()
+	s, r := sn.Apply(s, SnapOp{Update: true, Index: 1, V: 7})
+	if r.Prev != 0 {
+		t.Fatalf("prev = %d", r.Prev)
+	}
+	s, r = sn.Apply(s, SnapOp{Update: true, Index: 1, V: 9})
+	if r.Prev != 7 {
+		t.Fatalf("prev = %d, want 7", r.Prev)
+	}
+	s, r = sn.Apply(s, SnapOp{Update: true, Index: 2, V: 5})
+	_, r = sn.Apply(s, SnapOp{})
+	want := []int64{0, 9, 5}
+	for i, v := range want {
+		if r.View[i] != v {
+			t.Fatalf("view = %v, want %v", r.View, want)
+		}
+	}
+}
+
+func TestSnapshotScanViewIsACopy(t *testing.T) {
+	sn := Snapshot{Components: 2}
+	s := sn.Init()
+	s, _ = sn.Apply(s, SnapOp{Update: true, Index: 0, V: 1})
+	_, r := sn.Apply(s, SnapOp{})
+	r.View[0] = 999
+	_, r2 := sn.Apply(s, SnapOp{})
+	if r2.View[0] != 1 {
+		t.Fatal("mutating a scan's view corrupted the state")
+	}
+}
+
+func TestSnapshotPersistence(t *testing.T) {
+	sn := Snapshot{Components: 2}
+	s0 := sn.Init()
+	s1, _ := sn.Apply(s0, SnapOp{Update: true, Index: 0, V: 42})
+	if s0[0] != 0 {
+		t.Fatal("update mutated the previous state")
+	}
+	if s1[0] != 42 {
+		t.Fatal("update lost")
+	}
+}
+
+func TestSnapshotOutOfRangeIgnored(t *testing.T) {
+	sn := Snapshot{Components: 2}
+	s := sn.Init()
+	s2, _ := sn.Apply(s, SnapOp{Update: true, Index: 5, V: 1})
+	if len(s2) != 2 || s2[0] != 0 || s2[1] != 0 {
+		t.Fatalf("out-of-range update changed state: %v", s2)
+	}
+	if _, r := sn.Apply(s, SnapOp{Update: true, Index: -1, V: 1}); r.Prev != 0 {
+		t.Fatal("negative index not ignored")
+	}
+}
+
+func TestSnapshotZeroComponentsDefaultsToOne(t *testing.T) {
+	sn := Snapshot{}
+	if got := len(sn.Init()); got != 1 {
+		t.Fatalf("init length = %d, want 1", got)
+	}
+}

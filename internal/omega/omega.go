@@ -1,0 +1,65 @@
+// Package omega implements the paper's dynamic leader elector Ω∆
+// (Sections 4 and 5.2).
+//
+// Ω∆ lets processes dynamically compete for leadership: each process p
+// tells Ω∆ whether it currently wants to be a candidate through the local
+// input variable candidate_p, and Ω∆ tells p who it thinks the current
+// leader is through the local output variable leader_p (the value "?" —
+// NoLeader here — means no information).
+//
+// The specification (Definition 5) is stated in terms of the timeliness of
+// the processes that compete: partition the correct processes into
+// Ncandidates (eventually never candidate), Pcandidates (eventually always
+// candidate) and Rcandidates (switch forever). If Pcandidates ∩ Timely ≠ ∅,
+// then there is ℓ ∈ (Pcandidates ∪ Rcandidates) ∩ Timely such that
+// eventually leader_ℓ = ℓ, every Pcandidate's leader is ℓ, and every
+// Rcandidate's leader is in {?, ℓ}; every Ncandidate eventually outputs ?.
+// Under the *canonical use* (Definition 6: after dropping out, wait until
+// leader_p ≠ p before competing again) the elected ℓ is moreover in
+// Pcandidates ∩ Timely (Theorem 7).
+//
+// This package provides the Figure 3 implementation from activity monitors
+// and atomic registers; package omegaab provides the Figure 4–6
+// implementation from abortable registers only. Both expose the same
+// per-process Instance so the TBWF construction (internal/core) is agnostic
+// to which one it runs on.
+package omega
+
+import "tbwf/internal/prim"
+
+// NoLeader is the paper's "?" output: Ω∆ offers no leader information.
+const NoLeader = -1
+
+// Instance is one process's endpoint of Ω∆: the input variable candidate_p
+// and the output variable leader_p of Section 4.
+type Instance struct {
+	// Me is the process this endpoint belongs to.
+	Me int
+	// Candidate is the Ω∆ input: set true to compete for leadership.
+	Candidate *prim.Var[bool]
+	// Leader is the Ω∆ output: the current leader estimate, or NoLeader.
+	Leader *prim.Var[int]
+}
+
+// NewInstance returns an endpoint for process me with candidate=false and
+// leader=? (the initial state of Figures 3 and 6).
+func NewInstance(me int) *Instance {
+	return &Instance{
+		Me:        me,
+		Candidate: prim.NewVar(false),
+		Leader:    prim.NewVar(NoLeader),
+	}
+}
+
+// minByCounterThenID returns ℓ such that (counter[ℓ], ℓ) is the
+// lexicographic minimum over the given set — the leader choice rule used
+// by both implementations (Figure 3 line 14, Figure 6 line 48).
+func minByCounterThenID(set []int, counter []int64) int {
+	best := -1
+	for _, q := range set {
+		if best == -1 || counter[q] < counter[best] || (counter[q] == counter[best] && q < best) {
+			best = q
+		}
+	}
+	return best
+}

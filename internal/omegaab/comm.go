@@ -1,0 +1,156 @@
+// Package omegaab implements Ω∆ from single-writer single-reader abortable
+// registers only (Section 6 of the paper, Figures 4, 5 and 6).
+//
+// Abortable registers are very weak: any operation that is concurrent with
+// another operation on the same register may abort, and an aborted write
+// may or may not take effect. The implementation is built from two
+// communication mechanisms:
+//
+//   - Messenger (Figure 4) lets p communicate the *final* value of a
+//     variable that eventually stops changing: p re-writes until a write
+//     succeeds, while the reader q backs off geometrically whenever its
+//     reads abort or return stale values, so that a q-timely writer
+//     eventually writes solo and succeeds.
+//   - Heartbeat (Figure 5) lets q decide whether p is q-timely using *two*
+//     alternating registers: an abort tells q that p is mid-write (alive),
+//     but only a writer fast enough to complete writes on both registers
+//     between q's probes is deemed timely.
+//
+// The main loop (Figure 6) combines them: counters elect the minimum
+// (counter, id) among the active set, punishments are shipped through the
+// Messenger, and heartbeats are gated by WriteMsgs' success vector so that
+// a process that q considers active forever also delivers q its final
+// counter value.
+package omegaab
+
+import (
+	"fmt"
+
+	"tbwf/internal/prim"
+)
+
+// Messenger implements Figure 4 for one process: WriteMsgs communicates the
+// content of a per-peer variable to every peer, ReadMsgs collects the last
+// successfully read content from every peer. T must be comparable because
+// the reader backs off when a read returns an unchanged value.
+type Messenger[T comparable] struct {
+	me int
+	n  int
+	// out[q] is MsgRegister[me,q] (written by me, read by q);
+	// in[q] is MsgRegister[q,me] (written by q, read by me).
+	out []prim.AbortableRegister[T]
+	in  []prim.AbortableRegister[T]
+
+	msgCurr       []T
+	prevWriteDone []bool
+	prevMsgFrom   []T
+	readTimer     []int64
+	readTimeout   []int64
+
+	// noBackoff freezes readTimeout at 1 — the ablation of Figure 4's
+	// reader back-off (experiment A3). Without the back-off, a reader
+	// phase-locked with the writer collides with every write forever and
+	// the final value is never delivered; never enable it outside
+	// experiments.
+	noBackoff bool
+}
+
+// AblateBackoff disables the reader back-off, for the A3 ablation. See the
+// field comment.
+func (m *Messenger[T]) AblateBackoff() { m.noBackoff = true }
+
+// NewMessenger wires Figure 4's state for process me of n. out[q] and in[q]
+// must be non-nil for every q ≠ me; init is the registers' initial value
+// (the paper's ⟨0,0⟩).
+func NewMessenger[T comparable](me, n int, out, in []prim.AbortableRegister[T], init T) (*Messenger[T], error) {
+	if err := checkPairSlices(me, n, len(out), len(in)); err != nil {
+		return nil, fmt.Errorf("omegaab: messenger: %w", err)
+	}
+	m := &Messenger[T]{
+		me: me, n: n, out: out, in: in,
+		msgCurr:       make([]T, n),
+		prevWriteDone: make([]bool, n),
+		prevMsgFrom:   make([]T, n),
+		readTimer:     make([]int64, n),
+		readTimeout:   make([]int64, n),
+	}
+	for q := 0; q < n; q++ {
+		m.msgCurr[q] = init
+		m.prevMsgFrom[q] = init
+		m.prevWriteDone[q] = true
+		m.readTimer[q] = 1
+		m.readTimeout[q] = 1
+	}
+	return m, nil
+}
+
+// WriteMsgs is Figure 4 lines 1–7: for each peer q, (re-)write msgTo[q]
+// until a write succeeds; a new value is picked up only after the previous
+// one was written successfully. It returns the prevWriteDone vector:
+// prevWriteDone[q] reports whether the latest value handed to the register
+// readable by q has been written successfully.
+//
+// The returned slice is the messenger's own state; callers must treat it
+// as read-only and valid until the next call.
+func (m *Messenger[T]) WriteMsgs(msgTo []T) []bool {
+	for q := 0; q < m.n; q++ {
+		if q == m.me {
+			continue
+		}
+		if !m.prevWriteDone[q] || m.msgCurr[q] != msgTo[q] { // line 3
+			if m.prevWriteDone[q] { // line 4
+				m.msgCurr[q] = msgTo[q]
+			}
+			ok := m.out[q].Write(m.msgCurr[q]) // line 5
+			m.prevWriteDone[q] = ok            // line 6
+		}
+	}
+	return m.prevWriteDone // line 7
+}
+
+// ReadMsgs is Figure 4 lines 8–19: for each peer q, read MsgRegister[q,me]
+// every readTimeout[q] invocations; back off (increment the timeout) when
+// the read aborts or returns an unchanged value, so that a writer that is
+// trying and failing to write eventually executes solo.
+//
+// It returns the prevMsgFrom vector: the last successfully read message
+// from every peer. The returned slice is the messenger's own state; treat
+// it as read-only and valid until the next call.
+func (m *Messenger[T]) ReadMsgs() []T {
+	for q := 0; q < m.n; q++ {
+		if q == m.me {
+			continue
+		}
+		if m.readTimer[q] >= 1 { // line 10
+			m.readTimer[q]--
+		}
+		if m.readTimer[q] == 0 { // line 11
+			m.readTimer[q] = m.readTimeout[q]   // line 12
+			res, ok := m.in[q].Read()           // line 13
+			if !ok || res == m.prevMsgFrom[q] { // line 14
+				if !m.noBackoff { // A3 ablation switch
+					m.readTimeout[q]++ // line 15
+				}
+			} else { // lines 16–18
+				m.prevMsgFrom[q] = res
+				m.readTimeout[q] = 1
+			}
+		}
+	}
+	return m.prevMsgFrom // line 19
+}
+
+func checkPairSlices(me, n int, lens ...int) error {
+	if n < 2 {
+		return fmt.Errorf("n = %d, need at least 2", n)
+	}
+	if me < 0 || me >= n {
+		return fmt.Errorf("me = %d out of range [0,%d)", me, n)
+	}
+	for _, l := range lens {
+		if l != n {
+			return fmt.Errorf("register slice length %d, want n=%d", l, n)
+		}
+	}
+	return nil
+}

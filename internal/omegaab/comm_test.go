@@ -1,0 +1,309 @@
+package omegaab
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/prim"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// wireMessengers builds, for n processes on k, a full Messenger mesh over
+// fresh SWSR abortable registers with the strongest adversary.
+func wireMessengers(t *testing.T, k *sim.Kernel, n int) []*Messenger[int] {
+	t.Helper()
+	regs := make([][]*register.Abortable[int], n)
+	for p := 0; p < n; p++ {
+		regs[p] = make([]*register.Abortable[int], n)
+		for q := 0; q < n; q++ {
+			if p != q {
+				regs[p][q] = register.NewAbortableSWSR(k, fmt.Sprintf("Msg[%d,%d]", p, q), 0, p, q)
+			}
+		}
+	}
+	ms := make([]*Messenger[int], n)
+	for p := 0; p < n; p++ {
+		out := make([]prim.AbortableRegister[int], n)
+		in := make([]prim.AbortableRegister[int], n)
+		for q := 0; q < n; q++ {
+			if q == p {
+				out[q] = nil
+				in[q] = nil
+				continue
+			}
+			out[q] = regs[p][q]
+			in[q] = regs[q][p]
+		}
+		m, err := NewMessenger(p, n, out, in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[p] = m
+	}
+	return ms
+}
+
+// The Figure 4 guarantee: if the writer is reader-timely and the value
+// stops changing, the reader eventually learns the final value — even
+// though every contended operation aborts.
+func TestMessengerDeliversFinalValue(t *testing.T) {
+	const n = 2
+	k := sim.New(n)
+	ms := wireMessengers(t, k, n)
+
+	// Writer: value changes a few times, then freezes at 42.
+	src := prim.NewVar(0)
+	k.Spawn(0, "writer", func(p prim.Proc) {
+		msgTo := make([]int, n)
+		for {
+			msgTo[1] = src.Get()
+			ms[0].WriteMsgs(msgTo)
+			p.Step()
+		}
+	})
+	var got []int
+	k.Spawn(1, "reader", func(p prim.Proc) {
+		for {
+			got = ms[1].ReadMsgs()
+			p.Step()
+		}
+	})
+	k.AfterStep(func(step int64) {
+		switch step {
+		case 100:
+			src.Set(7)
+		case 300:
+			src.Set(42) // final value
+		}
+	})
+	if _, err := k.Run(50000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if got[0] != 42 {
+		t.Fatalf("reader's final message from writer = %d, want 42", got[0])
+	}
+}
+
+// Symmetric mesh: every process both writes and reads; all final values are
+// delivered pairwise.
+func TestMessengerFullMesh(t *testing.T) {
+	const n = 3
+	k := sim.New(n)
+	ms := wireMessengers(t, k, n)
+	finals := make([][]int, n)
+	for p := 0; p < n; p++ {
+		p := p
+		finals[p] = make([]int, n)
+		k.Spawn(p, "msgr", func(pp prim.Proc) {
+			msgTo := make([]int, n)
+			for q := 0; q < n; q++ {
+				msgTo[q] = 100*p + q // distinct per (p,q), never changes
+			}
+			for {
+				ms[p].WriteMsgs(msgTo)
+				copy(finals[p], ms[p].ReadMsgs())
+				pp.Step()
+			}
+		})
+	}
+	if _, err := k.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if p == q {
+				continue
+			}
+			if finals[q][p] != 100*p+q {
+				t.Errorf("process %d read %d from %d, want %d", q, finals[q][p], p, 100*p+q)
+			}
+		}
+	}
+}
+
+// The reader's back-off is what unblocks the writer: with AlwaysAbort, a
+// reader probing at a fixed rate could collide with every write forever.
+// Verify the timeout actually grows under contention and resets on
+// progress, indirectly: the reader still converges when the writer is much
+// slower than the reader.
+func TestMessengerSlowWriterFastReader(t *testing.T) {
+	const n = 2
+	// Writer gets 1 step out of 11.
+	k := sim.New(n, sim.WithSchedule(sim.SmoothWeighted([]int{1, 10})))
+	ms := wireMessengers(t, k, n)
+	k.Spawn(0, "writer", func(p prim.Proc) {
+		msgTo := []int{0, 99}
+		for {
+			ms[0].WriteMsgs(msgTo)
+			p.Step()
+		}
+	})
+	var got []int
+	k.Spawn(1, "reader", func(p prim.Proc) {
+		for {
+			got = ms[1].ReadMsgs()
+			p.Step()
+		}
+	})
+	if _, err := k.Run(200000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if got[0] != 99 {
+		t.Fatalf("reader got %d from slow writer, want 99", got[0])
+	}
+}
+
+func TestHeartbeatTimelySenderStaysActive(t *testing.T) {
+	const n = 2
+	k := sim.New(n)
+	hb := wireHeartbeats(t, k, n)
+	dest := []bool{false, true}
+	k.Spawn(0, "sender", func(p prim.Proc) {
+		for {
+			hb[0].Send(dest)
+			p.Step()
+		}
+	})
+	var active []bool
+	k.Spawn(1, "receiver", func(p prim.Proc) {
+		for {
+			active = hb[1].Receive()
+			p.Step()
+		}
+	})
+	// Sample the suffix: after warm-up, 0 must always be active at 1.
+	inactive := 0
+	k.AfterStep(func(step int64) {
+		if step > 20000 && active != nil && !active[0] {
+			inactive++
+		}
+	})
+	if _, err := k.Run(60000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if inactive > 0 {
+		t.Fatalf("timely sender was inactive on %d suffix steps", inactive)
+	}
+	if !active[1] {
+		t.Fatal("receiver must always consider itself active")
+	}
+}
+
+func TestHeartbeatCrashedSenderRemoved(t *testing.T) {
+	const n = 2
+	k := sim.New(n)
+	hb := wireHeartbeats(t, k, n)
+	dest := []bool{false, true}
+	k.Spawn(0, "sender", func(p prim.Proc) {
+		for {
+			hb[0].Send(dest)
+			p.Step()
+		}
+	})
+	var active []bool
+	k.Spawn(1, "receiver", func(p prim.Proc) {
+		for {
+			active = hb[1].Receive()
+			p.Step()
+		}
+	})
+	k.CrashAt(0, 5000)
+	if _, err := k.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if active[0] {
+		t.Fatal("crashed sender still active at receiver")
+	}
+}
+
+// The dual-register rationale: an untimely sender (growing gaps) must be
+// suspected over and over — single aborts alone never keep it active
+// forever.
+func TestHeartbeatUntimelySenderSuspected(t *testing.T) {
+	const n = 2
+	k := sim.New(n, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
+		0: sim.GrowingGaps(100, 200, 1.6),
+	})))
+	hb := wireHeartbeats(t, k, n)
+	dest := []bool{false, true}
+	k.Spawn(0, "sender", func(p prim.Proc) {
+		for {
+			hb[0].Send(dest)
+			p.Step()
+		}
+	})
+	var active []bool
+	k.Spawn(1, "receiver", func(p prim.Proc) {
+		for {
+			active = hb[1].Receive()
+			p.Step()
+		}
+	})
+	suspectedAfter := int64(-1)
+	k.AfterStep(func(step int64) {
+		if step > 100000 && active != nil && !active[0] && suspectedAfter < 0 {
+			suspectedAfter = step
+		}
+	})
+	if _, err := k.Run(400000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if suspectedAfter < 0 {
+		t.Fatal("untimely sender was never suspected in the long suffix")
+	}
+}
+
+func wireHeartbeats(t *testing.T, k *sim.Kernel, n int) []*Heartbeat {
+	t.Helper()
+	reg1 := make([][]*register.Abortable[int64], n)
+	reg2 := make([][]*register.Abortable[int64], n)
+	for p := 0; p < n; p++ {
+		reg1[p] = make([]*register.Abortable[int64], n)
+		reg2[p] = make([]*register.Abortable[int64], n)
+		for q := 0; q < n; q++ {
+			if p != q {
+				reg1[p][q] = register.NewAbortableSWSR(k, fmt.Sprintf("Hb1[%d,%d]", p, q), int64(0), p, q)
+				reg2[p][q] = register.NewAbortableSWSR(k, fmt.Sprintf("Hb2[%d,%d]", p, q), int64(0), p, q)
+			}
+		}
+	}
+	hs := make([]*Heartbeat, n)
+	for p := 0; p < n; p++ {
+		out1 := make([]prim.AbortableRegister[int64], n)
+		out2 := make([]prim.AbortableRegister[int64], n)
+		in1 := make([]prim.AbortableRegister[int64], n)
+		in2 := make([]prim.AbortableRegister[int64], n)
+		for q := 0; q < n; q++ {
+			if q == p {
+				continue
+			}
+			out1[q], out2[q] = reg1[p][q], reg2[p][q]
+			in1[q], in2[q] = reg1[q][p], reg2[q][p]
+		}
+		h, err := NewHeartbeat(p, n, out1, out2, in1, in2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs[p] = h
+	}
+	return hs
+}
+
+func TestWiringValidation(t *testing.T) {
+	if _, err := NewMessenger[int](0, 1, nil, nil, 0); err == nil {
+		t.Error("n=1 messenger accepted")
+	}
+	if _, err := NewHeartbeat(3, 2, nil, nil, nil, nil); err == nil {
+		t.Error("out-of-range heartbeat accepted")
+	}
+	if _, err := Task(Config{N: 2, Me: 0}); err == nil {
+		t.Error("task with nil wiring accepted")
+	}
+}

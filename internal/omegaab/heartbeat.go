@@ -1,0 +1,133 @@
+package omegaab
+
+import (
+	"fmt"
+
+	"tbwf/internal/prim"
+)
+
+// hbValue is what a heartbeat read yielded: a counter value or ⊥. The
+// receiver compares the *outcome* of consecutive reads, and ⊥ is a first-
+// class outcome — an abort proves the writer was mid-operation.
+type hbValue struct {
+	val int64
+	bot bool
+}
+
+// Heartbeat implements Figure 5 for one process: Send writes an increasing
+// counter to the two heartbeat registers of each selected peer, Receive
+// decides which peers are timely with respect to this process.
+//
+// Two registers per direction are essential: an abort on one register only
+// proves the writer is alive, not that it is timely — a slow writer might
+// hang in a single write forever while every read of that register aborts.
+// By alternating writes across two registers and requiring *both* reads to
+// abort or change, a writer stuck in one register is caught by the other
+// one going stale (Section 6, "Communicating a heartbeat").
+type Heartbeat struct {
+	me int
+	n  int
+	// out1[q]/out2[q] are HbRegister1/2[me,q]; in1[q]/in2[q] are
+	// HbRegister1/2[q,me].
+	out1, out2 []prim.AbortableRegister[int64]
+	in1, in2   []prim.AbortableRegister[int64]
+
+	hbSendCounter int64
+	hbTimer       []int64
+	hbTimeout     []int64
+	prev1, prev2  []hbValue
+	cur1, cur2    []hbValue
+	active        []bool
+
+	// single drops the second register from Receive's freshness check —
+	// the ablation of the dual-register design (experiment A1). With it, a
+	// writer stuck mid-write keeps aborting the reader's probes forever
+	// and is wrongly deemed timely; never enable it outside experiments.
+	single bool
+}
+
+// AblateSingleRegister makes Receive consult only the first heartbeat
+// register, for the A1 ablation. See the field comment.
+func (h *Heartbeat) AblateSingleRegister() { h.single = true }
+
+// NewHeartbeat wires Figure 5's state for process me of n. The four
+// register slices must have length n with non-nil entries for every q ≠ me;
+// registers start at 0.
+func NewHeartbeat(me, n int, out1, out2, in1, in2 []prim.AbortableRegister[int64]) (*Heartbeat, error) {
+	if err := checkPairSlices(me, n, len(out1), len(out2), len(in1), len(in2)); err != nil {
+		return nil, fmt.Errorf("omegaab: heartbeat: %w", err)
+	}
+	h := &Heartbeat{
+		me: me, n: n,
+		out1: out1, out2: out2, in1: in1, in2: in2,
+		hbTimer:   make([]int64, n),
+		hbTimeout: make([]int64, n),
+		prev1:     make([]hbValue, n),
+		prev2:     make([]hbValue, n),
+		cur1:      make([]hbValue, n),
+		cur2:      make([]hbValue, n),
+		active:    make([]bool, n),
+	}
+	for q := 0; q < n; q++ {
+		h.hbTimer[q] = 1
+		h.hbTimeout[q] = 1
+	}
+	h.active[me] = true // activeSet starts as {p} and me is never removed
+	return h, nil
+}
+
+// Send is Figure 5 lines 20–25: bump the send counter and write it to both
+// heartbeat registers of every peer q with dest[q] set. Aborts are ignored
+// — for a heartbeat, causing an abort at the reader is itself a sign of
+// life.
+func (h *Heartbeat) Send(dest []bool) {
+	h.hbSendCounter++ // line 21
+	for q := 0; q < h.n; q++ {
+		if q == h.me || !dest[q] {
+			continue
+		}
+		h.out1[q].Write(h.hbSendCounter) // line 24
+		h.out2[q].Write(h.hbSendCounter) // line 25
+	}
+}
+
+// Receive is Figure 5 lines 26–40: for each peer q, every hbTimeout[q]
+// invocations read both of q's heartbeat registers; q is deemed active
+// (q-timely for this process) iff each read either aborted or returned a
+// different outcome than last time. Otherwise q is dropped from the active
+// set and its timeout grows.
+//
+// The returned slice is indexed by process id (active[me] is always true,
+// matching the paper's activeSet = {p} ∪ …); it is the Heartbeat's own
+// state — treat it as read-only and valid until the next call.
+func (h *Heartbeat) Receive() []bool {
+	for q := 0; q < h.n; q++ {
+		if q == h.me {
+			continue
+		}
+		if h.hbTimer[q] >= 1 { // line 28
+			h.hbTimer[q]--
+		}
+		if h.hbTimer[q] == 0 { // line 29
+			h.hbTimer[q] = h.hbTimeout[q] // line 30
+			h.prev1[q] = h.cur1[q]        // line 31
+			h.prev2[q] = h.cur2[q]        // line 32
+			v1, ok1 := h.in1[q].Read()    // line 33
+			v2, ok2 := h.in2[q].Read()    // line 34
+			h.cur1[q] = hbValue{val: v1, bot: !ok1}
+			h.cur2[q] = hbValue{val: v2, bot: !ok2}
+			fresh1 := h.cur1[q].bot || h.cur1[q] != h.prev1[q]
+			fresh2 := h.cur2[q].bot || h.cur2[q] != h.prev2[q]
+			if h.single {
+				fresh2 = true // A1 ablation: ignore the second register
+			}
+			if fresh1 && fresh2 { // line 35
+				h.active[q] = true // line 36
+			} else { // lines 37–39
+				h.active[q] = false
+				h.hbTimeout[q]++
+			}
+		}
+	}
+	return h.active // line 40
+}

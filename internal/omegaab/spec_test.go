@@ -1,0 +1,40 @@
+package omegaab
+
+import (
+	"testing"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/sim"
+)
+
+// The Figure 4–6 implementation must satisfy Definition 5 under the same
+// mixed N/P/R scenario as the atomic-register one, checked by the shared
+// spec checker (omega.Recorder) under the strongest abort adversary.
+func TestDefinition5HoldsForAbortableImplementation(t *testing.T) {
+	const n = 4
+	k := sim.New(n)
+	sys, err := Build(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := omega.NewRecorder(sys.Instances)
+	k.AfterStep(rec.Sample)
+	// 0: R-candidate; 1, 2: P-candidates; 3: N-candidate.
+	sys.Instances[0].Candidate.Set(true)
+	sys.Instances[1].Candidate.Set(true)
+	sys.Instances[2].Candidate.Set(true)
+	k.AfterStep(func(step int64) {
+		if step%50_000 == 0 {
+			inst := sys.Instances[0]
+			inst.Candidate.Set(!inst.Candidate.Get())
+		}
+	})
+	if _, err := k.Run(2_500_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	rep := sim.Analyze(k.Trace().Schedule(), n)
+	if v := rec.CheckDefinition5(rep, 64, 400_000, k.Crashed); v != nil {
+		t.Fatalf("Definition 5 violated by the abortable implementation:\n%v", v)
+	}
+}

@@ -1,0 +1,38 @@
+package prim
+
+import "fmt"
+
+// taskExit is the sentinel carried by the panic that unwinds a task when its
+// process crashes or the run halts. Algorithm code never recovers; only the
+// substrate's task wrapper does, via RecoverTaskExit.
+type taskExit struct {
+	reason string
+}
+
+func (e taskExit) String() string {
+	return fmt.Sprintf("prim: task exit (%s)", e.reason)
+}
+
+// ExitTask unwinds the calling task. The paper's algorithms are infinite
+// loops ("repeat forever"); the substrates stop them by making the next
+// Step or register operation call ExitTask. The resulting panic carries a
+// private sentinel that the substrate's task wrapper recovers with
+// RecoverTaskExit, so a task exit is invisible to user code and distinct
+// from a genuine panic (which propagates).
+func ExitTask(reason string) {
+	panic(taskExit{reason: reason})
+}
+
+// RecoverTaskExit reports whether r (a value returned by recover) is the
+// task-exit sentinel. Substrate task wrappers call it in a deferred
+// function:
+//
+//	defer func() {
+//		if r := recover(); r != nil && !prim.RecoverTaskExit(r) {
+//			panic(r) // a real bug; re-raise
+//		}
+//	}()
+func RecoverTaskExit(r any) bool {
+	_, ok := r.(taskExit)
+	return ok
+}

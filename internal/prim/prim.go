@@ -1,0 +1,67 @@
+// Package prim defines the substrate-neutral primitives that the paper's
+// algorithms are written against.
+//
+// The same algorithm code (activity monitors, Ω∆, the TBWF universal
+// transformation) runs on two substrates:
+//
+//   - internal/sim — a deterministic, step-sequenced simulation kernel used
+//     by tests and benchmarks, where timeliness is controlled and measured
+//     exactly as in the paper's model;
+//   - internal/rt — a real-time runtime on plain goroutines, used by the
+//     runnable examples.
+//
+// prim holds only what both substrates share: the process handle (Proc),
+// register interfaces, intra-process shared variables (Var), and the task
+// exit mechanism.
+package prim
+
+// Proc is the handle a task holds on its own process.
+//
+// In the paper's model (Section 3) a process takes discrete steps: invoking a
+// register operation, receiving its response, or "just changing state". Step
+// charges one state-change step to the process; register operations charge
+// their own steps internally. Busy-wait loops such as the paper's
+// "while candidate = false do skip" must call Step once per iteration so
+// that spinning consumes the process's schedule allocation, exactly as in
+// the model.
+type Proc interface {
+	// ID returns the process identifier, in [0, n).
+	ID() int
+	// Step consumes one scheduled step. It may not return: if the process
+	// has crashed or the run's step budget is exhausted, Step unwinds the
+	// task via ExitTask.
+	Step()
+}
+
+// Spawner starts tasks on a substrate's processes. Both the simulation
+// kernel (sim.Kernel) and the real-time runtime (rt.Runtime) implement it,
+// so wiring code that assembles the paper's stacks can be written once.
+type Spawner interface {
+	// Spawn adds a task named name to process proc.
+	Spawn(proc int, name string, fn func(p Proc))
+}
+
+// Register is an atomic read/write register.
+//
+// Operations are linearizable. On the simulation substrate each operation
+// takes two steps (invocation and response) and linearizes at the response.
+type Register[T any] interface {
+	// Read returns the register's current value.
+	Read() T
+	// Write replaces the register's value.
+	Write(v T)
+}
+
+// AbortableRegister is an abortable register in the sense of Aguilera et al.
+// (PODC'07), the only shared-object primitive used in Section 6 of the
+// paper. It behaves like an atomic register except that an operation that is
+// concurrent with another operation on the same register may abort.
+//
+// Read reports ok=false when the read aborted (the paper's ⊥); no value is
+// conveyed. Write reports false when the write aborted; an aborted write
+// may or may not have taken effect, and the writer cannot tell which.
+// Non-aborted operations are linearizable.
+type AbortableRegister[T any] interface {
+	Read() (v T, ok bool)
+	Write(v T) (ok bool)
+}

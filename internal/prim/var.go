@@ -1,0 +1,49 @@
+package prim
+
+import "sync"
+
+// Var is a local variable shared between the tasks of a single process.
+//
+// The paper's algorithms communicate between a process's concurrent
+// activities through local variables: Ω∆ reads the input variable candidate_p
+// and writes the output variable leader_p, the activity monitor A(p,q) reads
+// monitoring_p[q] and writes status_p[q] and faultCntr_p[q] (Figure 1).
+// These are process-local — they are never shared across processes — but on
+// the real-time substrate the tasks of one process are separate goroutines,
+// so access must still be synchronized.
+//
+// The zero value of Var[T] is ready to use and holds the zero value of T.
+type Var[T any] struct {
+	mu sync.RWMutex
+	v  T
+}
+
+// NewVar returns a Var initialized to v.
+func NewVar[T any](v T) *Var[T] {
+	return &Var[T]{v: v}
+}
+
+// Get returns the current value.
+func (x *Var[T]) Get() T {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.v
+}
+
+// Set replaces the current value.
+func (x *Var[T]) Set(v T) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.v = v
+}
+
+// VarSlice returns a slice of n freshly allocated Vars, each initialized
+// to v. It is a convenience for the paper's per-peer variable vectors such
+// as monitoring_p[q] and active-for_q[p].
+func VarSlice[T any](n int, v T) []*Var[T] {
+	s := make([]*Var[T], n)
+	for i := range s {
+		s[i] = NewVar(v)
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package qa
+
+import (
+	"tbwf/internal/prim"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// SimFactories returns register factories backed by the simulation
+// kernel's abortable registers. The ballot and vote registers are
+// single-writer multi-reader; the decision cache is multi-writer. The
+// register options (abort/effect policies) apply to every register; the
+// default is the strongest adversary.
+func SimFactories[O any](k *sim.Kernel, opts ...register.AbOption) Factories[O] {
+	return Factories[O]{
+		Ballot: func(name string, writer int) prim.AbortableRegister[int64] {
+			return register.NewAbortable(k, name, int64(0), append(opts, register.WithRoles(writer, -1))...)
+		},
+		Accept: func(name string, writer int) prim.AbortableRegister[Accepted[O]] {
+			return register.NewAbortable(k, name, Accepted[O]{}, append(opts, register.WithRoles(writer, -1))...)
+		},
+		Decide: func(name string) prim.AbortableRegister[Decision[O]] {
+			return register.NewAbortable(k, name, Decision[O]{}, opts...)
+		},
+	}
+}
+
+// NewSim creates a query-abortable object whose registers live on the
+// given simulation kernel, for the kernel's process count.
+func NewSim[S, O, R any](k *sim.Kernel, typ Type[S, O, R], opts ...register.AbOption) (*SharedObject[S, O, R], error) {
+	return New(typ, k.N(), SimFactories[O](k, opts...), 0)
+}

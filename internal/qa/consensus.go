@@ -1,0 +1,163 @@
+package qa
+
+import (
+	"fmt"
+	"sync"
+
+	"tbwf/internal/prim"
+)
+
+// Desc is an operation descriptor: the unit the log's consensus instances
+// agree on. The (Proc, Seq) pair is the operation's unique identity; Nop
+// descriptors are decided-but-skipped fillers used by Query to force a
+// slot's fate.
+type Desc[O any] struct {
+	Proc int
+	Seq  int64
+	Op   O
+	Nop  bool
+}
+
+// tag is an operation's identity.
+type tag struct {
+	proc int
+	seq  int64
+}
+
+// Accepted is one acceptor's vote state: the highest ballot at which it
+// accepted a descriptor.
+type Accepted[O any] struct {
+	Has    bool
+	Ballot int64
+	D      Desc[O]
+}
+
+// Decision caches a slot's decided descriptor.
+type Decision[O any] struct {
+	Decided bool
+	D       Desc[O]
+}
+
+// Factories creates the abortable registers a slot needs; they abstract the
+// substrate so the construction itself uses nothing but abortable
+// registers. Ballot registers X[p] and vote registers Y[p] are single-
+// writer (process p) multi-reader; the decision register is multi-writer —
+// but every write to it carries the same agreed value.
+type Factories[O any] struct {
+	Ballot func(name string, writer int) prim.AbortableRegister[int64]
+	Accept func(name string, writer int) prim.AbortableRegister[Accepted[O]]
+	Decide func(name string) prim.AbortableRegister[Decision[O]]
+}
+
+// slot is one abortable consensus instance: a single shared-memory Paxos
+// ballot that returns ⊥ on any contention (an aborted register operation or
+// an observed higher ballot) instead of looping. A proposer running solo
+// always decides; agreement follows the standard ballot-voting argument
+// (DESIGN.md §"qa").
+type slot[O any] struct {
+	x []prim.AbortableRegister[int64]       // X[p]: p's current ballot
+	y []prim.AbortableRegister[Accepted[O]] // Y[p]: p's latest vote
+	d prim.AbortableRegister[Decision[O]]
+}
+
+func newSlot[O any](n int, index int64, f Factories[O]) *slot[O] {
+	s := &slot[O]{
+		x: make([]prim.AbortableRegister[int64], n),
+		y: make([]prim.AbortableRegister[Accepted[O]], n),
+		d: f.Decide(fmt.Sprintf("qa[%d].D", index)),
+	}
+	for p := 0; p < n; p++ {
+		s.x[p] = f.Ballot(fmt.Sprintf("qa[%d].X[%d]", index, p), p)
+		s.y[p] = f.Accept(fmt.Sprintf("qa[%d].Y[%d]", index, p), p)
+	}
+	return s
+}
+
+// readDecision reads the slot's decision cache. ok=false is ⊥.
+func (s *slot[O]) readDecision() (Decision[O], bool) {
+	return s.d.Read()
+}
+
+// propose runs one ballot with the caller's descriptor. It returns the
+// slot's decided descriptor (which may be another process's — deciding a
+// leftover proposal on its owner's behalf is the helping that makes solo
+// progress possible), or ok=false (⊥) if any register operation aborted or
+// a higher ballot was observed.
+func (s *slot[O]) propose(me int, ballot int64, v Desc[O]) (Desc[O], bool) {
+	var zero Desc[O]
+	// Phase 0: a decision may already exist.
+	if dec, ok := s.d.Read(); !ok {
+		return zero, false
+	} else if dec.Decided {
+		return dec.D, true
+	}
+	// Phase 1: claim the ballot.
+	if !s.x[me].Write(ballot) {
+		return zero, false
+	}
+	for q := range s.x {
+		if q == me {
+			continue
+		}
+		b, ok := s.x[q].Read()
+		if !ok || b > ballot {
+			return zero, false
+		}
+	}
+	// Phase 2: adopt the highest accepted descriptor, if any.
+	best := Accepted[O]{}
+	for q := range s.y {
+		a, ok := s.y[q].Read()
+		if !ok {
+			return zero, false
+		}
+		if a.Has && (!best.Has || a.Ballot > best.Ballot) {
+			best = a
+		}
+	}
+	if best.Has {
+		v = best.D
+	}
+	// Phase 3: vote, then re-check that no higher ballot intervened.
+	if !s.y[me].Write(Accepted[O]{Has: true, Ballot: ballot, D: v}) {
+		return zero, false
+	}
+	for q := range s.x {
+		if q == me {
+			continue
+		}
+		b, ok := s.x[q].Read()
+		if !ok || b > ballot {
+			return zero, false
+		}
+	}
+	// Decided. Cache the decision; an aborted cache write is harmless —
+	// everyone re-running this ballot protocol decides the same value.
+	s.d.Write(Decision[O]{Decided: true, D: v})
+	return v, true
+}
+
+// slotStore grows the log lazily. The mutex only guards slice growth: on
+// the simulation substrate tasks are globally sequenced anyway, but the
+// same code must be safe on a real-time substrate.
+type slotStore[O any] struct {
+	mu    sync.Mutex
+	n     int
+	f     Factories[O]
+	slots []*slot[O]
+}
+
+func (st *slotStore[O]) slot(k int64) *slot[O] {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for int64(len(st.slots)) <= k {
+		st.slots = append(st.slots, newSlot(st.n, int64(len(st.slots)), st.f))
+	}
+	return st.slots[k]
+}
+
+func (st *slotStore[O]) len() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return int64(len(st.slots))
+}

@@ -1,0 +1,263 @@
+package qa
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultMaxScan bounds how many log slots one Invoke or Query call
+// processes before giving up with ⊥, which is what makes every call
+// wait-free. Leftover slots are finite at any time, so a process running
+// solo still completes across calls: its log position only moves forward.
+const DefaultMaxScan = 16
+
+// SharedObject is the shared part of a query-abortable object of type
+// T_QA: the operation log and its consensus slots. Each process interacts
+// with it through its own Handle.
+type SharedObject[S, O, R any] struct {
+	typ     Type[S, O, R]
+	n       int
+	maxScan int
+	store   slotStore[O]
+
+	mu      sync.Mutex
+	handles map[int]*Handle[S, O, R]
+}
+
+// New creates a query-abortable object for n processes with the given
+// sequential type, allocating registers through f. maxScan bounds the
+// per-call log scan; pass 0 for DefaultMaxScan.
+func New[S, O, R any](typ Type[S, O, R], n int, f Factories[O], maxScan int) (*SharedObject[S, O, R], error) {
+	if n < 1 {
+		return nil, fmt.Errorf("qa: n = %d, need at least 1", n)
+	}
+	if f.Ballot == nil || f.Accept == nil || f.Decide == nil {
+		return nil, fmt.Errorf("qa: incomplete register factories")
+	}
+	if maxScan <= 0 {
+		maxScan = DefaultMaxScan
+	}
+	return &SharedObject[S, O, R]{
+		typ:     typ,
+		n:       n,
+		maxScan: maxScan,
+		store:   slotStore[O]{n: n, f: f},
+		handles: make(map[int]*Handle[S, O, R]),
+	}, nil
+}
+
+// Slots returns how many log slots have been allocated so far.
+func (so *SharedObject[S, O, R]) Slots() int64 { return so.store.len() }
+
+// Handle returns process me's handle, creating it on first use. A process
+// must funnel all its operations through its single handle: the handle
+// holds the process's operation sequence numbers and its replay cache.
+func (so *SharedObject[S, O, R]) Handle(me int) *Handle[S, O, R] {
+	if me < 0 || me >= so.n {
+		panic(fmt.Sprintf("qa: process %d out of range [0,%d)", me, so.n))
+	}
+	so.mu.Lock()
+	defer so.mu.Unlock()
+	if h, ok := so.handles[me]; ok {
+		return h
+	}
+	h := &Handle[S, O, R]{
+		so:      so,
+		me:      me,
+		state:   so.typ.Init(),
+		applied: make(map[tag]struct{}),
+	}
+	so.handles[me] = h
+	return h
+}
+
+// Handle is one process's endpoint of a query-abortable object.
+type Handle[S, O, R any] struct {
+	so *SharedObject[S, O, R]
+	me int
+
+	seq    int64 // identity of the current (last) non-query operation
+	ballot int64 // proposer ballot counter, unique per process
+
+	// Replay cache: the object state after applying decided slots
+	// [0, next).
+	state S
+	next  int64
+	// applied guards against a descriptor being applied twice during
+	// replay; by construction it cannot trigger, but a silent duplicate
+	// would corrupt the state, so it is checked.
+	applied map[tag]struct{}
+
+	// Fate of the current operation, discovered during replay.
+	curFound bool
+	curResp  R
+
+	// Slots at which the current operation was proposed. Invoke processes
+	// slots in order, so at most the last of these can still be undecided.
+	proposed []int64
+}
+
+// Me returns the handle's process id.
+func (h *Handle[S, O, R]) Me() int { return h.me }
+
+func (h *Handle[S, O, R]) nextBallot() int64 {
+	h.ballot++
+	return h.ballot*int64(h.so.n) + int64(h.me) + 1
+}
+
+// apply folds one decided descriptor into the replay cache and advances the
+// log position.
+func (h *Handle[S, O, R]) apply(d Desc[O]) {
+	h.next++
+	if d.Nop {
+		return
+	}
+	t := tag{proc: d.Proc, seq: d.Seq}
+	if _, dup := h.applied[t]; dup {
+		// Cannot happen (one slot per decided descriptor); skipping keeps
+		// the state correct if it ever did.
+		return
+	}
+	h.applied[t] = struct{}{}
+	s, r := h.so.typ.Apply(h.state, d.Op)
+	h.state = s
+	if d.Proc == h.me && d.Seq == h.seq {
+		h.curFound = true
+		h.curResp = r
+	}
+}
+
+// Invoke applies op to the object. ok=false is ⊥: the operation aborted
+// because of contention and may or may not take effect — call Query to
+// find out. A successful response means the operation took effect exactly
+// once, linearized at its log slot.
+func (h *Handle[S, O, R]) Invoke(op O) (R, bool) {
+	var zero R
+	h.seq++
+	h.curFound = false
+	h.curResp = zero
+	h.proposed = h.proposed[:0]
+	desc := Desc[O]{Proc: h.me, Seq: h.seq, Op: op}
+
+	for scanned := 0; scanned < h.so.maxScan; scanned++ {
+		s := h.so.store.slot(h.next)
+		dec, ok := s.readDecision()
+		if !ok {
+			return zero, false // ⊥ (op not yet proposed anywhere: fate is "not applied", settled by Query)
+		}
+		if dec.Decided {
+			h.apply(dec.D)
+			continue
+		}
+		// First undecided slot: propose our descriptor.
+		h.proposed = append(h.proposed, h.next)
+		v, ok := s.propose(h.me, h.nextBallot(), desc)
+		if !ok {
+			return zero, false // ⊥ (fate unknown until Query)
+		}
+		h.apply(v)
+		if h.curFound {
+			return h.curResp, true
+		}
+		// The slot went to another process's descriptor (we helped decide
+		// a leftover); keep scanning.
+	}
+	return zero, false // ⊥: scan budget exhausted under contention
+}
+
+// Query settles the fate of the handle's last Invoke (footnote 3 of the
+// paper): QueryApplied with the operation's response if it took effect,
+// QueryNotApplied (F) if it did not and never will, or QueryAborted (⊥) if
+// the query itself hit contention — in which case nothing is settled and
+// the caller should query again.
+func (h *Handle[S, O, R]) Query() (R, QueryOutcome) {
+	var zero R
+	if h.seq == 0 {
+		return zero, QueryNotApplied // no previous operation
+	}
+	if h.curFound {
+		return h.curResp, QueryApplied // already settled during Invoke/replay
+	}
+	// Force a decision at every slot where the operation was proposed and
+	// is not yet replayed. By construction that is at most the slot at
+	// h.next; earlier proposed slots were decided and applied already.
+	maxProposed := int64(-1)
+	for _, k := range h.proposed {
+		if k > maxProposed {
+			maxProposed = k
+		}
+		if k < h.next {
+			continue
+		}
+		s := h.so.store.slot(k)
+		dec, ok := s.readDecision()
+		if !ok {
+			return zero, QueryAborted
+		}
+		if !dec.Decided {
+			// Propose a Nop: whatever gets decided — possibly our own
+			// leftover descriptor, adopted and finished on our behalf —
+			// settles the slot.
+			nop := Desc[O]{Proc: h.me, Seq: h.seq, Nop: true}
+			if _, ok := s.propose(h.me, h.nextBallot(), nop); !ok {
+				return zero, QueryAborted
+			}
+		}
+	}
+	// Replay up to and including the last proposed slot; every slot in
+	// range is now decided unless a read aborts.
+	for h.next <= maxProposed {
+		dec, ok := h.so.store.slot(h.next).readDecision()
+		if !ok {
+			return zero, QueryAborted
+		}
+		if !dec.Decided {
+			// Raced with a concurrent decision in progress: treat as ⊥.
+			return zero, QueryAborted
+		}
+		h.apply(dec.D)
+	}
+	if h.curFound {
+		return h.curResp, QueryApplied
+	}
+	return zero, QueryNotApplied
+}
+
+// SnapshotLog reads the decided prefix of the operation log with a fresh
+// cursor (it does not touch the handle's replay cache). ok=false means a
+// read aborted. The returned descriptors are the object's linearization
+// order; verifiers use it to cross-check responses.
+func (h *Handle[S, O, R]) SnapshotLog() ([]Desc[O], bool) {
+	var log []Desc[O]
+	for k := int64(0); k < h.so.store.len(); k++ {
+		dec, ok := h.so.store.slot(k).readDecision()
+		if !ok {
+			return log, false
+		}
+		if !dec.Decided {
+			break
+		}
+		log = append(log, dec.D)
+	}
+	return log, true
+}
+
+// Sync replays all currently decided log slots into the handle's cache and
+// returns the resulting state. ok=false means a read aborted (⊥). It is a
+// read-only helper for verifiers and read-mostly clients; it performs no
+// proposals.
+func (h *Handle[S, O, R]) Sync() (S, bool) {
+	for {
+		if h.next >= h.so.store.len() {
+			return h.state, true
+		}
+		dec, ok := h.so.store.slot(h.next).readDecision()
+		if !ok {
+			return h.state, false
+		}
+		if !dec.Decided {
+			return h.state, true
+		}
+		h.apply(dec.D)
+	}
+}

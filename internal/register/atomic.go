@@ -1,0 +1,67 @@
+package register
+
+import (
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// Stats counts the operations performed on one register.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	ReadAborts  int64
+	WriteAborts int64
+}
+
+// Atomic is a multi-writer multi-reader atomic register simulated on the
+// kernel. Each operation takes two steps (invocation, response) and
+// linearizes at its response step.
+type Atomic[T any] struct {
+	k     *sim.Kernel
+	name  string
+	val   T
+	stats Stats
+}
+
+var _ prim.Register[int] = (*Atomic[int])(nil)
+
+// NewAtomic creates an atomic register named name with initial value init.
+func NewAtomic[T any](k *sim.Kernel, name string, init T) *Atomic[T] {
+	return &Atomic[T]{k: k, name: name, val: init}
+}
+
+// Name returns the register's name.
+func (r *Atomic[T]) Name() string { return r.name }
+
+// Stats returns a snapshot of the register's operation counters.
+func (r *Atomic[T]) Stats() Stats { return r.stats }
+
+// Read returns the register's value, linearized at the read's response step.
+func (r *Atomic[T]) Read() T {
+	proc := r.k.CurrentProc()
+	r.k.Metrics().Reads[proc]++
+	r.stats.Reads++
+	r.k.OpStep() // invocation step
+	r.k.OpStep() // response step
+	return r.val
+}
+
+// Write replaces the register's value, linearized at the write's response
+// step. A write interrupted by a crash between its invocation and response
+// does not take effect.
+func (r *Atomic[T]) Write(v T) {
+	proc := r.k.CurrentProc()
+	r.k.Metrics().Writes[proc]++
+	r.stats.Writes++
+	r.k.OpStep() // invocation step
+	r.k.OpStep() // response step
+	r.val = v
+	r.k.Trace().RecordWrite(sim.WriteEvent{
+		Step: r.k.Step(), Proc: proc, Register: r.name,
+	})
+}
+
+// Peek returns the register's current value without simulating an
+// operation. For assertions in tests and harness hooks only; algorithm
+// code must use Read.
+func (r *Atomic[T]) Peek() T { return r.val }

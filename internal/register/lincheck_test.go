@@ -1,0 +1,86 @@
+package register_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/lincheck"
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// Non-aborted operations on an abortable register must be linearizable.
+// Random schedules, strongest adversary, NoEffect (so aborted writes
+// vanish entirely and the successful-op history is self-contained); the
+// Wing–Gong checker is the judge.
+func TestAbortableSuccessfulOpsLinearize(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			const n = 3
+			k := sim.New(n, sim.WithSchedule(sim.Random(seed, nil)))
+			r := register.NewAbortable(k, "r", int64(0))
+			var history []lincheck.Op[objtype.RegOp, objtype.RegResp]
+			for p := 0; p < n; p++ {
+				p := p
+				k.Spawn(p, "client", func(pp prim.Proc) {
+					for i := 0; i < 12; i++ {
+						invoke := k.Step()
+						if i%2 == 0 {
+							v := int64(100*p + i + 1) // unique values per writer
+							if r.Write(v) {
+								history = append(history, lincheck.Op[objtype.RegOp, objtype.RegResp]{
+									Proc: p, Invoke: invoke, Response: k.Step(),
+									Arg:  objtype.RegOp{Kind: objtype.RegWrite, New: v},
+									Resp: objtype.RegResp{Prev: -1}, // prev unknown; see below
+								})
+							}
+						} else {
+							if v, ok := r.Read(); ok {
+								history = append(history, lincheck.Op[objtype.RegOp, objtype.RegResp]{
+									Proc: p, Invoke: invoke, Response: k.Step(),
+									Arg:  objtype.RegOp{Kind: objtype.RegRead},
+									Resp: objtype.RegResp{Prev: v},
+								})
+							}
+						}
+						// Let phases drift so some ops run solo.
+						for j := 0; j < (p+1)*3; j++ {
+							pp.Step()
+						}
+					}
+				})
+			}
+			if _, err := k.Run(3_000_000); err != nil {
+				t.Fatal(err)
+			}
+			k.Shutdown()
+			if len(history) == 0 {
+				t.Skip("adversary aborted everything; nothing to check")
+			}
+			if len(history) > 60 {
+				history = history[:60] // checker's bitset budget
+			}
+			// The register interface does not return the previous value on
+			// writes, so compare write responses loosely: any Prev matches.
+			opts := lincheck.Options[int64, objtype.RegResp]{
+				Equal: func(a, b objtype.RegResp) bool {
+					if a.Prev == -1 || b.Prev == -1 {
+						return true // write: response unobserved
+					}
+					return a == b
+				},
+			}
+			_, ok, err := lincheck.Check[int64](objtype.Register{}, history, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("successful-op history not linearizable:\n%+v", history)
+			}
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Package register implements the shared registers of the paper's model on
+// top of the simulation kernel (internal/sim): atomic registers (Sections
+// 3 and 5) and abortable registers (Section 6), plus safe registers for the
+// paper's "weaker than safe" comparison.
+//
+// On the kernel, a register operation spans two steps — invocation and
+// response — so two operations are *concurrent* when their [invoke,
+// response] windows overlap. Abortable registers detect overlap exactly and
+// delegate to an AbortPolicy whether each contended operation aborts, and to
+// an EffectPolicy whether an aborted write takes effect. The defaults are
+// the strongest adversary the specification allows (every contended
+// operation aborts; aborted writes take no effect): the paper's algorithms
+// must work against it, and tests sweep the weaker policies.
+package register
+
+import "math/rand"
+
+// Op describes one register operation for policy decisions.
+type Op struct {
+	// Register is the register's name.
+	Register string
+	// Proc is the invoking process.
+	Proc int
+	// IsWrite distinguishes writes from reads.
+	IsWrite bool
+	// Step is the step at which the operation completes.
+	Step int64
+}
+
+// AbortPolicy decides whether a contended operation on an abortable
+// register aborts. It is consulted only for operations that actually
+// overlapped another operation on the same register; non-contended
+// operations never abort.
+type AbortPolicy interface {
+	Abort(op Op) bool
+}
+
+// EffectPolicy decides whether an aborted write takes effect. The paper:
+// "a write operation that aborts may or may not take effect and, since the
+// writer gets back ⊥ in either case, it does not know whether its write
+// operation succeeded or not."
+type EffectPolicy interface {
+	TakesEffect(op Op) bool
+}
+
+// AbortPolicyFunc adapts a function to AbortPolicy.
+type AbortPolicyFunc func(op Op) bool
+
+// Abort implements AbortPolicy.
+func (f AbortPolicyFunc) Abort(op Op) bool { return f(op) }
+
+// EffectPolicyFunc adapts a function to EffectPolicy.
+type EffectPolicyFunc func(op Op) bool
+
+// TakesEffect implements EffectPolicy.
+func (f EffectPolicyFunc) TakesEffect(op Op) bool { return f(op) }
+
+// AlwaysAbort aborts every contended operation: the strongest adversary and
+// the default.
+func AlwaysAbort() AbortPolicy {
+	return AbortPolicyFunc(func(Op) bool { return true })
+}
+
+// NeverAbort never aborts; the abortable register then behaves atomically.
+// Useful as a sanity baseline in tests.
+func NeverAbort() AbortPolicy {
+	return AbortPolicyFunc(func(Op) bool { return false })
+}
+
+// ProbAbort aborts each contended operation independently with probability
+// p, using a deterministic seeded source.
+func ProbAbort(p float64, seed int64) AbortPolicy {
+	rng := rand.New(rand.NewSource(seed))
+	return AbortPolicyFunc(func(Op) bool { return rng.Float64() < p })
+}
+
+// AbortWrites aborts only contended writes; contended reads succeed.
+// An ablation policy for tests.
+func AbortWrites() AbortPolicy {
+	return AbortPolicyFunc(func(op Op) bool { return op.IsWrite })
+}
+
+// NoEffect makes aborted writes never take effect (default).
+func NoEffect() EffectPolicy {
+	return EffectPolicyFunc(func(Op) bool { return false })
+}
+
+// AlwaysEffect makes aborted writes always take effect.
+func AlwaysEffect() EffectPolicy {
+	return EffectPolicyFunc(func(Op) bool { return true })
+}
+
+// ProbEffect makes each aborted write take effect with probability p, using
+// a deterministic seeded source.
+func ProbEffect(p float64, seed int64) EffectPolicy {
+	rng := rand.New(rand.NewSource(seed))
+	return EffectPolicyFunc(func(Op) bool { return rng.Float64() < p })
+}

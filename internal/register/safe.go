@@ -1,0 +1,97 @@
+package register
+
+import (
+	"math/rand"
+
+	"tbwf/internal/sim"
+)
+
+// Safe is a single-writer multi-reader *safe* register: a read that does
+// not overlap any write returns the most recently written value; a read
+// that overlaps a write may return an arbitrary value of the type.
+//
+// The paper uses safe registers only as a yardstick — its point is that
+// TBWF is achievable from abortable registers, which are *weaker than safe*
+// (a safe write always takes effect; an aborted abortable write may not,
+// and the writer cannot tell). Safe is provided so tests can demonstrate
+// that separation, and for inventory completeness.
+type Safe[T any] struct {
+	k      *sim.Kernel
+	name   string
+	val    T
+	writer int
+	garble func(current T) T
+
+	writesInFlight int
+	readsGarbled   map[int]bool // task id -> overlapped a write
+	stats          Stats
+}
+
+// NewSafe creates a safe register named name with initial value init,
+// writable only by writer. garble produces the arbitrary value returned by
+// reads that overlap a write; nil means "return the zero value", the
+// simplest adversarial choice.
+func NewSafe[T any](k *sim.Kernel, name string, init T, writer int, garble func(current T) T) *Safe[T] {
+	if garble == nil {
+		garble = func(T) T { var zero T; return zero }
+	}
+	return &Safe[T]{
+		k: k, name: name, val: init, writer: writer,
+		garble:       garble,
+		readsGarbled: make(map[int]bool),
+	}
+}
+
+// GarbleRandomBool returns a garble function for boolean safe registers
+// that flips a seeded coin — handy for property tests.
+func GarbleRandomBool(seed int64) func(bool) bool {
+	rng := rand.New(rand.NewSource(seed))
+	return func(bool) bool { return rng.Intn(2) == 0 }
+}
+
+// Name returns the register's name.
+func (r *Safe[T]) Name() string { return r.name }
+
+// Stats returns a snapshot of the register's operation counters.
+func (r *Safe[T]) Stats() Stats { return r.stats }
+
+// Read returns the register's value; if the read overlapped a write it
+// returns the garbled (arbitrary) value instead.
+func (r *Safe[T]) Read() T {
+	proc := r.k.CurrentProc()
+	r.k.Metrics().Reads[proc]++
+	r.stats.Reads++
+	tid := r.k.CurrentTask()
+	r.readsGarbled[tid] = r.writesInFlight > 0
+	defer delete(r.readsGarbled, tid)
+	r.k.OpStep() // invocation step
+	r.k.OpStep() // response step
+	if r.readsGarbled[tid] {
+		return r.garble(r.val)
+	}
+	return r.val
+}
+
+// Write stores v. A safe write always takes effect (at the response step),
+// even when concurrent with reads.
+func (r *Safe[T]) Write(v T) {
+	proc := r.k.CurrentProc()
+	if proc != r.writer {
+		panic("register: safe register written by non-owner process")
+	}
+	r.k.Metrics().Writes[proc]++
+	r.stats.Writes++
+	r.writesInFlight++
+	for tid := range r.readsGarbled {
+		r.readsGarbled[tid] = true
+	}
+	defer func() { r.writesInFlight-- }()
+	r.k.OpStep() // invocation step
+	r.k.OpStep() // response step
+	r.val = v
+	r.k.Trace().RecordWrite(sim.WriteEvent{Step: r.k.Step(), Proc: proc, Register: r.name})
+}
+
+// Peek returns the register's current value without simulating an
+// operation. For assertions in tests only.
+func (r *Safe[T]) Peek() T { return r.val }

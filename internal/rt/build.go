@@ -1,0 +1,64 @@
+package rt
+
+import (
+	"fmt"
+
+	"tbwf/internal/core"
+	"tbwf/internal/omega"
+	"tbwf/internal/prim"
+	"tbwf/internal/qa"
+)
+
+// QAFactories returns qa register factories backed by the real-time
+// substrate's abortable registers.
+func QAFactories[O any]() qa.Factories[O] {
+	return qa.Factories[O]{
+		Ballot: func(name string, writer int) prim.AbortableRegister[int64] {
+			return NewAbortable(int64(0))
+		},
+		Accept: func(name string, writer int) prim.AbortableRegister[qa.Accepted[O]] {
+			return NewAbortable(qa.Accepted[O]{})
+		},
+		Decide: func(name string) prim.AbortableRegister[qa.Decision[O]] {
+			return NewAbortable(qa.Decision[O]{})
+		},
+	}
+}
+
+// TBWFStack is a TBWF object deployment on the real-time substrate: Ω∆
+// over atomic registers (Figures 2–3), the query-abortable object, and a
+// client per process. The Ω∆ and monitor tasks are spawned; the caller
+// drives Clients[p].Invoke from its own workload tasks.
+type TBWFStack[S, O, R any] struct {
+	Instances []*omega.Instance
+	Object    *qa.SharedObject[S, O, R]
+	Clients   []*core.Client[S, O, R]
+}
+
+// BuildTBWF wires a TBWF object of the given sequential type on the
+// runtime.
+func BuildTBWF[S, O, R any](r *Runtime, typ qa.Type[S, O, R]) (*TBWFStack[S, O, R], error) {
+	dep, err := omega.BuildWith(r.N(), r, func(name string, init int64) prim.Register[int64] {
+		return NewAtomic(init)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	obj, err := qa.New(typ, r.N(), QAFactories[O](), 0)
+	if err != nil {
+		return nil, fmt.Errorf("rt: %w", err)
+	}
+	st := &TBWFStack[S, O, R]{
+		Instances: dep.Instances,
+		Object:    obj,
+		Clients:   make([]*core.Client[S, O, R], r.N()),
+	}
+	for p := 0; p < r.N(); p++ {
+		c, err := core.NewClient(dep.Instances[p], obj.Handle(p))
+		if err != nil {
+			return nil, fmt.Errorf("rt: %w", err)
+		}
+		st.Clients[p] = c
+	}
+	return st, nil
+}

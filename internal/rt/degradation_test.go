@@ -1,0 +1,89 @@
+package rt
+
+import (
+	"testing"
+	"time"
+
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+)
+
+// Graceful degradation on real goroutines: one process gets growing
+// wall-clock gaps, the other two stay at full speed. The timely clients
+// must complete their operation targets promptly; the untimely one lags;
+// everything that completes is consistent.
+func TestLiveGracefulDegradation(t *testing.T) {
+	const n, opsEach = 3, 6
+	r := New(n, Steady(0))
+	// Process 0 degrades: after each burst of 200 steps it sleeps, with
+	// the sleep doubling — unbounded gaps, hence untimely.
+	r.SetProfile(0, GrowingGaps(200, 2*time.Millisecond, 2))
+
+	st, err := BuildTBWF[int64, objtype.CounterOp, int64](r, objtype.Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps := make([][]int64, n)
+	done := make([]chan struct{}, n)
+	for p := 0; p < n; p++ {
+		p := p
+		done[p] = make(chan struct{})
+		r.Spawn(p, "client", func(pp prim.Proc) {
+			defer close(done[p])
+			for i := 0; i < opsEach; i++ {
+				resps[p] = append(resps[p], st.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1}))
+			}
+		})
+	}
+	// The timely clients (1, 2) must finish well within the deadline.
+	deadline := time.After(30 * time.Second)
+	for _, p := range []int{1, 2} {
+		select {
+		case <-done[p]:
+		case <-deadline:
+			t.Fatalf("timely client %d did not finish (completed %d/%d)", p, st.Clients[p].Completed(), opsEach)
+		}
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Consistency across everything that completed.
+	seen := map[int64]bool{}
+	for p := 0; p < n; p++ {
+		for _, v := range resps[p] {
+			if seen[v] {
+				t.Fatalf("duplicate fetch-and-add response %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	for _, p := range []int{1, 2} {
+		if len(resps[p]) != opsEach {
+			t.Fatalf("timely client %d completed %d/%d", p, len(resps[p]), opsEach)
+		}
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	s := Steady(3 * time.Millisecond)
+	for i := int64(0); i < 5; i++ {
+		if s(i) != 3*time.Millisecond {
+			t.Fatal("steady profile not constant")
+		}
+	}
+	g := GrowingGaps(3, time.Millisecond, 2)
+	var gaps []time.Duration
+	for i := int64(0); i < 12; i++ {
+		if d := g(i); d > 0 {
+			gaps = append(gaps, d)
+		}
+	}
+	if len(gaps) < 2 {
+		t.Fatalf("expected several gaps, got %v", gaps)
+	}
+	for i := 1; i < len(gaps); i++ {
+		if gaps[i] <= gaps[i-1] {
+			t.Fatalf("gaps not growing: %v", gaps)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+
+	"tbwf/internal/prim"
+)
+
+// Atomic is a linearizable register on the real-time substrate: a plain
+// mutex-protected value. Multi-writer, multi-reader.
+type Atomic[T any] struct {
+	mu  sync.RWMutex
+	val T
+}
+
+var _ prim.Register[int] = (*Atomic[int])(nil)
+
+// NewAtomic creates an atomic register with initial value init.
+func NewAtomic[T any](init T) *Atomic[T] {
+	return &Atomic[T]{val: init}
+}
+
+// Read returns the register's value.
+func (r *Atomic[T]) Read() T {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+// Write replaces the register's value.
+func (r *Atomic[T]) Write(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = v
+}
+
+// Abortable is an abortable register on the real-time substrate with true
+// concurrency detection: every operation registers itself as in flight,
+// briefly yields (so overlap is genuinely possible), and aborts if any
+// other operation on the register was in flight at any point during its
+// window — the strongest adversary allowed by the specification, matching
+// the simulation substrate's default. Aborted writes take no effect.
+type Abortable[T any] struct {
+	mu       sync.Mutex
+	val      T
+	nextOp   int64
+	inFlight map[int64]*rtOp
+}
+
+var _ prim.AbortableRegister[int] = (*Abortable[int])(nil)
+
+type rtOp struct {
+	contended bool
+}
+
+// NewAbortable creates an abortable register with initial value init.
+func NewAbortable[T any](init T) *Abortable[T] {
+	return &Abortable[T]{val: init, inFlight: make(map[int64]*rtOp)}
+}
+
+func (r *Abortable[T]) begin() (int64, *rtOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := &rtOp{}
+	if len(r.inFlight) > 0 {
+		op.contended = true
+		for _, o := range r.inFlight {
+			o.contended = true
+		}
+	}
+	r.nextOp++
+	id := r.nextOp
+	r.inFlight[id] = op
+	return id, op
+}
+
+// Read returns the register's value, or ok=false if the read overlapped
+// another operation. The completion check and the value read happen under
+// one lock acquisition, which is the read's linearization point.
+func (r *Abortable[T]) Read() (T, bool) {
+	id, _ := r.begin()
+	runtime.Gosched() // give the operation a real window
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := r.inFlight[id]
+	delete(r.inFlight, id)
+	if op.contended {
+		var zero T
+		return zero, false
+	}
+	return r.val, true
+}
+
+// Write stores v, or reports false if the write overlapped another
+// operation, in which case it took no effect.
+func (r *Abortable[T]) Write(v T) bool {
+	id, _ := r.begin()
+	runtime.Gosched()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	op := r.inFlight[id]
+	delete(r.inFlight, id)
+	if op.contended {
+		return false
+	}
+	r.val = v
+	return true
+}

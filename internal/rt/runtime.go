@@ -1,0 +1,179 @@
+// Package rt is the real-time substrate: it runs the same algorithm code
+// as the simulation kernel (internal/sim) on plain goroutines, with
+// genuinely concurrent registers and wall-clock pacing instead of a
+// step-sequencing scheduler.
+//
+// Timeliness is shaped by per-process pacing profiles: every call to
+// Proc.Step consults the process's Gate, which may sleep. A process with a
+// steady (or zero) pace is timely relative to the others; a process whose
+// gaps grow without bound is the paper's untimely "flickering" process.
+// The examples use this substrate to show the TBWF stack working live;
+// tests and benchmarks use internal/sim, where runs are deterministic and
+// timeliness is measured exactly.
+package rt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbwf/internal/prim"
+)
+
+// Profile maps a process's step number to the delay taken at that step.
+// Profiles may keep internal state; each process gets its own instance.
+type Profile func(step int64) time.Duration
+
+// Steady returns a profile with a constant delay per step (0 means just a
+// cooperative yield): a timely process.
+func Steady(d time.Duration) Profile {
+	return func(int64) time.Duration { return d }
+}
+
+// GrowingGaps returns a profile that runs burst steps at full speed, then
+// pauses for a gap that grows geometrically: a correct but untimely
+// process (its gaps exceed any fixed bound).
+func GrowingGaps(burst int64, firstGap time.Duration, factor float64) Profile {
+	if burst <= 0 {
+		burst = 1
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	gap := firstGap
+	var inBurst int64
+	return func(int64) time.Duration {
+		inBurst++
+		if inBurst >= burst {
+			inBurst = 0
+			d := gap
+			gap = time.Duration(float64(gap) * factor)
+			return d
+		}
+		return 0
+	}
+}
+
+// Gate paces one process and carries its crash/stop state. All of a
+// process's task goroutines share one gate, and profiles may keep internal
+// state, so profile invocation is serialized (the sleep itself is not —
+// only the task that drew the gap sleeps, mirroring how a single slow task
+// does not freeze its siblings mid-call).
+type Gate struct {
+	mu      sync.Mutex // guards profile invocation
+	profile Profile
+	step    atomic.Int64
+	crashed atomic.Bool
+	stopped *atomic.Bool // the runtime's stop flag, shared
+}
+
+func (g *Gate) pace() {
+	if g.stopped.Load() {
+		prim.ExitTask("runtime stopped")
+	}
+	if g.crashed.Load() {
+		prim.ExitTask("process crashed")
+	}
+	step := g.step.Add(1)
+	g.mu.Lock()
+	d := g.profile(step)
+	g.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	} else {
+		runtime.Gosched()
+	}
+}
+
+// Runtime hosts n processes as goroutine groups.
+type Runtime struct {
+	n       int
+	gates   []*Gate
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+var _ prim.Spawner = (*Runtime)(nil)
+
+// New creates a runtime for n processes, all with the given default
+// profile (nil means Steady(0)). Use SetProfile to differentiate before
+// spawning.
+func New(n int, def Profile) *Runtime {
+	r := &Runtime{n: n, gates: make([]*Gate, n)}
+	for p := 0; p < n; p++ {
+		prof := def
+		if prof == nil {
+			prof = Steady(0)
+		}
+		r.gates[p] = &Gate{profile: prof, stopped: &r.stopped}
+	}
+	return r
+}
+
+// N returns the number of processes.
+func (r *Runtime) N() int { return r.n }
+
+// SetProfile replaces process p's pacing profile. It may be called while
+// tasks are running (e.g. to degrade a process mid-run).
+func (r *Runtime) SetProfile(p int, prof Profile) {
+	if prof == nil {
+		prof = Steady(0)
+	}
+	g := r.gates[p]
+	g.mu.Lock()
+	g.profile = prof
+	g.mu.Unlock()
+}
+
+// Crash crashes process p: its tasks exit at their next step.
+func (r *Runtime) Crash(p int) { r.gates[p].crashed.Store(true) }
+
+// proc implements prim.Proc for one task of one process.
+type proc struct {
+	id   int
+	gate *Gate
+}
+
+func (p proc) ID() int { return p.id }
+func (p proc) Step()   { p.gate.pace() }
+
+// Spawn starts a task on process pr. It implements prim.Spawner.
+func (r *Runtime) Spawn(pr int, name string, fn func(p prim.Proc)) {
+	if pr < 0 || pr >= r.n {
+		panic(fmt.Sprintf("rt: Spawn: process %d out of range [0,%d)", pr, r.n))
+	}
+	r.wg.Add(1)
+	gate := r.gates[pr]
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			if rec := recover(); rec != nil && !prim.RecoverTaskExit(rec) {
+				r.mu.Lock()
+				if r.err == nil {
+					r.err = fmt.Errorf("rt: process %d task %q panicked: %v", pr, name, rec)
+				}
+				r.mu.Unlock()
+			}
+		}()
+		fn(proc{id: pr, gate: gate})
+	}()
+}
+
+// Stop asks every task to exit at its next step and waits for them.
+// It returns the first task panic, if any.
+func (r *Runtime) Stop() error {
+	r.stopped.Store(true)
+	r.wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// StepOf returns how many steps process p has taken — a rough liveness
+// indicator for demos.
+func (r *Runtime) StepOf(p int) int64 { return r.gates[p].step.Load() }

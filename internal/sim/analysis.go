@@ -1,0 +1,138 @@
+package sim
+
+// This file measures timeliness from a recorded schedule, so experiments
+// report which processes actually *were* timely in a run rather than
+// assuming the schedule behaved as configured.
+//
+// Definitions from the paper (Section 3):
+//
+//	Def 1: p is q-timely if p is correct and there is an i ≥ 1 such that
+//	       every time interval containing i steps of q has a step of p.
+//	Def 2: p is timely if p is q-timely for every q; equivalently, there is
+//	       an i such that every i consecutive system steps include a step
+//	       of p.
+//
+// For a finite recorded run, the analyzer computes the *observed* bounds:
+// the smallest i that works for the run seen so far. A process is reported
+// timely relative to a caller-supplied threshold; unbounded (no steps at
+// all) is reported as Unbounded.
+
+// Unbounded is returned as a bound when no finite bound exists in the
+// observed run (the process took no steps).
+const Unbounded int64 = -1
+
+// TimelinessReport summarizes the timeliness structure of a recorded
+// schedule for n processes.
+type TimelinessReport struct {
+	// N is the number of processes.
+	N int
+	// Len is the number of steps analyzed.
+	Len int64
+	// StepsOf[p] counts p's steps.
+	StepsOf []int64
+	// Bound[p] is the smallest i such that every window of i consecutive
+	// steps contains a step of p (Def 2, observed), or Unbounded.
+	Bound []int64
+	// PairBound[p][q] is the smallest i such that every interval
+	// containing i steps of q has a step of p (Def 1, observed), or
+	// Unbounded. PairBound[p][p] is 1 when p takes steps.
+	PairBound [][]int64
+}
+
+// Analyze computes a TimelinessReport from a schedule recorded by the
+// kernel (Trace.Schedule) for n processes.
+func Analyze(schedule []int32, n int) *TimelinessReport {
+	r := &TimelinessReport{
+		N:         n,
+		Len:       int64(len(schedule)),
+		StepsOf:   make([]int64, n),
+		Bound:     make([]int64, n),
+		PairBound: make([][]int64, n),
+	}
+	// gap[p]: consecutive steps without p, in the current p-free run.
+	// maxGap[p]: largest such run anywhere (including prefix/suffix).
+	gap := make([]int64, n)
+	maxGap := make([]int64, n)
+	// since[p][q]: q's steps since p's last step; pairMax[p][q]: max over
+	// all p-free intervals.
+	since := make([][]int64, n)
+	pairMax := make([][]int64, n)
+	for p := 0; p < n; p++ {
+		since[p] = make([]int64, n)
+		pairMax[p] = make([]int64, n)
+		r.PairBound[p] = make([]int64, n)
+	}
+
+	for _, s32 := range schedule {
+		s := int(s32)
+		if s < 0 || s >= n {
+			continue
+		}
+		r.StepsOf[s]++
+		for p := 0; p < n; p++ {
+			if p == s {
+				if gap[p] > maxGap[p] {
+					maxGap[p] = gap[p]
+				}
+				gap[p] = 0
+				for q := 0; q < n; q++ {
+					if since[p][q] > pairMax[p][q] {
+						pairMax[p][q] = since[p][q]
+					}
+					since[p][q] = 0
+				}
+			} else {
+				gap[p]++
+				since[p][s]++
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		if gap[p] > maxGap[p] {
+			maxGap[p] = gap[p]
+		}
+		if r.StepsOf[p] == 0 {
+			r.Bound[p] = Unbounded
+		} else {
+			r.Bound[p] = maxGap[p] + 1
+		}
+		for q := 0; q < n; q++ {
+			if since[p][q] > pairMax[p][q] {
+				pairMax[p][q] = since[p][q]
+			}
+			if r.StepsOf[p] == 0 {
+				r.PairBound[p][q] = Unbounded
+			} else {
+				r.PairBound[p][q] = pairMax[p][q] + 1
+			}
+		}
+	}
+	return r
+}
+
+// TimelyWithin returns the processes whose observed system-wide bound is at
+// most bound (and finite).
+func (r *TimelinessReport) TimelyWithin(bound int64) []int {
+	var out []int
+	for p := 0; p < r.N; p++ {
+		if r.Bound[p] != Unbounded && r.Bound[p] <= bound {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MostTimely returns the process with the smallest finite observed bound,
+// or -1 if no process took a step.
+func (r *TimelinessReport) MostTimely() int {
+	best := -1
+	for p := 0; p < r.N; p++ {
+		if r.Bound[p] == Unbounded {
+			continue
+		}
+		if best == -1 || r.Bound[p] < r.Bound[best] {
+			best = p
+		}
+	}
+	return best
+}

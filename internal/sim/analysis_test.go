@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAnalyzeRoundRobin(t *testing.T) {
+	sched := []int32{0, 1, 2, 0, 1, 2, 0, 1, 2}
+	rep := Analyze(sched, 3)
+	for p := 0; p < 3; p++ {
+		if rep.StepsOf[p] != 3 {
+			t.Errorf("steps of %d = %d, want 3", p, rep.StepsOf[p])
+		}
+		if rep.Bound[p] != 3 {
+			t.Errorf("bound of %d = %d, want 3", p, rep.Bound[p])
+		}
+	}
+	// Each process sees exactly 1 step of each other process between its own.
+	if rep.PairBound[0][1] != 2 {
+		t.Errorf("PairBound[0][1] = %d, want 2", rep.PairBound[0][1])
+	}
+}
+
+func TestAnalyzeAbsentProcessUnbounded(t *testing.T) {
+	sched := []int32{0, 0, 0, 0}
+	rep := Analyze(sched, 2)
+	if rep.Bound[1] != Unbounded {
+		t.Errorf("bound of absent process = %d, want Unbounded", rep.Bound[1])
+	}
+	if rep.Bound[0] != 1 {
+		t.Errorf("bound of solo process = %d, want 1", rep.Bound[0])
+	}
+	if got := rep.TimelyWithin(10); len(got) != 1 || got[0] != 0 {
+		t.Errorf("TimelyWithin(10) = %v, want [0]", got)
+	}
+}
+
+func TestAnalyzePrefixAndSuffixGapsCount(t *testing.T) {
+	// Process 1 appears only once in the middle; its bound is set by the
+	// longer of the prefix/suffix gaps.
+	sched := []int32{0, 0, 0, 1, 0, 0, 0, 0, 0}
+	rep := Analyze(sched, 2)
+	// Suffix gap = 5 steps without p1 -> bound 6.
+	if rep.Bound[1] != 6 {
+		t.Errorf("bound of 1 = %d, want 6", rep.Bound[1])
+	}
+}
+
+func TestAnalyzePairBoundDirectionality(t *testing.T) {
+	// p0 steps often, p1 rarely: p0 is 1-timely w.r.t. few of p1's steps,
+	// while p1 sees many p0 steps between its own.
+	sched := []int32{0, 0, 0, 0, 1, 0, 0, 0, 0, 1}
+	rep := Analyze(sched, 2)
+	if rep.PairBound[0][1] > 2 {
+		t.Errorf("PairBound[0][1] = %d, want <= 2 (p0 steps between every p1 pair)", rep.PairBound[0][1])
+	}
+	if rep.PairBound[1][0] != 5 {
+		t.Errorf("PairBound[1][0] = %d, want 5 (4 p0-steps in a p1-free interval)", rep.PairBound[1][0])
+	}
+}
+
+// Property: the reported bound is correct — every window of that size
+// contains a step of the process, and some window of size bound-1 does not.
+func TestAnalyzeBoundIsTight(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		length := 20 + rng.Intn(200)
+		sched := make([]int32, length)
+		for i := range sched {
+			sched[i] = int32(rng.Intn(n))
+		}
+		rep := Analyze(sched, n)
+		for p := 0; p < n; p++ {
+			b := rep.Bound[p]
+			if b == Unbounded {
+				for _, s := range sched {
+					if int(s) == p {
+						return false // had steps but reported unbounded
+					}
+				}
+				continue
+			}
+			// Every window of size b contains p.
+			for start := 0; start+int(b) <= length; start++ {
+				found := false
+				for i := start; i < start+int(b); i++ {
+					if int(sched[i]) == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+			// Tightness: some window of size b-1 misses p (b > 1).
+			if b > 1 {
+				tight := false
+				for start := 0; start+int(b)-1 <= length; start++ {
+					miss := true
+					for i := start; i < start+int(b)-1; i++ {
+						if int(sched[i]) == p {
+							miss = false
+							break
+						}
+					}
+					if miss {
+						tight = true
+						break
+					}
+				}
+				if !tight {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PairBound is correct — every interval containing that many
+// q-steps includes a p-step.
+func TestAnalyzePairBoundSound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		length := 20 + rng.Intn(150)
+		sched := make([]int32, length)
+		for i := range sched {
+			sched[i] = int32(rng.Intn(n))
+		}
+		rep := Analyze(sched, n)
+		for p := 0; p < n; p++ {
+			for q := 0; q < n; q++ {
+				b := rep.PairBound[p][q]
+				if b == Unbounded {
+					continue
+				}
+				// Max q-steps in any p-free interval must be b-1.
+				maxQ, cur := int64(0), int64(0)
+				for _, s := range sched {
+					switch int(s) {
+					case p:
+						if cur > maxQ {
+							maxQ = cur
+						}
+						cur = 0
+					case q:
+						cur++
+					}
+				}
+				if cur > maxQ {
+					maxQ = cur
+				}
+				if maxQ != b-1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMostTimely(t *testing.T) {
+	sched := []int32{0, 1, 0, 2, 0, 1, 0, 2}
+	rep := Analyze(sched, 3)
+	if got := rep.MostTimely(); got != 0 {
+		t.Fatalf("MostTimely = %d, want 0", got)
+	}
+	if rep := Analyze(nil, 3); rep.MostTimely() != -1 {
+		t.Fatal("MostTimely on empty schedule should be -1")
+	}
+}

@@ -1,0 +1,401 @@
+// Package sim is a deterministic, step-sequenced simulation kernel for the
+// shared-memory model of Section 3 of the paper.
+//
+// Processes are sets of cooperative tasks (one goroutine each). The kernel
+// holds a global baton: exactly one task runs at any moment, and control
+// passes back to the kernel at every step boundary. A pluggable Schedule
+// decides which process takes each step, which makes the timeliness of every
+// process (Definitions 1 and 2) a property the caller controls exactly and
+// the analyzer (analysis.go) measures exactly.
+//
+// Because the baton is handed over unbuffered channels, every step happens
+// before the next; simulation state (registers, traces, metrics) therefore
+// needs no additional locking.
+//
+// A register operation spans two steps — its invocation and its response —
+// so operations have duration and "concurrent operations" are well defined.
+// That is what gives abortable registers (internal/register) their
+// semantics.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"tbwf/internal/prim"
+)
+
+// Kernel sequences every step of a simulated run.
+// Create one with New, add tasks with Spawn, then call Run.
+type Kernel struct {
+	n     int
+	sched Schedule
+
+	tasks   []*task
+	byProc  [][]*task // tasks indexed by process
+	nextIdx []int     // per-process round-robin cursor over its tasks
+
+	crashed  []bool
+	crashAt  map[int]int64
+	step     int64
+	running  bool // inside Run, between baton handoffs
+	shutdown bool
+
+	current  *task
+	stepDone chan struct{}
+
+	afterStep []func(step int64)
+
+	aliveBuf []int // reused by aliveProcs to keep the step loop allocation-free
+
+	trace   *Trace
+	metrics *Metrics
+
+	err error // first non-sentinel panic from a task, with stack
+}
+
+// Option configures a Kernel.
+type Option func(*Kernel)
+
+// WithSchedule sets the scheduling policy. The default is RoundRobin.
+func WithSchedule(s Schedule) Option {
+	return func(k *Kernel) { k.sched = s }
+}
+
+// WithScheduleTrace controls whether the kernel records which process took
+// each step (needed by the timeliness analyzer). It is on by default; turn
+// it off for very long benchmark runs that do not inspect the schedule.
+func WithScheduleTrace(on bool) Option {
+	return func(k *Kernel) { k.trace.recordSchedule = on }
+}
+
+// WithWriteLog makes the kernel record every shared-register write event
+// (step, process, register). Used by the write-efficiency experiment (E6).
+func WithWriteLog(on bool) Option {
+	return func(k *Kernel) { k.trace.recordWrites = on }
+}
+
+// New returns a kernel for n processes, numbered 0..n-1.
+func New(n int, opts ...Option) *Kernel {
+	if n < 1 {
+		n = 1
+	}
+	k := &Kernel{
+		n:        n,
+		sched:    RoundRobin(),
+		byProc:   make([][]*task, n),
+		nextIdx:  make([]int, n),
+		crashed:  make([]bool, n),
+		crashAt:  make(map[int]int64),
+		stepDone: make(chan struct{}),
+		trace:    newTrace(n),
+		metrics:  newMetrics(n),
+	}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
+}
+
+// N returns the number of processes.
+func (k *Kernel) N() int { return k.n }
+
+// Step returns the number of steps executed so far.
+func (k *Kernel) Step() int64 { return k.step }
+
+// Trace returns the run's trace (schedule and write log).
+func (k *Kernel) Trace() *Trace { return k.trace }
+
+// Metrics returns the run's aggregate counters.
+func (k *Kernel) Metrics() *Metrics { return k.metrics }
+
+// task is one cooperative activity of a process.
+type task struct {
+	id       int
+	proc     int
+	name     string
+	resume   chan struct{}
+	halt     bool
+	finished bool
+	started  bool
+	fn       func(prim.Proc)
+	k        *Kernel
+}
+
+// handle implements prim.Proc for a task.
+type handle struct {
+	t *task
+}
+
+func (h handle) ID() int { return h.t.proc }
+
+func (h handle) Step() { h.t.k.yield(h.t) }
+
+// Spawn adds a task named name to process proc. The task function receives
+// the process handle; it runs when Run schedules its process. Spawn must be
+// called before Run. Tasks are typically infinite loops (the paper's
+// "repeat forever"); they are unwound when the process crashes or Shutdown
+// is called.
+func (k *Kernel) Spawn(proc int, name string, fn func(p prim.Proc)) {
+	if proc < 0 || proc >= k.n {
+		panic(fmt.Sprintf("sim: Spawn: process %d out of range [0,%d)", proc, k.n))
+	}
+	if k.running {
+		panic("sim: Spawn called during Run")
+	}
+	t := &task{
+		id:     len(k.tasks),
+		proc:   proc,
+		name:   name,
+		resume: make(chan struct{}),
+		fn:     fn,
+		k:      k,
+	}
+	k.tasks = append(k.tasks, t)
+	k.byProc[proc] = append(k.byProc[proc], t)
+}
+
+// CrashAt schedules process proc to crash at the given step: from that step
+// on it takes no steps and its tasks are unwound. Crashing a process twice
+// keeps the earlier step.
+func (k *Kernel) CrashAt(proc int, step int64) {
+	if cur, ok := k.crashAt[proc]; !ok || step < cur {
+		k.crashAt[proc] = step
+	}
+}
+
+// Crash crashes process proc immediately. Safe to call from an AfterStep
+// hook (it takes effect before the next step).
+func (k *Kernel) Crash(proc int) {
+	if proc >= 0 && proc < k.n {
+		k.crashAt[proc] = k.step
+	}
+}
+
+// Crashed reports whether process proc has crashed.
+func (k *Kernel) Crashed(proc int) bool { return k.crashed[proc] }
+
+// AfterStep registers a hook invoked after every step, on the kernel's own
+// goroutine, outside any simulated step. Hooks observe and steer runs
+// (sampling output variables, injecting crashes) without consuming steps,
+// so they do not perturb timeliness.
+func (k *Kernel) AfterStep(fn func(step int64)) {
+	k.afterStep = append(k.afterStep, fn)
+}
+
+// RunResult describes why Run returned.
+type RunResult struct {
+	// Steps is the total number of steps executed so far (across all Run
+	// calls on this kernel).
+	Steps int64
+	// Idle is true when Run returned because no schedulable task remained
+	// (every task finished or every process crashed) rather than because
+	// the step budget was exhausted.
+	Idle bool
+}
+
+// ErrTaskPanic wraps a panic raised by a task during Run.
+var ErrTaskPanic = errors.New("sim: task panicked")
+
+// Run executes up to steps additional steps and returns. It may be called
+// repeatedly to extend a run; tasks stay parked between calls. Call
+// Shutdown to unwind all tasks when done.
+func (k *Kernel) Run(steps int64) (RunResult, error) {
+	if k.shutdown {
+		return RunResult{Steps: k.step, Idle: true}, errors.New("sim: Run after Shutdown")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	limit := k.step + steps
+	for k.step < limit {
+		k.applyCrashes()
+		alive := k.aliveProcs()
+		if len(alive) == 0 {
+			return RunResult{Steps: k.step, Idle: true}, k.err
+		}
+		pid := k.sched.Next(k.step, alive)
+		if !contains(alive, pid) {
+			k.metrics.ScheduleMisses++
+			pid = alive[int(k.step)%len(alive)]
+		}
+		t := k.nextTask(pid)
+		if t == nil {
+			// Race between aliveProcs and task completion cannot happen
+			// (single-threaded), but stay defensive.
+			k.metrics.ScheduleMisses++
+			continue
+		}
+		k.dispatch(t)
+		if k.err != nil {
+			return RunResult{Steps: k.step, Idle: false}, k.err
+		}
+		k.metrics.Steps[pid]++
+		k.trace.recordStep(pid)
+		k.step++
+		for _, fn := range k.afterStep {
+			fn(k.step)
+		}
+	}
+	return RunResult{Steps: k.step, Idle: false}, k.err
+}
+
+// Shutdown unwinds every unfinished task. After Shutdown the kernel cannot
+// run again; traces and metrics remain readable.
+func (k *Kernel) Shutdown() {
+	if k.shutdown {
+		return
+	}
+	k.shutdown = true
+	for _, t := range k.tasks {
+		if t.finished {
+			continue
+		}
+		t.halt = true
+		k.dispatchUntilFinished(t)
+	}
+}
+
+// applyCrashes crashes processes whose crash step has arrived and unwinds
+// their tasks.
+func (k *Kernel) applyCrashes() {
+	for proc, at := range k.crashAt {
+		if k.step >= at && !k.crashed[proc] {
+			k.crashed[proc] = true
+			for _, t := range k.byProc[proc] {
+				if t.finished {
+					continue
+				}
+				t.halt = true
+				k.dispatchUntilFinished(t)
+			}
+		}
+	}
+}
+
+// aliveProcs returns the schedulable processes. The returned slice aliases
+// a kernel-owned buffer valid until the next call; Schedule implementations
+// must not retain it.
+func (k *Kernel) aliveProcs() []int {
+	if k.aliveBuf == nil {
+		k.aliveBuf = make([]int, 0, k.n)
+	}
+	alive := k.aliveBuf[:0]
+	for p := 0; p < k.n; p++ {
+		if k.crashed[p] {
+			continue
+		}
+		for _, t := range k.byProc[p] {
+			if !t.finished {
+				alive = append(alive, p)
+				break
+			}
+		}
+	}
+	return alive
+}
+
+// nextTask picks the next unfinished task of process pid, round-robin.
+func (k *Kernel) nextTask(pid int) *task {
+	ts := k.byProc[pid]
+	for range ts {
+		i := k.nextIdx[pid] % len(ts)
+		k.nextIdx[pid]++
+		if !ts[i].finished {
+			return ts[i]
+		}
+	}
+	return nil
+}
+
+// dispatch hands the baton to t for one step and waits for it back.
+func (k *Kernel) dispatch(t *task) {
+	k.current = t
+	if !t.started {
+		t.started = true
+		go k.runTask(t)
+	}
+	t.resume <- struct{}{}
+	<-k.stepDone
+	k.current = nil
+}
+
+// dispatchUntilFinished drives a halting task through its unwinding. A task
+// asked to halt exits at its next step boundary, which is its very next
+// activation, so a single dispatch suffices; loop defensively anyway.
+func (k *Kernel) dispatchUntilFinished(t *task) {
+	for !t.finished {
+		k.dispatch(t)
+	}
+}
+
+// runTask is the goroutine body wrapping a task function.
+func (k *Kernel) runTask(t *task) {
+	defer func() {
+		if r := recover(); r != nil && !prim.RecoverTaskExit(r) {
+			if k.err == nil {
+				k.err = fmt.Errorf("%w: process %d task %q: %v\n%s",
+					ErrTaskPanic, t.proc, t.name, r, debug.Stack())
+			}
+		}
+		t.finished = true
+		k.stepDone <- struct{}{}
+	}()
+	// The goroutine was started from inside dispatch; the first resume has
+	// already been consumed by... no: dispatch sends resume after starting
+	// us, so wait for it here before touching user code.
+	<-t.resume
+	if t.halt {
+		prim.ExitTask("halt before first step")
+	}
+	t.fn(handle{t: t})
+}
+
+// yield ends the current activation of t (completing the current step) and
+// blocks until the kernel schedules t again. If the task has been asked to
+// halt, yield unwinds it instead of returning.
+func (k *Kernel) yield(t *task) {
+	k.stepDone <- struct{}{}
+	<-t.resume
+	if t.halt {
+		prim.ExitTask("halted")
+	}
+}
+
+// OpStep ends the current step of the currently running task and blocks
+// until its next scheduled step. It is the hook internal/register uses to
+// give register operations their two-step (invoke, respond) duration; it
+// must only be called from code running inside a task.
+func (k *Kernel) OpStep() {
+	if k.current == nil {
+		panic("sim: OpStep called outside a running task")
+	}
+	k.yield(k.current)
+}
+
+// CurrentProc returns the process id of the currently running task.
+func (k *Kernel) CurrentProc() int {
+	if k.current == nil {
+		panic("sim: CurrentProc called outside a running task")
+	}
+	return k.current.proc
+}
+
+// CurrentTask returns the kernel-wide id of the currently running task,
+// used by registers to identify distinct concurrent operations.
+func (k *Kernel) CurrentTask() int {
+	if k.current == nil {
+		panic("sim: CurrentTask called outside a running task")
+	}
+	return k.current.id
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

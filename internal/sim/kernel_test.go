@@ -1,0 +1,213 @@
+package sim
+
+import (
+	"testing"
+
+	"tbwf/internal/prim"
+)
+
+// spin returns a task that increments *ctr once per step, forever.
+func spin(ctr *int64) func(prim.Proc) {
+	return func(p prim.Proc) {
+		for {
+			*ctr++
+			p.Step()
+		}
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	const n = 4
+	k := New(n)
+	ctrs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		k.Spawn(i, "spin", spin(&ctrs[i]))
+	}
+	res, err := k.Run(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	if res.Steps != 4000 {
+		t.Fatalf("steps = %d, want 4000", res.Steps)
+	}
+	for i, c := range ctrs {
+		if c != 1000 {
+			t.Errorf("process %d took %d steps, want 1000", i, c)
+		}
+		if k.Metrics().Steps[i] != 1000 {
+			t.Errorf("metrics: process %d charged %d steps, want 1000", i, k.Metrics().Steps[i])
+		}
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	run := func() []int32 {
+		k := New(3, WithSchedule(Random(42, nil)))
+		var sink int64
+		for i := 0; i < 3; i++ {
+			k.Spawn(i, "spin", spin(&sink))
+		}
+		if _, err := k.Run(500); err != nil {
+			t.Fatal(err)
+		}
+		defer k.Shutdown()
+		return append([]int32(nil), k.Trace().Schedule()...)
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestIncrementalRun(t *testing.T) {
+	k := New(2)
+	ctrs := make([]int64, 2)
+	k.Spawn(0, "spin", spin(&ctrs[0]))
+	k.Spawn(1, "spin", spin(&ctrs[1]))
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	first := ctrs[0] + ctrs[1]
+	if _, err := k.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	second := ctrs[0] + ctrs[1]
+	if first != 100 || second != 200 {
+		t.Fatalf("counts after runs: %d then %d, want 100 then 200", first, second)
+	}
+}
+
+func TestCrashStopsProcess(t *testing.T) {
+	k := New(2)
+	ctrs := make([]int64, 2)
+	k.Spawn(0, "spin", spin(&ctrs[0]))
+	k.Spawn(1, "spin", spin(&ctrs[1]))
+	k.CrashAt(1, 50)
+	if _, err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	if !k.Crashed(1) {
+		t.Fatal("process 1 should have crashed")
+	}
+	if ctrs[1] > 30 {
+		t.Errorf("crashed process took %d steps, want <= 30 (25 before crash)", ctrs[1])
+	}
+	if ctrs[0] < 900 {
+		t.Errorf("surviving process took %d steps, want >= 900", ctrs[0])
+	}
+}
+
+func TestTaskCompletionEndsRun(t *testing.T) {
+	k := New(1)
+	did := 0
+	k.Spawn(0, "finite", func(p prim.Proc) {
+		for i := 0; i < 10; i++ {
+			did++
+			p.Step()
+		}
+	})
+	res, err := k.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if !res.Idle {
+		t.Error("run should report idle after all tasks finished")
+	}
+	if did != 10 {
+		t.Errorf("task did %d iterations, want 10", did)
+	}
+}
+
+func TestMultipleTasksPerProcessShareSteps(t *testing.T) {
+	k := New(1)
+	var a, b int64
+	k.Spawn(0, "a", spin(&a))
+	k.Spawn(0, "b", spin(&b))
+	if _, err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	if a+b != 1000 {
+		t.Fatalf("total iterations %d, want 1000", a+b)
+	}
+	if a != 500 || b != 500 {
+		t.Errorf("tasks got %d and %d steps, want 500 each (round-robin)", a, b)
+	}
+}
+
+func TestTaskPanicSurfacesAsError(t *testing.T) {
+	k := New(1)
+	k.Spawn(0, "boom", func(p prim.Proc) {
+		p.Step()
+		panic("kaboom")
+	})
+	_, err := k.Run(100)
+	k.Shutdown()
+	if err == nil {
+		t.Fatal("expected error from panicking task")
+	}
+}
+
+func TestAfterStepHook(t *testing.T) {
+	k := New(1)
+	var sink int64
+	k.Spawn(0, "spin", spin(&sink))
+	var calls int64
+	k.AfterStep(func(step int64) { calls++ })
+	if _, err := k.Run(77); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if calls != 77 {
+		t.Fatalf("hook called %d times, want 77", calls)
+	}
+}
+
+func TestDynamicCrashFromHook(t *testing.T) {
+	k := New(2)
+	ctrs := make([]int64, 2)
+	k.Spawn(0, "spin", spin(&ctrs[0]))
+	k.Spawn(1, "spin", spin(&ctrs[1]))
+	k.AfterStep(func(step int64) {
+		if step == 100 {
+			k.Crash(0)
+		}
+	})
+	if _, err := k.Run(500); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	if !k.Crashed(0) {
+		t.Fatal("process 0 should be crashed")
+	}
+	if ctrs[0] > 60 {
+		t.Errorf("process 0 took %d steps after hook crash, want about 50", ctrs[0])
+	}
+}
+
+func TestSoloAfterSchedule(t *testing.T) {
+	k := New(3, WithSchedule(SoloAfter(RoundRobin(), 2, 300)))
+	ctrs := make([]int64, 3)
+	for i := 0; i < 3; i++ {
+		k.Spawn(i, "spin", spin(&ctrs[i]))
+	}
+	if _, err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	sched := k.Trace().Schedule()
+	for s := 300; s < 1000; s++ {
+		if sched[s] != 2 {
+			t.Fatalf("step %d went to process %d, want 2 (solo)", s, sched[s])
+		}
+	}
+}

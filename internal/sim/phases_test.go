@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"testing"
+
+	"tbwf/internal/prim"
+)
+
+// Spawning between Run calls is supported (the experiment harness uses it
+// to add a solo verifier after the workload finishes).
+func TestSpawnBetweenRuns(t *testing.T) {
+	k := New(2)
+	k.Spawn(0, "finite", func(p prim.Proc) {
+		for i := 0; i < 5; i++ {
+			p.Step()
+		}
+	})
+	res, err := k.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Idle {
+		t.Fatal("first phase should end idle")
+	}
+	ran := false
+	k.Spawn(1, "late", func(p prim.Proc) {
+		ran = true
+		p.Step()
+	})
+	if _, err := k.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if !ran {
+		t.Fatal("task spawned between runs never ran")
+	}
+}
+
+// Run after Shutdown is rejected, and Shutdown is idempotent.
+func TestRunAfterShutdownRejected(t *testing.T) {
+	k := New(1)
+	k.Spawn(0, "spin", func(p prim.Proc) {
+		for {
+			p.Step()
+		}
+	})
+	if _, err := k.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	k.Shutdown() // idempotent
+	if _, err := k.Run(10); err == nil {
+		t.Fatal("Run after Shutdown accepted")
+	}
+}
+
+// The write log records aborted and successful writes with the right
+// attribution.
+func TestWriteLogAttribution(t *testing.T) {
+	k := New(1, WithWriteLog(true))
+	k.Spawn(0, "w", func(p prim.Proc) {
+		p.Step()
+	})
+	k.Trace().RecordWrite(WriteEvent{Step: 1, Proc: 0, Register: "x", Aborted: true})
+	if _, err := k.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	w := k.Trace().Writes()
+	if len(w) != 1 || !w[0].Aborted || w[0].Register != "x" {
+		t.Fatalf("writes = %+v", w)
+	}
+	if !k.Trace().WritesEnabled() {
+		t.Fatal("write log should be enabled")
+	}
+}
+
+// Metrics totals aggregate per-process counters.
+func TestMetricsTotals(t *testing.T) {
+	m := newMetrics(2)
+	m.Reads[0] = 3
+	m.Writes[1] = 4
+	m.ReadAborts[0] = 1
+	m.WriteAborts[1] = 2
+	if m.TotalOps() != 7 {
+		t.Fatalf("TotalOps = %d", m.TotalOps())
+	}
+	if m.TotalAborts() != 3 {
+		t.Fatalf("TotalAborts = %d", m.TotalAborts())
+	}
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tbwf/internal/prim"
+)
+
+func collectSchedule(t *testing.T, s Schedule, n int, steps int64) []int32 {
+	t.Helper()
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	out := make([]int32, steps)
+	for i := int64(0); i < steps; i++ {
+		p := s.Next(i, alive)
+		if p < 0 || p >= n {
+			t.Fatalf("schedule returned %d, out of range [0,%d)", p, n)
+		}
+		out[i] = int32(p)
+	}
+	return out
+}
+
+func TestSmoothWeightedShares(t *testing.T) {
+	s := SmoothWeighted([]int{3, 1})
+	sched := collectSchedule(t, s, 2, 4000)
+	counts := make([]int64, 2)
+	for _, p := range sched {
+		counts[p]++
+	}
+	if counts[0] != 3000 || counts[1] != 1000 {
+		t.Fatalf("shares = %v, want [3000 1000]", counts)
+	}
+	// Smoothness: process 1 must appear at least once in every window of 5.
+	rep := Analyze(sched, 2)
+	if rep.Bound[1] > 5 {
+		t.Errorf("process 1 observed bound %d, want <= 5 (smooth interleave)", rep.Bound[1])
+	}
+}
+
+func TestPatternRepeats(t *testing.T) {
+	s := Pattern(0, 0, 1)
+	sched := collectSchedule(t, s, 2, 9)
+	want := []int32{0, 0, 1, 0, 0, 1, 0, 0, 1}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("sched = %v, want %v", sched, want)
+		}
+	}
+}
+
+func TestPatternSkipsDeadProcess(t *testing.T) {
+	s := Pattern(0, 1)
+	alive := []int{1} // process 0 is gone
+	for i := int64(0); i < 10; i++ {
+		if got := s.Next(i, alive); got != 1 {
+			t.Fatalf("step %d: got %d, want 1", i, got)
+		}
+	}
+}
+
+func TestFlickerAvailability(t *testing.T) {
+	f := Flicker(3, 2, 0)
+	want := []bool{true, true, true, false, false, true, true, true, false, false}
+	for i, w := range want {
+		if f(int64(i)) != w {
+			t.Fatalf("flicker(%d) = %v, want %v", i, f(int64(i)), w)
+		}
+	}
+}
+
+func TestGrowingGapsIsEventuallySparse(t *testing.T) {
+	g := GrowingGaps(2, 10, 2)
+	// Count on-steps in two windows; the later window must be sparser.
+	count := func(from, to int64) (c int64) {
+		for s := from; s < to; s++ {
+			if g(s) {
+				c++
+			}
+		}
+		return c
+	}
+	early := count(0, 1000)
+	late := count(100000, 101000)
+	if late >= early {
+		t.Fatalf("growing gaps not sparser over time: early=%d late=%d", early, late)
+	}
+	if early == 0 {
+		t.Fatal("process never available early on")
+	}
+}
+
+func TestGrowingGapsRandomAccessConsistent(t *testing.T) {
+	// Availability must be a pure function of the step even when queried
+	// out of order (Restrict may probe steps non-monotonically after
+	// crashes change the alive set).
+	mk := func() Availability { return GrowingGaps(3, 5, 1.5) }
+	seq := mk()
+	inOrder := make([]bool, 5000)
+	for i := range inOrder {
+		inOrder[i] = seq(int64(i))
+	}
+	shuffled := mk()
+	// Query backwards.
+	for i := len(inOrder) - 1; i >= 0; i-- {
+		if shuffled(int64(i)) != inOrder[i] {
+			t.Fatalf("availability(%d) differs between in-order and reverse queries", i)
+		}
+	}
+}
+
+func TestRestrictFallsBackWhenAllSuppressed(t *testing.T) {
+	s := Restrict(RoundRobin(), map[int]Availability{
+		0: func(int64) bool { return false },
+		1: func(int64) bool { return false },
+	})
+	alive := []int{0, 1}
+	got := s.Next(0, alive)
+	if got != 0 && got != 1 {
+		t.Fatalf("restricted schedule returned %d with everyone suppressed", got)
+	}
+}
+
+func TestRandomScheduleRespectsWeights(t *testing.T) {
+	s := Random(7, []float64{0.9, 0.1})
+	sched := collectSchedule(t, s, 2, 10000)
+	var c0 int64
+	for _, p := range sched {
+		if p == 0 {
+			c0++
+		}
+	}
+	if c0 < 8500 || c0 > 9500 {
+		t.Fatalf("process 0 got %d of 10000 steps, want about 9000", c0)
+	}
+}
+
+func TestScheduleAlwaysReturnsAliveMember(t *testing.T) {
+	schedules := map[string]func() Schedule{
+		"roundrobin": RoundRobin,
+		"pattern":    func() Schedule { return Pattern(0, 3, 1, 2) },
+		"weighted":   func() Schedule { return SmoothWeighted([]int{1, 2, 3, 4}) },
+		"random":     func() Schedule { return Random(1, nil) },
+	}
+	for name, mk := range schedules {
+		s := mk()
+		check := func(step int64, aliveMask uint8) bool {
+			var alive []int
+			for p := 0; p < 4; p++ {
+				if aliveMask&(1<<p) != 0 {
+					alive = append(alive, p)
+				}
+			}
+			if len(alive) == 0 {
+				return true
+			}
+			got := s.Next(step, alive)
+			for _, p := range alive {
+				if p == got {
+					return true
+				}
+			}
+			return false
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("%s: schedule returned non-alive process: %v", name, err)
+		}
+	}
+}
+
+func TestReplayScheduleReproducesRun(t *testing.T) {
+	// Record a random run, then replay it: the schedules must be identical.
+	record := func(s Schedule) []int32 {
+		k := New(3, WithSchedule(s))
+		for p := 0; p < 3; p++ {
+			k.Spawn(p, "spin", func(pp prim.Proc) {
+				for {
+					pp.Step()
+				}
+			})
+		}
+		if _, err := k.Run(500); err != nil {
+			t.Fatal(err)
+		}
+		k.Shutdown()
+		return append([]int32(nil), k.Trace().Schedule()...)
+	}
+	original := record(Random(123, nil))
+	replayed := record(Replay(original))
+	for i := range original {
+		if original[i] != replayed[i] {
+			t.Fatalf("replay diverges at step %d: %d vs %d", i, original[i], replayed[i])
+		}
+	}
+}

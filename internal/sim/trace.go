@@ -1,0 +1,98 @@
+package sim
+
+// Trace records what happened during a run: which process took each step
+// and, optionally, every shared-register write. The timeliness analyzer
+// (analysis.go) and the experiment harness (internal/exp) consume it.
+type Trace struct {
+	recordSchedule bool
+	recordWrites   bool
+
+	// schedule[i] is the process that took step i.
+	schedule []int32
+	// writes are shared-register write events, in step order.
+	writes []WriteEvent
+}
+
+// WriteEvent is one shared-register write.
+type WriteEvent struct {
+	Step     int64
+	Proc     int
+	Register string
+	Aborted  bool
+}
+
+func newTrace(n int) *Trace {
+	return &Trace{recordSchedule: true}
+}
+
+func (tr *Trace) recordStep(proc int) {
+	if tr.recordSchedule {
+		tr.schedule = append(tr.schedule, int32(proc))
+	}
+}
+
+// RecordWrite appends a write event if the write log is enabled. It is
+// called by internal/register.
+func (tr *Trace) RecordWrite(ev WriteEvent) {
+	if tr.recordWrites {
+		tr.writes = append(tr.writes, ev)
+	}
+}
+
+// WritesEnabled reports whether the write log is being recorded.
+func (tr *Trace) WritesEnabled() bool { return tr.recordWrites }
+
+// Schedule returns the recorded schedule: element i is the process that
+// took step i. The returned slice is the trace's own storage; treat it as
+// read-only.
+func (tr *Trace) Schedule() []int32 { return tr.schedule }
+
+// Writes returns the recorded write events. The returned slice is the
+// trace's own storage; treat it as read-only.
+func (tr *Trace) Writes() []WriteEvent { return tr.writes }
+
+// Metrics holds aggregate counters for a run. All fields are written only
+// between steps (single-threaded), so reads after Run are safe.
+type Metrics struct {
+	// Steps[p] counts the steps taken by process p.
+	Steps []int64
+	// Reads[p], Writes[p] count register operations issued by p
+	// (including aborted ones).
+	Reads  []int64
+	Writes []int64
+	// ReadAborts[p], WriteAborts[p] count aborted operations on abortable
+	// registers issued by p.
+	ReadAborts  []int64
+	WriteAborts []int64
+	// ScheduleMisses counts times the schedule policy returned a process
+	// that was not schedulable and the kernel fell back to round-robin.
+	ScheduleMisses int64
+}
+
+func newMetrics(n int) *Metrics {
+	return &Metrics{
+		Steps:       make([]int64, n),
+		Reads:       make([]int64, n),
+		Writes:      make([]int64, n),
+		ReadAborts:  make([]int64, n),
+		WriteAborts: make([]int64, n),
+	}
+}
+
+// TotalOps returns the total number of register operations issued.
+func (m *Metrics) TotalOps() int64 {
+	var t int64
+	for p := range m.Reads {
+		t += m.Reads[p] + m.Writes[p]
+	}
+	return t
+}
+
+// TotalAborts returns the total number of aborted register operations.
+func (m *Metrics) TotalAborts() int64 {
+	var t int64
+	for p := range m.ReadAborts {
+		t += m.ReadAborts[p] + m.WriteAborts[p]
+	}
+	return t
+}
