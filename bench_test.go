@@ -435,6 +435,39 @@ func BenchmarkE10AbortableComm(b *testing.B) {
 	b.ReportMetric(float64(deliveredAt)/float64(b.N), "steps-to-deliver")
 }
 
+// BenchmarkKernelStep measures the kernel's per-step dispatch cost for
+// spinning tasks across system sizes, with and without schedule-trace
+// recording. With the trace off a step must not allocate (b.ReportAllocs
+// makes `-benchmem` optional); with it on, the preallocated trace keeps
+// appends amortized O(1).
+func BenchmarkKernelStep(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		for _, trace := range []bool{true, false} {
+			b.Run(fmt.Sprintf("n=%d/trace=%v", n, trace), func(b *testing.B) {
+				b.ReportAllocs()
+				k := sim.New(n, sim.WithScheduleTrace(trace))
+				for p := 0; p < n; p++ {
+					k.Spawn(p, "spin", func(pp prim.Proc) {
+						for {
+							pp.Step()
+						}
+					})
+				}
+				b.ResetTimer()
+				if _, err := k.Run(int64(b.N)); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				k.Shutdown()
+				s := k.Stats()
+				if s.Steps > 0 {
+					b.ReportMetric(100*float64(s.FastPathSteps)/float64(s.Steps), "fast-path-%")
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkKernelThroughput measures raw simulation speed: scheduled steps
 // per second for spinning tasks.
 func BenchmarkKernelThroughput(b *testing.B) {
@@ -484,7 +517,7 @@ func BenchmarkFullTableQuick(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := ex.Run(true); err != nil {
+			if _, err := ex.Run(exp.Options{Quick: true}); err != nil {
 				b.Fatal(err)
 			}
 		}

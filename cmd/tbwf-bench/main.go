@@ -6,8 +6,14 @@
 //	tbwf-bench                # run every experiment at full budgets
 //	tbwf-bench -quick         # smaller budgets (CI-sized)
 //	tbwf-bench -run E1,E7     # a subset, by id or name
+//	tbwf-bench -parallel 4    # scenario worker-pool size (0: one per CPU)
+//	tbwf-bench -stats         # report kernel throughput per experiment
 //	tbwf-bench -csv out/      # additionally write one CSV per table
 //	tbwf-bench -list          # list experiments and exit
+//
+// Tables are byte-identical whatever -parallel is; the flag only changes
+// wall-clock time. If any experiment fails the error is printed, the
+// remaining experiments still run, and the exit code is non-zero.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"time"
 
 	"tbwf/internal/exp"
+	"tbwf/internal/sim"
 )
 
 func main() {
@@ -32,6 +39,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("tbwf-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "use reduced budgets")
 	runIDs := fs.String("run", "", "comma-separated experiment ids or names (default: all)")
+	parallel := fs.Int("parallel", 0, "scenario worker-pool size (<= 0: one worker per CPU)")
+	stats := fs.Bool("stats", false, "print kernel execution statistics per experiment")
 	csvDir := fs.String("csv", "", "directory to write per-table CSV files into")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
@@ -62,13 +71,23 @@ func run(args []string) error {
 		}
 	}
 
+	opts := exp.Options{Quick: *quick, Parallel: *parallel}
+	failed := 0
 	for _, e := range experiments {
 		start := time.Now()
-		table, err := e.Run(*quick)
+		table, err := e.Run(opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			// Print and keep going: one broken experiment must not hide the
+			// others' tables. The exit code still reports the failure.
+			fmt.Fprintf(os.Stderr, "tbwf-bench: %s: %v\n", e.ID, err)
+			failed++
+			continue
 		}
-		fmt.Printf("%s\n(%s, %.1fs)\n\n", table, e.Name, time.Since(start).Seconds())
+		fmt.Printf("%s\n(%s, %.1fs)\n", table, e.Name, time.Since(start).Seconds())
+		if *stats {
+			fmt.Printf("stats: %s\n", formatStats(table.Stats))
+		}
+		fmt.Println()
 		if table.ID == "E1" {
 			if chart, err := exp.StaircaseChart(table); err == nil {
 				fmt.Printf("%s\n", chart)
@@ -81,5 +100,20 @@ func run(args []string) error {
 			}
 		}
 	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
 	return nil
+}
+
+// formatStats renders an aggregated RunStats one-liner. Steps/s is summed
+// over the scenarios' kernels, so under -parallel it reflects aggregate
+// simulation throughput, not wall-clock.
+func formatStats(s sim.RunStats) string {
+	fastPct := 0.0
+	if s.Steps > 0 {
+		fastPct = 100 * float64(s.FastPathSteps) / float64(s.Steps)
+	}
+	return fmt.Sprintf("%d steps, %.2fM steps/s, %d handoffs, %.1f%% fast-path, %d schedule misses, %.1f KiB trace",
+		s.Steps, s.StepsPerSec()/1e6, s.Handoffs, fastPct, s.ScheduleMisses, float64(s.TraceBytes)/1024)
 }

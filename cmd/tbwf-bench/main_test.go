@@ -27,6 +27,12 @@ func TestRunSubsetWithCSV(t *testing.T) {
 	}
 }
 
+func TestParallelAndStatsFlags(t *testing.T) {
+	if err := run([]string{"-quick", "-run", "A3", "-parallel", "2", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestUnknownExperimentRejected(t *testing.T) {
 	if err := run([]string{"-run", "E99"}); err == nil {
 		t.Fatal("unknown experiment accepted")

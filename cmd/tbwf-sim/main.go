@@ -41,6 +41,7 @@ func run(args []string) error {
 	crash := fs.String("crash", "", "crash spec proc@step (e.g. 1@500000)")
 	seed := fs.Int64("seed", 0, "random schedule seed (0 = round-robin base)")
 	nonCanonical := fs.Bool("non-canonical", false, "skip the canonical wait (demonstrates monopolization)")
+	stats := fs.Bool("stats", false, "print kernel execution statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +71,9 @@ func run(args []string) error {
 		at, err2 := strconv.ParseInt(parts[1], 10, 64)
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("bad crash spec %q", *crash)
+		}
+		if proc < 0 || proc >= *n {
+			return fmt.Errorf("crash spec %q: process out of range [0,%d)", *crash, *n)
 		}
 		k.CrashAt(proc, at)
 	}
@@ -111,7 +115,11 @@ func run(args []string) error {
 	}
 	k.Shutdown()
 
-	rep, err := core.Evaluate(sim.Analyze(k.Trace().Schedule(), *n), st.CompletedOps(), wantedSlice, 256)
+	timeliness, err := k.Trace().Analyze()
+	if err != nil {
+		return err
+	}
+	rep, err := core.Evaluate(timeliness, st.CompletedOps(), wantedSlice, 256)
 	if err != nil {
 		return err
 	}
@@ -122,6 +130,15 @@ func run(args []string) error {
 	fmt.Printf("register ops: %d (%d aborted)\n", k.Metrics().TotalOps(), k.Metrics().TotalAborts())
 	if *wanted > 0 {
 		fmt.Printf("TBWF verdict: %v\n", rep.TBWFHolds())
+	}
+	if *stats {
+		s := k.Stats()
+		fastPct := 0.0
+		if s.Steps > 0 {
+			fastPct = 100 * float64(s.FastPathSteps) / float64(s.Steps)
+		}
+		fmt.Printf("kernel: %d steps in %v (%.2fM steps/s), %d handoffs, %.1f%% fast-path, %d schedule misses, %d trace bytes\n",
+			s.Steps, s.Elapsed.Round(1e6), s.StepsPerSec()/1e6, s.Handoffs, fastPct, s.ScheduleMisses, s.TraceBytes)
 	}
 	return nil
 }

@@ -14,6 +14,12 @@ func TestUntimelyAndCrash(t *testing.T) {
 	}
 }
 
+func TestStatsFlag(t *testing.T) {
+	if err := run([]string{"-n", "2", "-steps", "100000", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestAbortableOmega(t *testing.T) {
 	if err := run([]string{"-n", "2", "-steps", "600000", "-omega", "abortable", "-wanted", "1"}); err != nil {
 		t.Fatal(err)
@@ -27,6 +33,8 @@ func TestRejectsBadInputs(t *testing.T) {
 		{"-omega", "nope"},
 		{"-crash", "garbage"},
 		{"-crash", "x@y"},
+		{"-n", "3", "-crash", "7@100"},
+		{"-n", "3", "-crash", "-1@100"},
 	} {
 		if err := run(args); err == nil {
 			t.Errorf("args %v accepted", args)

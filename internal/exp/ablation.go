@@ -18,6 +18,8 @@ import (
 type A1Config struct {
 	// Steps is the run budget (default 400k).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // A1DualHeartbeat contrasts the paper's dual-register heartbeat (Figure 5)
@@ -40,62 +42,71 @@ func A1DualHeartbeat(cfg A1Config) (*Table, error) {
 			"expected shape: the dual-register receiver suspects the slow sender; the single-register one is fooled by aborts",
 		},
 	}
+	var scs []Scenario
 	for _, variant := range []string{"dual (paper)", "single (ablated)"} {
-		k := sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
-			0: sim.GrowingGaps(1, 2_000, 1.3),
-		})))
-		r1 := register.NewAbortableSWSR(k, "Hb1", int64(0), 0, 1)
-		r2 := register.NewAbortableSWSR(k, "Hb2", int64(0), 0, 1)
-		in1 := []prim.AbortableRegister[int64]{r1, nil}
-		in2 := []prim.AbortableRegister[int64]{r2, nil}
-		hb, err := omegaab.NewHeartbeat(1, 2,
-			make([]prim.AbortableRegister[int64], 2), make([]prim.AbortableRegister[int64], 2),
-			in1, in2)
-		if err != nil {
-			return nil, err
-		}
-		single := variant != "dual (paper)"
-		if single {
-			hb.AblateSingleRegister()
-		}
-		// Sender: the naive single-register protocol writes one register;
-		// the paper's protocol alternates both.
-		k.Spawn(0, "sender", func(p prim.Proc) {
-			var c int64
-			for {
-				c++
-				r1.Write(c)
-				if !single {
-					r2.Write(c)
+		variant := variant
+		scs = append(scs, Scenario{Name: variant, Run: func(res *Result) error {
+			k := sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
+				0: sim.GrowingGaps(1, 2_000, 1.3),
+			})))
+			r1 := register.NewAbortableSWSR(k, "Hb1", int64(0), 0, 1)
+			r2 := register.NewAbortableSWSR(k, "Hb2", int64(0), 0, 1)
+			in1 := []prim.AbortableRegister[int64]{r1, nil}
+			in2 := []prim.AbortableRegister[int64]{r2, nil}
+			hb, err := omegaab.NewHeartbeat(1, 2,
+				make([]prim.AbortableRegister[int64], 2), make([]prim.AbortableRegister[int64], 2),
+				in1, in2)
+			if err != nil {
+				return err
+			}
+			single := variant != "dual (paper)"
+			if single {
+				hb.AblateSingleRegister()
+			}
+			// Sender: the naive single-register protocol writes one register;
+			// the paper's protocol alternates both.
+			k.Spawn(0, "sender", func(p prim.Proc) {
+				var c int64
+				for {
+					c++
+					r1.Write(c)
+					if !single {
+						r2.Write(c)
+					}
 				}
-			}
-		})
-		var active []bool
-		k.Spawn(1, "receiver", func(p prim.Proc) {
-			for {
-				active = hb.Receive()
-				p.Step()
-			}
-		})
-		var samples, activeSamples int64
-		k.AfterStep(func(step int64) {
-			if step > cfg.Steps/2 && active != nil {
-				samples++
-				if active[0] {
-					activeSamples++
+			})
+			var active []bool
+			k.Spawn(1, "receiver", func(p prim.Proc) {
+				for {
+					active = hb.Receive()
+					p.Step()
 				}
+			})
+			var samples, activeSamples int64
+			k.AfterStep(func(step int64) {
+				if step > cfg.Steps/2 && active != nil {
+					samples++
+					if active[0] {
+						activeSamples++
+					}
+				}
+			})
+			if _, err := k.Run(cfg.Steps); err != nil {
+				return err
 			}
-		})
-		if _, err := k.Run(cfg.Steps); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		frac := float64(activeSamples) / float64(max(samples, 1))
-		verdict := "suspects the slow sender"
-		if frac > 0.5 {
-			verdict = "fooled: believes the sender timely"
-		}
-		t.AddRow(variant, fmt.Sprintf("%.0f%%", 100*frac), verdict)
+			k.Shutdown()
+			res.Record(k)
+			frac := float64(activeSamples) / float64(max(samples, 1))
+			verdict := "suspects the slow sender"
+			if frac > 0.5 {
+				verdict = "fooled: believes the sender timely"
+			}
+			res.AddRow(variant, fmt.Sprintf("%.0f%%", 100*frac), verdict)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -104,6 +115,8 @@ func A1DualHeartbeat(cfg A1Config) (*Table, error) {
 type A2Config struct {
 	// Steps is the run budget (default 1.2M).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // A2SelfPunishment contrasts Figure 3 with and without its self-punishment
@@ -126,43 +139,52 @@ func A2SelfPunishment(cfg A2Config) (*Table, error) {
 			"expected shape: with self-punishment churn stops influencing leadership; without it every re-entry steals leadership back",
 		},
 	}
+	var scs []Scenario
 	for _, ablate := range []bool{false, true} {
-		k := sim.New(3)
-		dep, err := omega.BuildWithOptions(3, k, func(name string, init int64) prim.Register[int64] {
-			return register.NewAtomic(k, name, init)
-		}, ablate)
-		if err != nil {
-			return nil, err
-		}
-		obs := omega.NewObserver(dep.Instances[1:]) // permanent candidates only
-		k.AfterStep(obs.Sample)
-		for _, inst := range dep.Instances {
-			inst.Candidate.Set(true)
-		}
-		k.AfterStep(func(step int64) {
-			if step%20_000 == 0 {
-				inst := dep.Instances[0]
-				inst.Candidate.Set(!inst.Candidate.Get())
-			}
-		})
-		if _, err := k.Run(cfg.Steps / 2); err != nil {
-			return nil, err
-		}
-		firstHalf := obs.Changes()
-		if _, err := k.Run(cfg.Steps / 2); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		secondHalf := obs.Changes() - firstHalf
+		ablate := ablate
 		name := "with self-punishment"
-		verdict := "stable despite churn"
 		if ablate {
 			name = "without (ablated)"
 		}
-		if secondHalf > 4 {
-			verdict = "oscillates forever"
-		}
-		t.AddRow(name, firstHalf, secondHalf, verdict)
+		scs = append(scs, Scenario{Name: name, Run: func(res *Result) error {
+			k := sim.New(3)
+			dep, err := omega.BuildWithOptions(3, k, func(name string, init int64) prim.Register[int64] {
+				return register.NewAtomic(k, name, init)
+			}, ablate)
+			if err != nil {
+				return err
+			}
+			obs := omega.NewObserver(dep.Instances[1:]) // permanent candidates only
+			k.AfterStep(obs.Sample)
+			for _, inst := range dep.Instances {
+				inst.Candidate.Set(true)
+			}
+			k.AfterStep(func(step int64) {
+				if step%20_000 == 0 {
+					inst := dep.Instances[0]
+					inst.Candidate.Set(!inst.Candidate.Get())
+				}
+			})
+			if _, err := k.Run(cfg.Steps / 2); err != nil {
+				return err
+			}
+			firstHalf := obs.Changes()
+			if _, err := k.Run(cfg.Steps / 2); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			secondHalf := obs.Changes() - firstHalf
+			verdict := "stable despite churn"
+			if secondHalf > 4 {
+				verdict = "oscillates forever"
+			}
+			res.AddRow(name, firstHalf, secondHalf, verdict)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -171,6 +193,8 @@ func A2SelfPunishment(cfg A2Config) (*Table, error) {
 type A3Config struct {
 	// Steps is the run budget (default 300k).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // A3ReaderBackoff contrasts Figure 4's WriteMsgs/ReadMsgs with and without
@@ -192,47 +216,56 @@ func A3ReaderBackoff(cfg A3Config) (*Table, error) {
 			"expected shape: with back-off the final value is delivered; without it the messenger starves",
 		},
 	}
+	var scs []Scenario
 	for _, ablate := range []bool{false, true} {
-		k := sim.New(2, sim.WithSchedule(sim.Pattern(0, 1)))
-		reg := register.NewAbortableSWSR(k, "Msg[0,1]", 0, 0, 1)
-		w, err := omegaab.NewMessenger(0, 2,
-			[]prim.AbortableRegister[int]{nil, reg}, make([]prim.AbortableRegister[int], 2), 0)
-		if err != nil {
-			return nil, err
-		}
-		r, err := omegaab.NewMessenger(1, 2,
-			make([]prim.AbortableRegister[int], 2), []prim.AbortableRegister[int]{reg, nil}, 0)
-		if err != nil {
-			return nil, err
-		}
-		if ablate {
-			r.AblateBackoff()
-		}
-		k.Spawn(0, "writer", func(p prim.Proc) {
-			msg := []int{0, 99}
-			for {
-				w.WriteMsgs(msg)
-				p.Step()
+		ablate := ablate
+		scs = append(scs, Scenario{Name: variantName(ablate), Run: func(res *Result) error {
+			k := sim.New(2, sim.WithSchedule(sim.Pattern(0, 1)))
+			reg := register.NewAbortableSWSR(k, "Msg[0,1]", 0, 0, 1)
+			w, err := omegaab.NewMessenger(0, 2,
+				[]prim.AbortableRegister[int]{nil, reg}, make([]prim.AbortableRegister[int], 2), 0)
+			if err != nil {
+				return err
 			}
-		})
-		got := 0
-		k.Spawn(1, "reader", func(p prim.Proc) {
-			for {
-				got = r.ReadMsgs()[0]
-				p.Step()
+			r, err := omegaab.NewMessenger(1, 2,
+				make([]prim.AbortableRegister[int], 2), []prim.AbortableRegister[int]{reg, nil}, 0)
+			if err != nil {
+				return err
 			}
-		})
-		if _, err := k.Run(cfg.Steps); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		outcome := "not delivered"
-		verdict := "starves"
-		if got == 99 {
-			outcome = "delivered"
-			verdict = "back-off breaks the phase lock"
-		}
-		t.AddRow(variantName(ablate), outcome, reg.Stats().ReadAborts, verdict)
+			if ablate {
+				r.AblateBackoff()
+			}
+			k.Spawn(0, "writer", func(p prim.Proc) {
+				msg := []int{0, 99}
+				for {
+					w.WriteMsgs(msg)
+					p.Step()
+				}
+			})
+			got := 0
+			k.Spawn(1, "reader", func(p prim.Proc) {
+				for {
+					got = r.ReadMsgs()[0]
+					p.Step()
+				}
+			})
+			if _, err := k.Run(cfg.Steps); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			outcome := "not delivered"
+			verdict := "starves"
+			if got == 99 {
+				outcome = "delivered"
+				verdict = "back-off breaks the phase lock"
+			}
+			res.AddRow(variantName(ablate), outcome, reg.Stats().ReadAborts, verdict)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -16,6 +16,8 @@ type E1Config struct {
 	// Wanted is the per-process operation target used for the
 	// "satisfied" verdict (default 20).
 	Wanted int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 func (c *E1Config) defaults() {
@@ -53,33 +55,46 @@ func E1Degradation(cfg E1Config) (*Table, error) {
 			"untimely processes are allowed anything; they must merely not hinder the timely ones",
 		},
 	}
+	scs := make([]Scenario, 0, cfg.N+1)
 	for k := 0; k <= cfg.N; k++ {
-		u := cfg.N - k // untimely count, at ids 0..u-1
-		kern := sim.New(cfg.N, sim.WithSchedule(
-			sim.Restrict(sim.RoundRobin(), untimelyGrowing(u))))
-		st, err := buildCounterStack(kern, core.BuildConfig{Kind: core.OmegaRegisters})
-		if err != nil {
-			return nil, err
-		}
-		spawnHammers(kern, st)
-		if _, err := kern.Run(cfg.Steps); err != nil {
-			return nil, fmt.Errorf("E1 k=%d: %w", k, err)
-		}
-		kern.Shutdown()
+		k := k
+		scs = append(scs, Scenario{Name: fmt.Sprintf("k=%d", k), Run: func(res *Result) error {
+			u := cfg.N - k // untimely count, at ids 0..u-1
+			kern := sim.New(cfg.N, sim.WithSchedule(
+				sim.Restrict(sim.RoundRobin(), untimelyGrowing(u))))
+			st, err := buildCounterStack(kern, core.BuildConfig{Kind: core.OmegaRegisters})
+			if err != nil {
+				return err
+			}
+			spawnHammers(kern, st)
+			if _, err := kern.Run(cfg.Steps); err != nil {
+				return err
+			}
+			kern.Shutdown()
+			res.Record(kern)
 
-		completed := st.CompletedOps()
-		wanted := make([]int64, cfg.N)
-		for p := range wanted {
-			wanted[p] = cfg.Wanted
-		}
-		rep, err := core.Evaluate(sim.Analyze(kern.Trace().Schedule(), cfg.N), completed, wanted, 256)
-		if err != nil {
-			return nil, err
-		}
-		done, _ := rep.TimelyCompleted()
-		timely := classify(completed, ids(u, cfg.N))
-		untimely := classify(completed, ids(0, u))
-		t.AddRow(k, fmt.Sprintf("%d/%d", done, k), timely.min, timely.mean(), untimely.mean(), rep.TBWFHolds())
+			completed := st.CompletedOps()
+			wanted := make([]int64, cfg.N)
+			for p := range wanted {
+				wanted[p] = cfg.Wanted
+			}
+			timeliness, err := kern.Trace().Analyze()
+			if err != nil {
+				return err
+			}
+			rep, err := core.Evaluate(timeliness, completed, wanted, 256)
+			if err != nil {
+				return err
+			}
+			done, _ := rep.TimelyCompleted()
+			timely := classify(completed, ids(u, cfg.N))
+			untimely := classify(completed, ids(0, u))
+			res.AddRow(k, fmt.Sprintf("%d/%d", done, k), timely.min, timely.mean(), untimely.mean(), rep.TBWFHolds())
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -17,6 +17,8 @@ type E2Config struct {
 	N int
 	// Steps is the per-run budget (default 4M).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 func (c *E2Config) defaults() {
@@ -61,7 +63,12 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		},
 	}
 
-	weak := register.WithAbortPolicy(register.ProbAbort(0.5, 23))
+	// weak is the probabilistic abort adversary the baselines run under.
+	// Constructed per scenario: the policy holds a mutable rng, so sharing
+	// one instance across parallel scenarios would race.
+	weak := func() register.AbOption {
+		return register.WithAbortPolicy(register.ProbAbort(0.5, 23))
+	}
 
 	type setup struct {
 		name          string
@@ -92,7 +99,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "of-only",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				cs, err := baseline.BuildOF[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak)
+				cs, err := baseline.BuildOF[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak())
 				if err != nil {
 					return nil, err
 				}
@@ -107,7 +114,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "panic-booster",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				cs, err := baseline.BuildPanic[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak)
+				cs, err := baseline.BuildPanic[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak())
 				if err != nil {
 					return nil, err
 				}
@@ -148,7 +155,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "ack-booster",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				cs, err := baseline.BuildAck[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak)
+				cs, err := baseline.BuildAck[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak())
 				if err != nil {
 					return nil, err
 				}
@@ -162,49 +169,58 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		},
 	}
 
+	var scs []Scenario
 	for _, s := range setups {
 		for _, scenario := range []string{"all-timely", "one-untimely"} {
-			var clients []invokerClient
-			var sched sim.Schedule = sim.Random(9, nil)
-			if scenario == "one-untimely" {
-				sched = s.untimelySched(&clients)
-			}
-			k := sim.New(cfg.N, sim.WithSchedule(sched))
-			cs, err := s.build(k)
-			if err != nil {
-				return nil, fmt.Errorf("E2 %s: %w", s.name, err)
-			}
-			clients = cs
-			for p := 0; p < cfg.N; p++ {
-				p := p
-				k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
-					for {
-						clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
-					}
-				})
-			}
-			if _, err := k.Run(cfg.Steps / 2); err != nil {
-				return nil, fmt.Errorf("E2 %s: %w", s.name, err)
-			}
-			var first int64
-			for p := 1; p < cfg.N; p++ { // timely class: everyone but 0
-				first += clients[p].Completed()
-			}
-			if _, err := k.Run(cfg.Steps / 2); err != nil {
-				return nil, fmt.Errorf("E2 %s: %w", s.name, err)
-			}
-			k.Shutdown()
-			var total int64
-			for p := 1; p < cfg.N; p++ {
-				total += clients[p].Completed()
-			}
-			second := total - first
-			ratio := 0.0
-			if first > 0 {
-				ratio = float64(second) / float64(first)
-			}
-			t.AddRow(s.name, scenario, first, second, ratio)
+			s, scenario := s, scenario
+			scs = append(scs, Scenario{Name: s.name + "/" + scenario, Run: func(res *Result) error {
+				var clients []invokerClient
+				var sched sim.Schedule = sim.Random(9, nil)
+				if scenario == "one-untimely" {
+					sched = s.untimelySched(&clients)
+				}
+				k := sim.New(cfg.N, sim.WithSchedule(sched))
+				cs, err := s.build(k)
+				if err != nil {
+					return err
+				}
+				clients = cs
+				for p := 0; p < cfg.N; p++ {
+					p := p
+					k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+						for {
+							clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+						}
+					})
+				}
+				if _, err := k.Run(cfg.Steps / 2); err != nil {
+					return err
+				}
+				var first int64
+				for p := 1; p < cfg.N; p++ { // timely class: everyone but 0
+					first += clients[p].Completed()
+				}
+				if _, err := k.Run(cfg.Steps / 2); err != nil {
+					return err
+				}
+				k.Shutdown()
+				res.Record(k)
+				var total int64
+				for p := 1; p < cfg.N; p++ {
+					total += clients[p].Completed()
+				}
+				second := total - first
+				ratio := 0.0
+				if first > 0 {
+					ratio = float64(second) / float64(first)
+				}
+				res.AddRow(s.name, scenario, first, second, ratio)
+				return nil
+			}})
 		}
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -15,6 +15,8 @@ type E3Config struct {
 	Ns []int
 	// Steps is the per-run budget (default 1M for E3, 2M for E4).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // omegaScenario is one stabilization scenario.
@@ -123,23 +125,32 @@ func E3OmegaAtomic(cfg E3Config) (*Table, error) {
 			"expected shape: a stable leader in every run; in 'one-timely' it is the timely process; under churn the flickering process never holds stable leadership",
 		},
 	}
+	var scs []Scenario
 	for _, n := range cfg.Ns {
 		for _, sc := range omegaScenarios() {
 			if sc.name == "repeated-candidate-churn" && n < 3 {
 				continue
 			}
-			k := sim.New(n, sim.WithSchedule(sc.sched(n)))
-			sys, err := omega.BuildRegisters(k)
-			if err != nil {
-				return nil, err
-			}
-			obs, err := runOmegaScenario(k, sys.Instances, sc, cfg.Steps)
-			if err != nil {
-				return nil, fmt.Errorf("E3 n=%d %s: %w", n, sc.name, err)
-			}
-			leader, stab, churn, ok := summarizeOmega(obs, sc, n, cfg.Steps)
-			t.AddRow(n, sc.name, leader, stab, churn, ok)
+			n, sc := n, sc
+			scs = append(scs, Scenario{Name: fmt.Sprintf("n=%d/%s", n, sc.name), Run: func(res *Result) error {
+				k := sim.New(n, sim.WithSchedule(sc.sched(n)))
+				sys, err := omega.BuildRegisters(k)
+				if err != nil {
+					return err
+				}
+				obs, err := runOmegaScenario(k, sys.Instances, sc, cfg.Steps)
+				if err != nil {
+					return err
+				}
+				res.Record(k)
+				leader, stab, churn, ok := summarizeOmega(obs, sc, n, cfg.Steps)
+				res.AddRow(n, sc.name, leader, stab, churn, ok)
+				return nil
+			}})
 		}
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -162,32 +173,41 @@ func E4OmegaAbortable(cfg E3Config) (*Table, error) {
 			"expected shape: same stabilization structure as E3 at higher step cost; abort rate is the fraction of register operations returning ⊥",
 		},
 	}
+	var scs []Scenario
 	for _, n := range cfg.Ns {
 		for _, sc := range omegaScenarios() {
 			if sc.name == "repeated-candidate-churn" && n < 3 {
 				continue
 			}
-			steps := cfg.Steps
-			if sc.name == "one-timely-rest-untimely" {
-				steps *= 3 // untimely convergence needs the gaps to play out
-			}
-			k := sim.New(n, sim.WithSchedule(sc.sched(n)))
-			sys, err := omegaab.Build(k)
-			if err != nil {
-				return nil, err
-			}
-			obs, err := runOmegaScenario(k, sys.Instances, sc, steps)
-			if err != nil {
-				return nil, fmt.Errorf("E4 n=%d %s: %w", n, sc.name, err)
-			}
-			leader, stab, churn, ok := summarizeOmega(obs, sc, n, steps)
-			ab := sys.Aborts()
-			rate := 0.0
-			if ops := ab.MsgOps + ab.HbOps; ops > 0 {
-				rate = float64(ab.MsgAborts+ab.HbAborts) / float64(ops)
-			}
-			t.AddRow(n, sc.name, leader, stab, churn, rate, ok)
+			n, sc := n, sc
+			scs = append(scs, Scenario{Name: fmt.Sprintf("n=%d/%s", n, sc.name), Run: func(res *Result) error {
+				steps := cfg.Steps
+				if sc.name == "one-timely-rest-untimely" {
+					steps *= 3 // untimely convergence needs the gaps to play out
+				}
+				k := sim.New(n, sim.WithSchedule(sc.sched(n)))
+				sys, err := omegaab.Build(k)
+				if err != nil {
+					return err
+				}
+				obs, err := runOmegaScenario(k, sys.Instances, sc, steps)
+				if err != nil {
+					return err
+				}
+				res.Record(k)
+				leader, stab, churn, ok := summarizeOmega(obs, sc, n, steps)
+				ab := sys.Aborts()
+				rate := 0.0
+				if ops := ab.MsgOps + ab.HbOps; ops > 0 {
+					rate = float64(ab.MsgAborts+ab.HbAborts) / float64(ops)
+				}
+				res.AddRow(n, sc.name, leader, stab, churn, rate, ok)
+				return nil
+			}})
 		}
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -12,6 +12,8 @@ import (
 type E5Config struct {
 	// Steps is the per-run budget (default 400k).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // E5Monitor exercises the activity monitor A(p,q) across the input/behaviour
@@ -105,27 +107,36 @@ func E5Monitor(cfg E5Config) (*Table, error) {
 		},
 	}
 
+	scs := make([]Scenario, 0, len(scenarios))
 	for _, sc := range scenarios {
-		k := sim.New(2, sim.WithSchedule(sc.sched()))
-		hb := register.NewAtomic(k, "Hb[1,0]", int64(-1))
-		m := monitor.NewPair(0, 1, hb)
-		k.Spawn(1, "monitored", m.MonitoredTask())
-		k.Spawn(0, "monitoring", m.MonitoringTask())
-		sc.setup(k, m)
-		if _, err := k.Run(cfg.Steps / 2); err != nil {
-			return nil, fmt.Errorf("E5 %s: %w", sc.name, err)
-		}
-		half := m.FaultCntr.Get()
-		if _, err := k.Run(cfg.Steps / 2); err != nil {
-			return nil, fmt.Errorf("E5 %s: %w", sc.name, err)
-		}
-		k.Shutdown()
-		end := m.FaultCntr.Get()
-		growth := "frozen"
-		if end > half {
-			growth = "growing"
-		}
-		t.AddRow(sc.name, m.Status.Get(), half, end, growth, sc.property)
+		sc := sc
+		scs = append(scs, Scenario{Name: sc.name, Run: func(res *Result) error {
+			k := sim.New(2, sim.WithSchedule(sc.sched()))
+			hb := register.NewAtomic(k, "Hb[1,0]", int64(-1))
+			m := monitor.NewPair(0, 1, hb)
+			k.Spawn(1, "monitored", m.MonitoredTask())
+			k.Spawn(0, "monitoring", m.MonitoringTask())
+			sc.setup(k, m)
+			if _, err := k.Run(cfg.Steps / 2); err != nil {
+				return err
+			}
+			half := m.FaultCntr.Get()
+			if _, err := k.Run(cfg.Steps / 2); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			end := m.FaultCntr.Get()
+			growth := "frozen"
+			if end > half {
+				growth = "growing"
+			}
+			res.AddRow(sc.name, m.Status.Get(), half, end, growth, sc.property)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -14,6 +14,8 @@ type E6Config struct {
 	N int
 	// Steps is the run budget (default 600k).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // E6WriteEfficiency measures shared-register write traffic before and
@@ -27,59 +29,66 @@ func E6WriteEfficiency(cfg E6Config) (*Table, error) {
 	if cfg.Steps == 0 {
 		cfg.Steps = 600_000
 	}
-	k := sim.New(cfg.N, sim.WithWriteLog(true))
-	sys, err := omega.BuildRegisters(k)
-	if err != nil {
-		return nil, err
-	}
-	obs := omega.NewObserver(sys.Instances)
-	k.AfterStep(obs.Sample)
-	for _, inst := range sys.Instances {
-		inst.Candidate.Set(true)
-	}
-	if _, err := k.Run(cfg.Steps); err != nil {
-		return nil, err
-	}
-	k.Shutdown()
-
-	stable := obs.StabilizedAt() + 20_000 // settling margin
-	ell := obs.AgreedLeader(ids(0, cfg.N))
-
-	var before, after int64
-	writersAfter := map[int]int64{}
-	for _, ev := range k.Trace().Writes() {
-		if ev.Step < stable {
-			before++
-		} else {
-			after++
-			writersAfter[ev.Proc]++
-		}
-	}
-	beforeWindow := stable
-	afterWindow := cfg.Steps - stable
-	perK := func(cnt, window int64) float64 {
-		if window <= 0 {
-			return 0
-		}
-		return 1000 * float64(cnt) / float64(window)
-	}
-	nonLeader := int64(0)
-	for proc, c := range writersAfter {
-		if proc != ell {
-			nonLeader += c
-		}
-	}
 	t := &Table{
 		ID:      "E6",
 		Title:   fmt.Sprintf("write efficiency of Ω∆ (Figure 3), n=%d, %d steps", cfg.N, cfg.Steps),
 		Columns: []string{"phase", "window steps", "writes", "writes/1k steps", "non-leader writes"},
 		Notes: []string{
-			fmt.Sprintf("stable leader %d from step %d (plus 20k margin)", ell, obs.StabilizedAt()),
 			"expected shape: after stabilization every shared write is the leader's heartbeat — non-leader writes drop to zero (total volume stays similar; the point is who writes)",
 		},
 	}
-	t.AddRow("before stabilization", beforeWindow, before, perK(before, beforeWindow), "-")
-	t.AddRow("after stabilization", afterWindow, after, perK(after, afterWindow), nonLeader)
+	scs := []Scenario{{Name: "write-log", Run: func(res *Result) error {
+		k := sim.New(cfg.N, sim.WithWriteLog(true))
+		sys, err := omega.BuildRegisters(k)
+		if err != nil {
+			return err
+		}
+		obs := omega.NewObserver(sys.Instances)
+		k.AfterStep(obs.Sample)
+		for _, inst := range sys.Instances {
+			inst.Candidate.Set(true)
+		}
+		if _, err := k.Run(cfg.Steps); err != nil {
+			return err
+		}
+		k.Shutdown()
+		res.Record(k)
+
+		stable := obs.StabilizedAt() + 20_000 // settling margin
+		ell := obs.AgreedLeader(ids(0, cfg.N))
+
+		var before, after int64
+		writersAfter := map[int]int64{}
+		for _, ev := range k.Trace().Writes() {
+			if ev.Step < stable {
+				before++
+			} else {
+				after++
+				writersAfter[ev.Proc]++
+			}
+		}
+		beforeWindow := stable
+		afterWindow := cfg.Steps - stable
+		perK := func(cnt, window int64) float64 {
+			if window <= 0 {
+				return 0
+			}
+			return 1000 * float64(cnt) / float64(window)
+		}
+		nonLeader := int64(0)
+		for proc, c := range writersAfter {
+			if proc != ell {
+				nonLeader += c
+			}
+		}
+		res.AddNote("stable leader %d from step %d (plus 20k margin)", ell, obs.StabilizedAt())
+		res.AddRow("before stabilization", beforeWindow, before, perK(before, beforeWindow), "-")
+		res.AddRow("after stabilization", afterWindow, after, perK(after, afterWindow), nonLeader)
+		return nil
+	}}}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
+	}
 	return t, nil
 }
 
@@ -89,6 +98,8 @@ type E7Config struct {
 	N int
 	// Steps is the run budget (default 3M).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // E7Canonical contrasts the canonical Figure 7 protocol with the variant
@@ -110,34 +121,43 @@ func E7Canonical(cfg E7Config) (*Table, error) {
 			"expected shape: canonical ≈ uniform; non-canonical monopolized by one client (top share → 1)",
 		},
 	}
+	var scs []Scenario
 	for _, nonCanonical := range []bool{false, true} {
-		k := sim.New(cfg.N)
-		st, err := buildCounterStack(k, core.BuildConfig{Kind: core.OmegaRegisters, NonCanonical: nonCanonical})
-		if err != nil {
-			return nil, err
-		}
-		spawnHammers(k, st)
-		if _, err := k.Run(cfg.Steps); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		completed := st.CompletedOps()
-		var total, top int64
-		for _, c := range completed {
-			total += c
-			if c > top {
-				top = c
-			}
-		}
-		share := 0.0
-		if total > 0 {
-			share = float64(top) / float64(total)
-		}
+		nonCanonical := nonCanonical
 		name := "canonical"
 		if nonCanonical {
 			name = "non-canonical"
 		}
-		t.AddRow(name, fmt.Sprint(completed), total, share)
+		scs = append(scs, Scenario{Name: name, Run: func(res *Result) error {
+			k := sim.New(cfg.N)
+			st, err := buildCounterStack(k, core.BuildConfig{Kind: core.OmegaRegisters, NonCanonical: nonCanonical})
+			if err != nil {
+				return err
+			}
+			spawnHammers(k, st)
+			if _, err := k.Run(cfg.Steps); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			completed := st.CompletedOps()
+			var total, top int64
+			for _, c := range completed {
+				total += c
+				if c > top {
+					top = c
+				}
+			}
+			share := 0.0
+			if total > 0 {
+				share = float64(top) / float64(total)
+			}
+			res.AddRow(name, fmt.Sprint(completed), total, share)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

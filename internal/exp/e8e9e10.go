@@ -20,6 +20,8 @@ type E8Config struct {
 	// Steps is the run budget (default 40M; calls are cheap, budgets
 	// generous so every fate settles).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // E8QAObject sweeps abort/effect policies over the query-abortable object
@@ -48,81 +50,101 @@ func E8QAObject(cfg E8Config) (*Table, error) {
 	}
 	type policy struct {
 		name, effName string
-		opts          []register.AbOption
+		// opts builds the abort adversary; a factory because the
+		// probabilistic policies hold mutable rngs that must not be shared
+		// across parallel scenarios.
+		opts func() []register.AbOption
 	}
 	policies := []policy{
-		{"always-abort", "no-effect", nil},
-		{"prob-0.9", "no-effect", []register.AbOption{register.WithAbortPolicy(register.ProbAbort(0.9, 41))}},
-		{"prob-0.5", "no-effect", []register.AbOption{register.WithAbortPolicy(register.ProbAbort(0.5, 42))}},
-		{"prob-0.5", "effect-0.5", []register.AbOption{
-			register.WithAbortPolicy(register.ProbAbort(0.5, 43)),
-			register.WithEffectPolicy(register.ProbEffect(0.5, 44)),
+		{"always-abort", "no-effect", func() []register.AbOption { return nil }},
+		{"prob-0.9", "no-effect", func() []register.AbOption {
+			return []register.AbOption{register.WithAbortPolicy(register.ProbAbort(0.9, 41))}
 		}},
-		{"prob-0.1", "no-effect", []register.AbOption{register.WithAbortPolicy(register.ProbAbort(0.1, 45))}},
+		{"prob-0.5", "no-effect", func() []register.AbOption {
+			return []register.AbOption{register.WithAbortPolicy(register.ProbAbort(0.5, 42))}
+		}},
+		{"prob-0.5", "effect-0.5", func() []register.AbOption {
+			return []register.AbOption{
+				register.WithAbortPolicy(register.ProbAbort(0.5, 43)),
+				register.WithEffectPolicy(register.ProbEffect(0.5, 44)),
+			}
+		}},
+		{"prob-0.1", "no-effect", func() []register.AbOption {
+			return []register.AbOption{register.WithAbortPolicy(register.ProbAbort(0.1, 45))}
+		}},
 	}
+	var scs []Scenario
 	for _, pol := range policies {
-		k := sim.New(cfg.N, sim.WithSchedule(sim.Random(5, nil)))
-		so, err := qa.NewSim[int64, int64, int64](k,
-			qa.TypeFuncs[int64, int64, int64]{
-				InitFn:  func() int64 { return 0 },
-				ApplyFn: func(s, d int64) (int64, int64) { return s + d, s },
-			}, pol.opts...)
-		if err != nil {
-			return nil, err
-		}
-		var done, calls, aborted int64
-		for p := 0; p < cfg.N; p++ {
-			p := p
-			k.Spawn(p, "client", func(pp prim.Proc) {
-				h := so.Handle(p)
-				for i := 0; i < cfg.OpsEach; i++ {
-					doQuery := false
-					for {
-						if doQuery {
-							calls++
-							_, out := h.Query()
-							if out == qa.QueryApplied {
-								done++
-								break
-							}
-							if out == qa.QueryNotApplied {
-								doQuery = false
+		pol := pol
+		scs = append(scs, Scenario{Name: pol.name + "/" + pol.effName, Run: func(res *Result) error {
+			k := sim.New(cfg.N, sim.WithSchedule(sim.Random(5, nil)))
+			so, err := qa.NewSim[int64, int64, int64](k,
+				qa.TypeFuncs[int64, int64, int64]{
+					InitFn:  func() int64 { return 0 },
+					ApplyFn: func(s, d int64) (int64, int64) { return s + d, s },
+				}, pol.opts()...)
+			if err != nil {
+				return err
+			}
+			var done, calls, aborted int64
+			for p := 0; p < cfg.N; p++ {
+				p := p
+				k.Spawn(p, "client", func(pp prim.Proc) {
+					h := so.Handle(p)
+					for i := 0; i < cfg.OpsEach; i++ {
+						doQuery := false
+						for {
+							if doQuery {
+								calls++
+								_, out := h.Query()
+								if out == qa.QueryApplied {
+									done++
+									break
+								}
+								if out == qa.QueryNotApplied {
+									doQuery = false
+								} else {
+									aborted++
+								}
 							} else {
+								calls++
+								if _, ok := h.Invoke(1); ok {
+									done++
+									break
+								}
 								aborted++
+								doQuery = true
 							}
-						} else {
-							calls++
-							if _, ok := h.Invoke(1); ok {
-								done++
-								break
-							}
-							aborted++
-							doQuery = true
+							pp.Step()
 						}
-						pp.Step()
 					}
-				}
+				})
+			}
+			if _, err := k.Run(cfg.Steps); err != nil {
+				return err
+			}
+			// Solo verification of the final state.
+			var final int64
+			var okSync bool
+			k.Spawn(0, "verifier", func(pp prim.Proc) {
+				final, okSync = so.Handle(0).Sync()
 			})
-		}
-		if _, err := k.Run(cfg.Steps); err != nil {
-			return nil, fmt.Errorf("E8 %s: %w", pol.name, err)
-		}
-		// Solo verification of the final state.
-		var final int64
-		var okSync bool
-		k.Spawn(0, "verifier", func(pp prim.Proc) {
-			final, okSync = so.Handle(0).Sync()
-		})
-		if _, err := k.Run(5_000_000); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		callsPerOp := 0.0
-		if done > 0 {
-			callsPerOp = float64(calls) / float64(done)
-		}
-		stateOK := okSync && final == done
-		t.AddRow(pol.name, pol.effName, done, calls, aborted, callsPerOp, stateOK)
+			if _, err := k.Run(5_000_000); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			callsPerOp := 0.0
+			if done > 0 {
+				callsPerOp = float64(calls) / float64(done)
+			}
+			stateOK := okSync && final == done
+			res.AddRow(pol.name, pol.effName, done, calls, aborted, callsPerOp, stateOK)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -133,6 +155,8 @@ type E9Config struct {
 	Ns []int
 	// Steps is the per-run budget (default 4M).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // E9Consensus runs consensus from abortable registers across system sizes
@@ -153,45 +177,54 @@ func E9Consensus(cfg E9Config) (*Table, error) {
 			"expected shape: agreement and validity always; termination for every correct process, with one timely process sufficing",
 		},
 	}
+	var scs []Scenario
 	for _, n := range cfg.Ns {
 		for _, scenario := range []string{"all-timely", "one-timely"} {
-			sched := sim.Schedule(sim.RoundRobin())
-			if scenario == "one-timely" {
-				sched = sim.Restrict(sim.RoundRobin(), untimelyGrowing(n-1))
-			}
-			k := sim.New(n, sim.WithSchedule(sched))
-			proposals := make([]int64, n)
-			for p := range proposals {
-				proposals[p] = int64(100 + p)
-			}
-			parts, err := consensus.BuildSim(k, proposals, false)
-			if err != nil {
-				return nil, err
-			}
-			firstAt, lastAt := int64(-1), int64(-1)
-			decidedKnown := make([]bool, n)
-			k.AfterStep(func(step int64) {
-				for p := 0; p < n; p++ {
-					if !decidedKnown[p] && parts[p].Decided.Get() {
-						decidedKnown[p] = true
-						if firstAt < 0 {
-							firstAt = step
-						}
-						lastAt = step
-					}
+			n, scenario := n, scenario
+			scs = append(scs, Scenario{Name: fmt.Sprintf("n=%d/%s", n, scenario), Run: func(res *Result) error {
+				sched := sim.Schedule(sim.RoundRobin())
+				if scenario == "one-timely" {
+					sched = sim.Restrict(sim.RoundRobin(), untimelyGrowing(n-1))
 				}
-			})
-			if _, err := k.Run(cfg.Steps); err != nil {
-				return nil, fmt.Errorf("E9 n=%d: %w", n, err)
-			}
-			k.Shutdown()
-			val, all, agree := consensus.DecidedAll(parts, ids(0, n))
-			valid := false
-			for _, pr := range proposals {
-				valid = valid || pr == val
-			}
-			t.AddRow(n, scenario, all, agree, valid && all, fmt.Sprintf("%d/%d", firstAt, lastAt))
+				k := sim.New(n, sim.WithSchedule(sched))
+				proposals := make([]int64, n)
+				for p := range proposals {
+					proposals[p] = int64(100 + p)
+				}
+				parts, err := consensus.BuildSim(k, proposals, false)
+				if err != nil {
+					return err
+				}
+				firstAt, lastAt := int64(-1), int64(-1)
+				decidedKnown := make([]bool, n)
+				k.AfterStep(func(step int64) {
+					for p := 0; p < n; p++ {
+						if !decidedKnown[p] && parts[p].Decided.Get() {
+							decidedKnown[p] = true
+							if firstAt < 0 {
+								firstAt = step
+							}
+							lastAt = step
+						}
+					}
+				})
+				if _, err := k.Run(cfg.Steps); err != nil {
+					return err
+				}
+				k.Shutdown()
+				res.Record(k)
+				val, all, agree := consensus.DecidedAll(parts, ids(0, n))
+				valid := false
+				for _, pr := range proposals {
+					valid = valid || pr == val
+				}
+				res.AddRow(n, scenario, all, agree, valid && all, fmt.Sprintf("%d/%d", firstAt, lastAt))
+				return nil
+			}})
 		}
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -200,6 +233,8 @@ func E9Consensus(cfg E9Config) (*Table, error) {
 type E10Config struct {
 	// Steps is the per-run budget (default 600k).
 	Steps int64
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
 }
 
 // E10AbortableComm exercises the two Section 6 communication substrates
@@ -220,10 +255,12 @@ func E10AbortableComm(cfg E10Config) (*Table, error) {
 		},
 	}
 
+	var scs []Scenario
+
 	// Messenger scenarios: (writer regime) -> delivered final value?
 	for _, sc := range []struct {
 		name  string
-		avail sim.Availability
+		avail func() sim.Availability
 		crash int64
 		want  bool
 	}{
@@ -232,100 +269,113 @@ func E10AbortableComm(cfg E10Config) (*Table, error) {
 		// whole gap, so the reader's probes always overlap it and the
 		// write itself keeps aborting — the run the paper describes where
 		// an untimely writer communicates nothing.
-		{"untimely writer", sim.GrowingGaps(2, 30_000, 2.0), 0, false},
+		{"untimely writer", func() sim.Availability { return sim.GrowingGaps(2, 30_000, 2.0) }, 0, false},
 		// Crash before the first write's response step: nothing was ever
 		// communicated.
 		{"crashed writer", nil, 2, false},
 	} {
-		k := sim.New(2)
-		if sc.avail != nil {
-			k = sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{0: sc.avail})))
-		}
-		out := register.NewAbortableSWSR(k, "Msg[0,1]", 0, 0, 1)
-		m0, err := omegaab.NewMessenger(0, 2, []prim.AbortableRegister[int]{nil, out}, []prim.AbortableRegister[int]{nil, out}, 0)
-		if err != nil {
-			return nil, err
-		}
-		// Reader side needs its own messenger with in[0] = the register.
-		m1, err := omegaab.NewMessenger(1, 2, []prim.AbortableRegister[int]{out, nil}, []prim.AbortableRegister[int]{out, nil}, 0)
-		if err != nil {
-			return nil, err
-		}
-		const finalValue = 77
-		k.Spawn(0, "writer", func(p prim.Proc) {
-			msgTo := []int{0, finalValue}
-			for {
-				m0.WriteMsgs(msgTo)
-				p.Step()
+		sc := sc
+		scs = append(scs, Scenario{Name: "messenger/" + sc.name, Run: func(res *Result) error {
+			k := sim.New(2)
+			if sc.avail != nil {
+				k = sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{0: sc.avail()})))
 			}
-		})
-		var got []int
-		k.Spawn(1, "reader", func(p prim.Proc) {
-			for {
-				got = m1.ReadMsgs()
-				p.Step()
+			out := register.NewAbortableSWSR(k, "Msg[0,1]", 0, 0, 1)
+			m0, err := omegaab.NewMessenger(0, 2, []prim.AbortableRegister[int]{nil, out}, []prim.AbortableRegister[int]{nil, out}, 0)
+			if err != nil {
+				return err
 			}
-		})
-		if sc.crash > 0 {
-			k.CrashAt(0, sc.crash)
-		}
-		if _, err := k.Run(cfg.Steps); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		delivered := len(got) > 0 && got[0] == finalValue
-		outcome := "not delivered"
-		if delivered {
-			outcome = "delivered"
-		}
-		// For untimely/crashed writers delivery is not guaranteed but not
-		// forbidden; the specified behaviour is only the timely case.
-		asSpec := true
-		if sc.want {
-			asSpec = delivered
-		} else if !delivered {
-			outcome += " (none guaranteed)"
-		}
-		t.AddRow("messenger", sc.name, outcome, asSpec)
+			// Reader side needs its own messenger with in[0] = the register.
+			m1, err := omegaab.NewMessenger(1, 2, []prim.AbortableRegister[int]{out, nil}, []prim.AbortableRegister[int]{out, nil}, 0)
+			if err != nil {
+				return err
+			}
+			const finalValue = 77
+			k.Spawn(0, "writer", func(p prim.Proc) {
+				msgTo := []int{0, finalValue}
+				for {
+					m0.WriteMsgs(msgTo)
+					p.Step()
+				}
+			})
+			var got []int
+			k.Spawn(1, "reader", func(p prim.Proc) {
+				for {
+					got = m1.ReadMsgs()
+					p.Step()
+				}
+			})
+			if sc.crash > 0 {
+				k.CrashAt(0, sc.crash)
+			}
+			if _, err := k.Run(cfg.Steps); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			delivered := len(got) > 0 && got[0] == finalValue
+			outcome := "not delivered"
+			if delivered {
+				outcome = "delivered"
+			}
+			// For untimely/crashed writers delivery is not guaranteed but not
+			// forbidden; the specified behaviour is only the timely case.
+			asSpec := true
+			if sc.want {
+				asSpec = delivered
+			} else if !delivered {
+				outcome += " (none guaranteed)"
+			}
+			res.AddRow("messenger", sc.name, outcome, asSpec)
+			return nil
+		}})
 	}
 
 	// Heartbeat scenarios: (sender regime) -> receiver's final view.
 	for _, sc := range []struct {
 		name   string
-		avail  sim.Availability
+		avail  func() sim.Availability
 		crash  int64
 		expect string
 	}{
 		{"timely sender", nil, 0, "active"},
-		{"untimely sender", sim.GrowingGaps(100, 50_000, 2.0), 0, "suspected"},
+		{"untimely sender", func() sim.Availability { return sim.GrowingGaps(100, 50_000, 2.0) }, 0, "suspected"},
 		{"crashed sender", nil, 2_000, "suspected"},
 	} {
-		k := sim.New(2)
-		if sc.avail != nil {
-			k = sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{0: sc.avail})))
-		}
-		sys, err := omegaab.Build(k)
-		if err != nil {
-			return nil, err
-		}
-		// Drive the full Ω∆ with both processes candidates: the heartbeat
-		// layer is what classifies the sender.
-		sys.Instances[0].Candidate.Set(true)
-		sys.Instances[1].Candidate.Set(true)
-		if sc.crash > 0 {
-			k.CrashAt(0, sc.crash)
-		}
-		if _, err := k.Run(cfg.Steps); err != nil {
-			return nil, err
-		}
-		k.Shutdown()
-		// Receiver 1's verdict: does it believe 0 leads, or itself?
-		leader := sys.Instances[1].Leader.Get()
-		view := "suspected"
-		if leader == 0 {
-			view = "active"
-		}
-		t.AddRow("heartbeat", sc.name, view, view == sc.expect)
+		sc := sc
+		scs = append(scs, Scenario{Name: "heartbeat/" + sc.name, Run: func(res *Result) error {
+			k := sim.New(2)
+			if sc.avail != nil {
+				k = sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{0: sc.avail()})))
+			}
+			sys, err := omegaab.Build(k)
+			if err != nil {
+				return err
+			}
+			// Drive the full Ω∆ with both processes candidates: the heartbeat
+			// layer is what classifies the sender.
+			sys.Instances[0].Candidate.Set(true)
+			sys.Instances[1].Candidate.Set(true)
+			if sc.crash > 0 {
+				k.CrashAt(0, sc.crash)
+			}
+			if _, err := k.Run(cfg.Steps); err != nil {
+				return err
+			}
+			k.Shutdown()
+			res.Record(k)
+			// Receiver 1's verdict: does it believe 0 leads, or itself?
+			leader := sys.Instances[1].Leader.Get()
+			view := "suspected"
+			if leader == 0 {
+				view = "active"
+			}
+			res.AddRow("heartbeat", sc.name, view, view == sc.expect)
+			return nil
+		}})
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -2,109 +2,132 @@ package exp
 
 import "fmt"
 
+// Options selects how an experiment runs.
+type Options struct {
+	// Quick trims budgets for smoke runs.
+	Quick bool
+	// Parallel is the scenario worker-pool size (<= 0: one worker per
+	// CPU). Tables are byte-identical whatever the value; it only affects
+	// wall-clock time.
+	Parallel int
+}
+
 // Experiment is one runnable experiment.
 type Experiment struct {
 	// ID is the DESIGN.md experiment id.
 	ID string
 	// Name is a short slug (used for CSV filenames and CLI selection).
 	Name string
-	// Run executes the experiment with its default configuration; quick
-	// trims budgets for smoke runs.
-	Run func(quick bool) (*Table, error)
+	// Run executes the experiment with its default configuration,
+	// adjusted by opts.
+	Run func(opts Options) (*Table, error)
 }
 
 // All returns every experiment, in id order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "E1", Name: "degradation", Run: func(q bool) (*Table, error) {
+		{ID: "E1", Name: "degradation", Run: func(o Options) (*Table, error) {
 			cfg := E1Config{}
-			if q {
+			if o.Quick {
 				cfg = E1Config{N: 4, Steps: 1_200_000, Wanted: 8}
 			}
+			cfg.Parallel = o.Parallel
 			return E1Degradation(cfg)
 		}},
-		{ID: "E2", Name: "baselines", Run: func(q bool) (*Table, error) {
+		{ID: "E2", Name: "baselines", Run: func(o Options) (*Table, error) {
 			cfg := E2Config{}
-			if q {
+			if o.Quick {
 				cfg = E2Config{Steps: 2_000_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E2Baselines(cfg)
 		}},
-		{ID: "E3", Name: "omega-atomic", Run: func(q bool) (*Table, error) {
+		{ID: "E3", Name: "omega-atomic", Run: func(o Options) (*Table, error) {
 			cfg := E3Config{}
-			if q {
+			if o.Quick {
 				cfg = E3Config{Ns: []int{2, 4}, Steps: 600_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E3OmegaAtomic(cfg)
 		}},
-		{ID: "E4", Name: "omega-abortable", Run: func(q bool) (*Table, error) {
+		{ID: "E4", Name: "omega-abortable", Run: func(o Options) (*Table, error) {
 			cfg := E3Config{}
-			if q {
+			if o.Quick {
 				cfg = E3Config{Ns: []int{2, 3}, Steps: 1_000_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E4OmegaAbortable(cfg)
 		}},
-		{ID: "E5", Name: "monitor", Run: func(q bool) (*Table, error) {
+		{ID: "E5", Name: "monitor", Run: func(o Options) (*Table, error) {
 			cfg := E5Config{}
-			if q {
+			if o.Quick {
 				cfg = E5Config{Steps: 200_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E5Monitor(cfg)
 		}},
-		{ID: "E6", Name: "write-efficiency", Run: func(q bool) (*Table, error) {
+		{ID: "E6", Name: "write-efficiency", Run: func(o Options) (*Table, error) {
 			cfg := E6Config{}
-			if q {
+			if o.Quick {
 				cfg = E6Config{N: 3, Steps: 300_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E6WriteEfficiency(cfg)
 		}},
-		{ID: "E7", Name: "canonical", Run: func(q bool) (*Table, error) {
+		{ID: "E7", Name: "canonical", Run: func(o Options) (*Table, error) {
 			cfg := E7Config{}
-			if q {
+			if o.Quick {
 				cfg = E7Config{Steps: 1_200_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E7Canonical(cfg)
 		}},
-		{ID: "E8", Name: "qa-object", Run: func(q bool) (*Table, error) {
+		{ID: "E8", Name: "qa-object", Run: func(o Options) (*Table, error) {
 			cfg := E8Config{}
-			if q {
+			if o.Quick {
 				cfg = E8Config{N: 3, OpsEach: 10, Steps: 10_000_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E8QAObject(cfg)
 		}},
-		{ID: "E9", Name: "consensus", Run: func(q bool) (*Table, error) {
+		{ID: "E9", Name: "consensus", Run: func(o Options) (*Table, error) {
 			cfg := E9Config{}
-			if q {
+			if o.Quick {
 				cfg = E9Config{Ns: []int{3}, Steps: 2_500_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E9Consensus(cfg)
 		}},
-		{ID: "E10", Name: "abortable-comm", Run: func(q bool) (*Table, error) {
+		{ID: "E10", Name: "abortable-comm", Run: func(o Options) (*Table, error) {
 			cfg := E10Config{}
-			if q {
+			if o.Quick {
 				cfg = E10Config{Steps: 300_000}
 			}
+			cfg.Parallel = o.Parallel
 			return E10AbortableComm(cfg)
 		}},
-		{ID: "A1", Name: "ablate-dual-heartbeat", Run: func(q bool) (*Table, error) {
+		{ID: "A1", Name: "ablate-dual-heartbeat", Run: func(o Options) (*Table, error) {
 			cfg := A1Config{}
-			if q {
+			if o.Quick {
 				cfg = A1Config{Steps: 200_000}
 			}
+			cfg.Parallel = o.Parallel
 			return A1DualHeartbeat(cfg)
 		}},
-		{ID: "A2", Name: "ablate-self-punishment", Run: func(q bool) (*Table, error) {
+		{ID: "A2", Name: "ablate-self-punishment", Run: func(o Options) (*Table, error) {
 			cfg := A2Config{}
-			if q {
+			if o.Quick {
 				cfg = A2Config{Steps: 600_000}
 			}
+			cfg.Parallel = o.Parallel
 			return A2SelfPunishment(cfg)
 		}},
-		{ID: "A3", Name: "ablate-reader-backoff", Run: func(q bool) (*Table, error) {
+		{ID: "A3", Name: "ablate-reader-backoff", Run: func(o Options) (*Table, error) {
 			cfg := A3Config{}
-			if q {
+			if o.Quick {
 				cfg = A3Config{Steps: 150_000}
 			}
+			cfg.Parallel = o.Parallel
 			return A3ReaderBackoff(cfg)
 		}},
 	}

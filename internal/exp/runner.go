@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"tbwf/internal/sim"
+)
+
+// This file is the shared scenario runner behind every experiment. Each
+// experiment is a list of independent scenarios — a scenario builds and
+// owns its kernel, so scenarios are embarrassingly parallel — executed on
+// a bounded worker pool. Results are committed to the table in scenario
+// order, so the rendered table is byte-identical whatever the pool size
+// (EXPERIMENTS.md's determinism check), and a panicking scenario is
+// isolated and reported as that scenario's error instead of tearing down
+// the whole suite.
+
+// Scenario is one independent unit of an experiment: one (or a few) table
+// rows produced by a self-contained simulation. Its Run function must not
+// share mutable state (kernels, registers, rngs, abort policies) with any
+// other scenario.
+type Scenario struct {
+	// Name labels the scenario in error messages, e.g. "k=3" or
+	// "n=4/one-timely".
+	Name string
+	// Run executes the scenario, adding rows (and optionally notes and
+	// kernel stats) to res.
+	Run func(res *Result) error
+}
+
+// Result collects what one scenario produced. The runner commits results
+// to the experiment's table in scenario order.
+type Result struct {
+	rows  [][]any
+	notes []string
+	stats sim.RunStats
+}
+
+// AddRow appends one table row, cells formatted later by Table.AddRow.
+func (r *Result) AddRow(cells ...any) {
+	r.rows = append(r.rows, cells)
+}
+
+// AddNote appends a table note.
+func (r *Result) AddNote(format string, args ...any) {
+	r.notes = append(r.notes, fmt.Sprintf(format, args...))
+}
+
+// Record folds the kernel's execution statistics into the scenario's
+// result. Call it once per kernel, after its last Run.
+func (r *Result) Record(k *sim.Kernel) {
+	r.stats = r.stats.Add(k.Stats())
+}
+
+// Workers normalizes a parallelism setting: n if positive, else one worker
+// per available CPU.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunScenarios executes the scenarios on a worker pool of the given size
+// (<= 0 means one worker per CPU) and appends their rows and notes to t in
+// scenario order, accumulating kernel stats into t.Stats. All scenarios
+// run even if one fails; the error reported is the failing scenario with
+// the lowest index, so error behaviour is independent of the pool size
+// too. A panic inside a scenario is recovered and returned as that
+// scenario's error.
+func RunScenarios(t *Table, parallel int, scs []Scenario) error {
+	workers := Workers(parallel)
+	if workers > len(scs) {
+		workers = len(scs)
+	}
+	results := make([]Result, len(scs))
+	errs := make([]error, len(scs))
+	if workers <= 1 {
+		for i := range scs {
+			errs[i] = runScenario(&scs[i], &results[i])
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(scs) {
+						return
+					}
+					errs[i] = runScenario(&scs[i], &results[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i := range scs {
+		if errs[i] != nil {
+			return fmt.Errorf("%s %s: %w", t.ID, scs[i].Name, errs[i])
+		}
+	}
+	for i := range results {
+		for _, row := range results[i].rows {
+			t.AddRow(row...)
+		}
+		t.Notes = append(t.Notes, results[i].notes...)
+		t.Stats = t.Stats.Add(results[i].stats)
+	}
+	return nil
+}
+
+// runScenario runs one scenario with panic isolation.
+func runScenario(sc *Scenario, res *Result) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scenario panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return sc.Run(res)
+}

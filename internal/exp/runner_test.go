@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// The runner must produce byte-identical tables whatever the pool size:
+// rows, notes, and stats are committed in scenario order.
+func TestRunnerDeterministicOrdering(t *testing.T) {
+	build := func() []Scenario {
+		scs := make([]Scenario, 20)
+		for i := range scs {
+			i := i
+			scs[i] = Scenario{Name: fmt.Sprintf("s%d", i), Run: func(res *Result) error {
+				// Uneven amounts of work so parallel completion order differs
+				// from scenario order.
+				sum := 0
+				for j := 0; j < (i%7)*50_000; j++ {
+					sum += j
+				}
+				_ = sum
+				res.AddRow(i, fmt.Sprintf("row-%d", i))
+				if i%5 == 0 {
+					res.AddNote("note-%d", i)
+				}
+				return nil
+			}}
+		}
+		return scs
+	}
+	render := func(parallel int) string {
+		tb := &Table{ID: "T", Title: "runner", Columns: []string{"i", "label"}}
+		if err := RunScenarios(tb, parallel, build()); err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+	serial := render(1)
+	for _, p := range []int{2, 8, 0} {
+		if got := render(p); got != serial {
+			t.Errorf("parallel=%d table differs from serial:\n%s\nvs\n%s", p, got, serial)
+		}
+	}
+}
+
+// A panicking scenario is isolated: it becomes that scenario's error, the
+// other scenarios still run, and the reported error is the lowest-index
+// failure regardless of pool size.
+func TestRunnerPanicIsolationAndErrorOrder(t *testing.T) {
+	for _, parallel := range []int{1, 4} {
+		var ran atomic.Int64
+		scs := []Scenario{
+			{Name: "ok-0", Run: func(res *Result) error { ran.Add(1); return nil }},
+			{Name: "boom", Run: func(res *Result) error { ran.Add(1); panic("kaboom") }},
+			{Name: "fail", Run: func(res *Result) error { ran.Add(1); return errors.New("late error") }},
+			{Name: "ok-3", Run: func(res *Result) error { ran.Add(1); return nil }},
+		}
+		tb := &Table{ID: "T", Columns: []string{"x"}}
+		err := RunScenarios(tb, parallel, scs)
+		if err == nil {
+			t.Fatalf("parallel=%d: want error", parallel)
+		}
+		if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("parallel=%d: want the lowest-index failure (the panic), got: %v", parallel, err)
+		}
+		if ran.Load() != 4 {
+			t.Errorf("parallel=%d: %d scenarios ran, want all 4 despite failures", parallel, ran.Load())
+		}
+		if len(tb.Rows) != 0 {
+			t.Errorf("parallel=%d: rows committed despite error", parallel)
+		}
+	}
+}
+
+// A real experiment renders byte-identically whatever the pool size
+// (EXPERIMENTS.md's determinism check, in miniature).
+func TestExperimentParallelDeterminism(t *testing.T) {
+	render := func(parallel int) string {
+		tb, err := E10AbortableComm(E10Config{Steps: 120_000, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb.String()
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Errorf("-parallel 4 table differs from -parallel 1:\n%s\nvs\n%s", got, serial)
+	}
+}
+
+// Workers clamps to the scenario count and maps <=0 to the CPU count.
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Errorf("Workers(3) = %d", Workers(3))
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("Workers must be at least 1 for non-positive input")
+	}
+}

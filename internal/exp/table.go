@@ -11,6 +11,8 @@ package exp
 import (
 	"fmt"
 	"strings"
+
+	"tbwf/internal/sim"
 )
 
 // Table is a rendered experiment result.
@@ -25,6 +27,9 @@ type Table struct {
 	Rows [][]string
 	// Notes carry the expected shape and any caveats.
 	Notes []string
+	// Stats aggregates the kernel execution statistics of the scenarios
+	// behind the table (not rendered; frontends report it under -stats).
+	Stats sim.RunStats
 }
 
 // AddRow appends a row, formatting each cell with %v.

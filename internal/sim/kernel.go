@@ -2,15 +2,23 @@
 // shared-memory model of Section 3 of the paper.
 //
 // Processes are sets of cooperative tasks (one goroutine each). The kernel
-// holds a global baton: exactly one task runs at any moment, and control
-// passes back to the kernel at every step boundary. A pluggable Schedule
-// decides which process takes each step, which makes the timeliness of every
-// process (Definitions 1 and 2) a property the caller controls exactly and
-// the analyzer (analysis.go) measures exactly.
+// holds a global baton: exactly one goroutine runs at any moment, and
+// control passes back to the scheduling logic at every step boundary. A
+// pluggable Schedule decides which process takes each step, which makes the
+// timeliness of every process (Definitions 1 and 2) a property the caller
+// controls exactly and the analyzer (analysis.go) measures exactly.
 //
 // Because the baton is handed over unbuffered channels, every step happens
 // before the next; simulation state (registers, traces, metrics) therefore
 // needs no additional locking.
+//
+// For speed, the step loop is distributed: the goroutine that holds the
+// baton also runs the end-of-step bookkeeping and picks the next task, so
+// switching tasks costs one channel handoff (not a round trip through a
+// central loop goroutine) and consecutive steps of the same task cost no
+// channel operation at all. The kernel goroutine only takes over on the
+// slow paths — run start/end, budget exhaustion, pending crashes, task
+// panics — where it runs the same logic the original central loop did.
 //
 // A register operation spans two steps — its invocation and its response —
 // so operations have duration and "concurrent operations" are well defined.
@@ -21,7 +29,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime/debug"
+	"time"
 
 	"tbwf/internal/prim"
 )
@@ -36,11 +46,14 @@ type Kernel struct {
 	byProc  [][]*task // tasks indexed by process
 	nextIdx []int     // per-process round-robin cursor over its tasks
 
-	crashed  []bool
-	crashAt  map[int]int64
-	step     int64
-	running  bool // inside Run, between baton handoffs
-	shutdown bool
+	crashed    []bool
+	crashAt    []int64 // per-process scheduled crash step (crashNever = none)
+	nextCrash  int64   // min over crashAt of non-crashed processes
+	aliveCount []int   // per-process count of unfinished tasks
+	step       int64
+	limit      int64 // current Run's step budget boundary
+	running    bool  // inside Run, between baton handoffs
+	shutdown   bool
 
 	current  *task
 	stepDone chan struct{}
@@ -52,8 +65,15 @@ type Kernel struct {
 	trace   *Trace
 	metrics *Metrics
 
+	handoffs  int64         // channel baton handoffs performed
+	fastSteps int64         // steps continued on the same goroutine, no handoff
+	elapsed   time.Duration // cumulative wall time inside Run
+
 	err error // first non-sentinel panic from a task, with stack
 }
+
+// crashNever marks a process with no scheduled crash.
+const crashNever = math.MaxInt64
 
 // Option configures a Kernel.
 type Option func(*Kernel)
@@ -82,15 +102,21 @@ func New(n int, opts ...Option) *Kernel {
 		n = 1
 	}
 	k := &Kernel{
-		n:        n,
-		sched:    RoundRobin(),
-		byProc:   make([][]*task, n),
-		nextIdx:  make([]int, n),
-		crashed:  make([]bool, n),
-		crashAt:  make(map[int]int64),
-		stepDone: make(chan struct{}),
-		trace:    newTrace(n),
-		metrics:  newMetrics(n),
+		n:          n,
+		sched:      RoundRobin(),
+		byProc:     make([][]*task, n),
+		nextIdx:    make([]int, n),
+		crashed:    make([]bool, n),
+		crashAt:    make([]int64, n),
+		nextCrash:  crashNever,
+		aliveCount: make([]int, n),
+		stepDone:   make(chan struct{}),
+		aliveBuf:   make([]int, 0, n),
+		trace:      newTrace(n),
+		metrics:    newMetrics(n),
+	}
+	for p := range k.crashAt {
+		k.crashAt[p] = crashNever
 	}
 	for _, o := range opts {
 		o(k)
@@ -154,14 +180,21 @@ func (k *Kernel) Spawn(proc int, name string, fn func(p prim.Proc)) {
 	}
 	k.tasks = append(k.tasks, t)
 	k.byProc[proc] = append(k.byProc[proc], t)
+	k.aliveCount[proc]++
 }
 
 // CrashAt schedules process proc to crash at the given step: from that step
 // on it takes no steps and its tasks are unwound. Crashing a process twice
 // keeps the earlier step.
 func (k *Kernel) CrashAt(proc int, step int64) {
-	if cur, ok := k.crashAt[proc]; !ok || step < cur {
+	if proc < 0 || proc >= k.n {
+		panic(fmt.Sprintf("sim: CrashAt: process %d out of range [0,%d)", proc, k.n))
+	}
+	if step < k.crashAt[proc] {
 		k.crashAt[proc] = step
+	}
+	if step < k.nextCrash {
+		k.nextCrash = step
 	}
 }
 
@@ -169,17 +202,19 @@ func (k *Kernel) CrashAt(proc int, step int64) {
 // hook (it takes effect before the next step).
 func (k *Kernel) Crash(proc int) {
 	if proc >= 0 && proc < k.n {
-		k.crashAt[proc] = k.step
+		k.CrashAt(proc, k.step)
 	}
 }
 
 // Crashed reports whether process proc has crashed.
 func (k *Kernel) Crashed(proc int) bool { return k.crashed[proc] }
 
-// AfterStep registers a hook invoked after every step, on the kernel's own
-// goroutine, outside any simulated step. Hooks observe and steer runs
-// (sampling output variables, injecting crashes) without consuming steps,
-// so they do not perturb timeliness.
+// AfterStep registers a hook invoked after every step, outside any
+// simulated step (the current-task accessors report no task while a hook
+// runs). Hooks observe and steer runs (sampling output variables, injecting
+// crashes) without consuming steps, so they do not perturb timeliness. They
+// may run on any goroutine, but never concurrently with a task or with each
+// other.
 func (k *Kernel) AfterStep(fn func(step int64)) {
 	k.afterStep = append(k.afterStep, fn)
 }
@@ -199,43 +234,41 @@ type RunResult struct {
 var ErrTaskPanic = errors.New("sim: task panicked")
 
 // Run executes up to steps additional steps and returns. It may be called
-// repeatedly to extend a run; tasks stay parked between calls. Call
-// Shutdown to unwind all tasks when done.
+// repeatedly to extend a run: the step counter continues where the previous
+// call stopped, the schedule trace keeps appending, and tasks stay parked
+// at their step boundaries between calls (see also TestRunReentry). Spawn
+// may add tasks between calls. After a task panic, Run returns the same
+// error immediately without taking further steps. Call Shutdown to unwind
+// all tasks when done.
 func (k *Kernel) Run(steps int64) (RunResult, error) {
 	if k.shutdown {
 		return RunResult{Steps: k.step, Idle: true}, errors.New("sim: Run after Shutdown")
 	}
+	if k.err != nil {
+		return RunResult{Steps: k.step, Idle: false}, k.err
+	}
 	k.running = true
-	defer func() { k.running = false }()
+	start := time.Now()
+	defer func() {
+		k.running = false
+		k.elapsed += time.Since(start)
+	}()
 
-	limit := k.step + steps
-	for k.step < limit {
+	k.limit = k.step + steps
+	k.trace.reserve(steps)
+	for k.step < k.limit {
 		k.applyCrashes()
-		alive := k.aliveProcs()
-		if len(alive) == 0 {
+		t := k.pickNext()
+		if t == nil {
 			return RunResult{Steps: k.step, Idle: true}, k.err
 		}
-		pid := k.sched.Next(k.step, alive)
-		if !contains(alive, pid) {
-			k.metrics.ScheduleMisses++
-			pid = alive[int(k.step)%len(alive)]
-		}
-		t := k.nextTask(pid)
-		if t == nil {
-			// Race between aliveProcs and task completion cannot happen
-			// (single-threaded), but stay defensive.
-			k.metrics.ScheduleMisses++
-			continue
-		}
+		// The baton leaves the kernel here. Tasks hand it among
+		// themselves (stepEnd/handoff) and return it when the budget is
+		// exhausted, a crash is due, a task panicked, or nothing is
+		// schedulable.
 		k.dispatch(t)
 		if k.err != nil {
 			return RunResult{Steps: k.step, Idle: false}, k.err
-		}
-		k.metrics.Steps[pid]++
-		k.trace.recordStep(pid)
-		k.step++
-		for _, fn := range k.afterStep {
-			fn(k.step)
 		}
 	}
 	return RunResult{Steps: k.step, Idle: false}, k.err
@@ -258,42 +291,62 @@ func (k *Kernel) Shutdown() {
 }
 
 // applyCrashes crashes processes whose crash step has arrived and unwinds
-// their tasks.
+// their tasks, in ascending process order. Cheap when no crash is due: a
+// single comparison against the precomputed next crash step.
 func (k *Kernel) applyCrashes() {
-	for proc, at := range k.crashAt {
-		if k.step >= at && !k.crashed[proc] {
-			k.crashed[proc] = true
-			for _, t := range k.byProc[proc] {
-				if t.finished {
-					continue
-				}
-				t.halt = true
-				k.dispatchUntilFinished(t)
+	if k.step < k.nextCrash {
+		return
+	}
+	next := int64(crashNever)
+	for p := 0; p < k.n; p++ {
+		if k.crashed[p] {
+			continue
+		}
+		if k.crashAt[p] > k.step {
+			if k.crashAt[p] < next {
+				next = k.crashAt[p]
 			}
+			continue
+		}
+		k.crashed[p] = true
+		for _, t := range k.byProc[p] {
+			if t.finished {
+				continue
+			}
+			t.halt = true
+			k.dispatchUntilFinished(t)
 		}
 	}
+	k.nextCrash = next
 }
 
 // aliveProcs returns the schedulable processes. The returned slice aliases
 // a kernel-owned buffer valid until the next call; Schedule implementations
 // must not retain it.
 func (k *Kernel) aliveProcs() []int {
-	if k.aliveBuf == nil {
-		k.aliveBuf = make([]int, 0, k.n)
-	}
 	alive := k.aliveBuf[:0]
 	for p := 0; p < k.n; p++ {
-		if k.crashed[p] {
-			continue
-		}
-		for _, t := range k.byProc[p] {
-			if !t.finished {
-				alive = append(alive, p)
-				break
-			}
+		if !k.crashed[p] && k.aliveCount[p] > 0 {
+			alive = append(alive, p)
 		}
 	}
 	return alive
+}
+
+// pickNext consults the schedule and returns the task for the next step, or
+// nil when no process is schedulable. Exactly one Schedule.Next call per
+// returned task.
+func (k *Kernel) pickNext() *task {
+	alive := k.aliveProcs()
+	if len(alive) == 0 {
+		return nil
+	}
+	pid := k.sched.Next(k.step, alive)
+	if pid < 0 || pid >= k.n || k.crashed[pid] || k.aliveCount[pid] == 0 {
+		k.metrics.ScheduleMisses++
+		pid = alive[int(k.step)%len(alive)]
+	}
+	return k.nextTask(pid)
 }
 
 // nextTask picks the next unfinished task of process pid, round-robin.
@@ -309,16 +362,51 @@ func (k *Kernel) nextTask(pid int) *task {
 	return nil
 }
 
-// dispatch hands the baton to t for one step and waits for it back.
-func (k *Kernel) dispatch(t *task) {
-	k.current = t
-	if !t.started {
-		t.started = true
-		go k.runTask(t)
+// stepEnd closes out the step t just completed (accounting, hooks) and
+// picks the task for the next step. It returns nil when the baton must go
+// back to the kernel goroutine: budget exhausted, a crash due, or a task
+// panic — the kernel then re-runs its slow-path loop, which applies crashes
+// and consults the schedule exactly once per step, as the central loop
+// always did. Runs on the goroutine currently holding the baton.
+func (k *Kernel) stepEnd(t *task) *task {
+	k.metrics.Steps[t.proc]++
+	k.trace.recordStep(t.proc)
+	k.step++
+	if len(k.afterStep) > 0 {
+		k.current = nil // hooks run outside any simulated step
+		for _, fn := range k.afterStep {
+			fn(k.step)
+		}
 	}
-	t.resume <- struct{}{}
+	if k.err != nil || k.step >= k.limit || k.step >= k.nextCrash {
+		return nil
+	}
+	// No crash is due, so the yielding task's process is still alive and
+	// the alive set is non-empty: pickNext cannot return nil here.
+	return k.pickNext()
+}
+
+// handoff transfers the baton from the calling goroutine: to another task,
+// or back to the kernel goroutine when next is nil.
+func (k *Kernel) handoff(next *task) {
+	k.handoffs++
+	k.current = next
+	if next == nil {
+		k.stepDone <- struct{}{}
+		return
+	}
+	if !next.started {
+		next.started = true
+		go k.runTask(next)
+	}
+	next.resume <- struct{}{}
+}
+
+// dispatch hands the baton to t and waits for it to come back to the
+// kernel goroutine.
+func (k *Kernel) dispatch(t *task) {
+	k.handoff(t)
 	<-k.stepDone
-	k.current = nil
 }
 
 // dispatchUntilFinished drives a halting task through its unwinding. A task
@@ -333,18 +421,29 @@ func (k *Kernel) dispatchUntilFinished(t *task) {
 // runTask is the goroutine body wrapping a task function.
 func (k *Kernel) runTask(t *task) {
 	defer func() {
-		if r := recover(); r != nil && !prim.RecoverTaskExit(r) {
+		r := recover()
+		if r != nil && !prim.RecoverTaskExit(r) {
 			if k.err == nil {
 				k.err = fmt.Errorf("%w: process %d task %q: %v\n%s",
 					ErrTaskPanic, t.proc, t.name, r, debug.Stack())
 			}
 		}
 		t.finished = true
-		k.stepDone <- struct{}{}
+		k.aliveCount[t.proc]--
+		if t.halt || k.err != nil {
+			// Unwinding (driven by the kernel goroutine, no step
+			// charged) or a panic (the panicking activation is not
+			// charged): baton straight back to the kernel.
+			k.current = nil
+			k.stepDone <- struct{}{}
+			return
+		}
+		// The task function returned normally mid-activation; that final
+		// activation counts as a step, then the baton moves on.
+		k.handoff(k.stepEnd(t))
 	}()
-	// The goroutine was started from inside dispatch; the first resume has
-	// already been consumed by... no: dispatch sends resume after starting
-	// us, so wait for it here before touching user code.
+	// dispatch sends the first resume after starting this goroutine; wait
+	// for it here before touching user code.
 	<-t.resume
 	if t.halt {
 		prim.ExitTask("halt before first step")
@@ -353,10 +452,19 @@ func (k *Kernel) runTask(t *task) {
 }
 
 // yield ends the current activation of t (completing the current step) and
-// blocks until the kernel schedules t again. If the task has been asked to
-// halt, yield unwinds it instead of returning.
+// blocks until the kernel schedules t again — except on the fast path: when
+// the schedule picks the same task for the next step, yield returns
+// immediately and the goroutine keeps the baton, with no channel traffic.
+// If the task has been asked to halt, yield unwinds it instead of
+// returning.
 func (k *Kernel) yield(t *task) {
-	k.stepDone <- struct{}{}
+	next := k.stepEnd(t)
+	if next == t {
+		k.fastSteps++
+		k.current = t
+		return
+	}
+	k.handoff(next)
 	<-t.resume
 	if t.halt {
 		prim.ExitTask("halted")

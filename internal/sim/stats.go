@@ -1,0 +1,62 @@
+package sim
+
+import "time"
+
+// RunStats is an observability snapshot of a kernel's execution economy:
+// how many steps it took, what they cost in goroutine handoffs and trace
+// memory, and how fast they ran. The experiment runner (internal/exp)
+// aggregates it per experiment, and cmd/tbwf-bench and cmd/tbwf-sim print
+// it under their -stats flags.
+type RunStats struct {
+	// Steps is the total number of steps executed.
+	Steps int64
+	// Handoffs counts channel baton handoffs between goroutines. Every
+	// task switch costs exactly one; the seed kernel's central loop cost
+	// two per step regardless of switching.
+	Handoffs int64
+	// FastPathSteps counts steps that continued on the same goroutine
+	// with no channel operation (consecutive steps of one task).
+	FastPathSteps int64
+	// ScheduleMisses counts schedule decisions that named a
+	// non-schedulable process, forcing the round-robin fallback.
+	ScheduleMisses int64
+	// TraceBytes is the memory retained by the schedule and write traces.
+	TraceBytes int64
+	// Elapsed is the cumulative wall time spent inside Run.
+	Elapsed time.Duration
+}
+
+// Stats returns a snapshot of the kernel's execution statistics. Valid
+// after (or between) Run calls.
+func (k *Kernel) Stats() RunStats {
+	return RunStats{
+		Steps:          k.step,
+		Handoffs:       k.handoffs,
+		FastPathSteps:  k.fastSteps,
+		ScheduleMisses: k.metrics.ScheduleMisses,
+		TraceBytes:     k.trace.Bytes(),
+		Elapsed:        k.elapsed,
+	}
+}
+
+// Add returns the field-wise sum of s and o, for aggregating the stats of
+// independent kernels (one per scenario) into an experiment total.
+func (s RunStats) Add(o RunStats) RunStats {
+	return RunStats{
+		Steps:          s.Steps + o.Steps,
+		Handoffs:       s.Handoffs + o.Handoffs,
+		FastPathSteps:  s.FastPathSteps + o.FastPathSteps,
+		ScheduleMisses: s.ScheduleMisses + o.ScheduleMisses,
+		TraceBytes:     s.TraceBytes + o.TraceBytes,
+		Elapsed:        s.Elapsed + o.Elapsed,
+	}
+}
+
+// StepsPerSec returns the average simulated-step throughput over the time
+// spent inside Run, or 0 when no time was recorded.
+func (s RunStats) StepsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Steps) / s.Elapsed.Seconds()
+}

@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tbwf/internal/prim"
+)
+
+func spinTasks(k *Kernel, n int) {
+	for p := 0; p < n; p++ {
+		k.Spawn(p, "spin", func(pp prim.Proc) {
+			for {
+				pp.Step()
+			}
+		})
+	}
+}
+
+// Run may be called repeatedly: the step counter continues where the
+// previous call stopped and the schedule trace accumulates across calls,
+// so an analysis at the end covers the whole concatenated run.
+func TestRunReentrySemantics(t *testing.T) {
+	k := New(2)
+	spinTasks(k, 2)
+	// Hooks observe the running step count (1-based); it must be contiguous
+	// across Run calls. Violations are recorded, not asserted, because hooks
+	// run on kernel goroutines.
+	var last, jumped int64
+	k.AfterStep(func(step int64) {
+		if step != last+1 {
+			jumped = step
+		}
+		last = step
+	})
+	for i := 0; i < 3; i++ {
+		res, err := k.Run(1_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(1_000 * (i + 1)); res.Steps != want {
+			t.Fatalf("call %d: cumulative steps %d, want %d", i, res.Steps, want)
+		}
+	}
+	k.Shutdown()
+	if jumped != 0 {
+		t.Fatalf("step counter jumped to %d across Run calls", jumped)
+	}
+	if last != 3_000 {
+		t.Fatalf("last step %d, want 3000", last)
+	}
+	if got := len(k.Trace().Schedule()); got != 3_000 {
+		t.Fatalf("trace holds %d entries, want 3000 (appended across Runs)", got)
+	}
+	if _, err := k.Trace().Analyze(); err != nil {
+		t.Fatalf("analyzing the concatenated trace: %v", err)
+	}
+	if s := k.Stats(); s.Steps != 3_000 {
+		t.Fatalf("stats count %d steps, want 3000", s.Steps)
+	}
+}
+
+// After a task panic, the error is returned and every later Run returns the
+// same error instead of limping on.
+func TestRunAfterPanicReturnsSameError(t *testing.T) {
+	k := New(1)
+	k.Spawn(0, "boom", func(pp prim.Proc) {
+		pp.Step()
+		panic("deliberate")
+	})
+	_, err := k.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "deliberate") {
+		t.Fatalf("want the task panic, got %v", err)
+	}
+	if _, err2 := k.Run(100); err2 == nil || !strings.Contains(err2.Error(), "deliberate") {
+		t.Fatalf("re-entry after panic: want the same error, got %v", err2)
+	}
+}
+
+// A schedule that keeps naming invalid or dead processes is counted in
+// ScheduleMisses and the kernel falls back to round-robin over the alive
+// set, so the run still makes fair progress.
+func TestScheduleMissFallback(t *testing.T) {
+	bogus := ScheduleFunc(func(step int64, alive []int) int {
+		if step%2 == 0 {
+			return 97 // out of range
+		}
+		return alive[int(step)%len(alive)]
+	})
+	k := New(2, WithSchedule(bogus))
+	spinTasks(k, 2)
+	if _, err := k.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	s := k.Stats()
+	if s.ScheduleMisses != 5_000 {
+		t.Fatalf("schedule misses = %d, want 5000 (every even step)", s.ScheduleMisses)
+	}
+	m := k.Metrics()
+	if m.Steps[0] == 0 || m.Steps[1] == 0 {
+		t.Fatalf("fallback starved a process: steps %v", m.Steps)
+	}
+}
+
+// When every process has crashed the kernel reports an idle (short) run
+// instead of spinning or deadlocking.
+func TestAllCrashedReturnsIdle(t *testing.T) {
+	k := New(2)
+	spinTasks(k, 2)
+	k.CrashAt(0, 10)
+	k.CrashAt(1, 20)
+	res, err := k.Run(1_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Idle {
+		t.Fatal("want Idle after all processes crashed")
+	}
+	if res.Steps != 20 {
+		t.Fatalf("ran %d steps, want 20 (crashes at 10 and 20)", res.Steps)
+	}
+	k.Shutdown()
+}
+
+// With schedule recording off, Trace.Analyze refuses with a clear error
+// instead of reporting everything unbounded from an empty schedule.
+func TestAnalyzeWithoutScheduleTraceErrors(t *testing.T) {
+	k := New(2, WithScheduleTrace(false))
+	spinTasks(k, 2)
+	if _, err := k.Run(1_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	_, err := k.Trace().Analyze()
+	if !errors.Is(err, ErrNoScheduleTrace) {
+		t.Fatalf("want ErrNoScheduleTrace, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "WithScheduleTrace") {
+		t.Fatalf("error should name the option to flip: %v", err)
+	}
+}
+
+// Consecutive steps of the same task take the handoff-free fast path; task
+// switches are counted as handoffs. A solo spinning process is almost
+// entirely fast-path.
+func TestStatsFastPathAndHandoffs(t *testing.T) {
+	k := New(1, WithScheduleTrace(false))
+	spinTasks(k, 1)
+	if _, err := k.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	s := k.Stats()
+	if s.Steps != 10_000 {
+		t.Fatalf("steps = %d", s.Steps)
+	}
+	if s.FastPathSteps < 9_000 {
+		t.Fatalf("fast-path steps = %d, want nearly all of 10000", s.FastPathSteps)
+	}
+	if s.TraceBytes != 0 {
+		t.Fatalf("trace bytes = %d, want 0 with recording off", s.TraceBytes)
+	}
+	if s.StepsPerSec() <= 0 {
+		t.Fatal("steps/sec should be positive")
+	}
+
+	// Alternating two processes forces a handoff every step: no fast path.
+	k2 := New(2, WithSchedule(Pattern(0, 1)), WithScheduleTrace(false))
+	spinTasks(k2, 2)
+	if _, err := k2.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	k2.Shutdown()
+	if s2 := k2.Stats(); s2.FastPathSteps != 0 {
+		t.Fatalf("alternating schedule took %d fast-path steps, want 0", s2.FastPathSteps)
+	}
+}
+
+// newTrace + reserve: the budget hint preallocates the schedule so steady
+// recording does not regrow, and Bytes reports the reservation.
+func TestTraceReservation(t *testing.T) {
+	tr := newTrace(4)
+	tr.reserve(1_000)
+	if c := cap(tr.schedule); c < 1_000 {
+		t.Fatalf("reserve(1000) capacity %d", c)
+	}
+	if tr.Bytes() < 4_000 {
+		t.Fatalf("Bytes() = %d, want at least 4000 for 1000 reserved entries", tr.Bytes())
+	}
+	// The clamp keeps absurd budgets from reserving gigabytes.
+	tr2 := newTrace(4)
+	tr2.reserve(1 << 40)
+	if c := cap(tr2.schedule); c > maxReserveSteps {
+		t.Fatalf("reserve(1<<40) capacity %d exceeds the clamp %d", c, maxReserveSteps)
+	}
+}

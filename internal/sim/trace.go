@@ -1,9 +1,12 @@
 package sim
 
+import "errors"
+
 // Trace records what happened during a run: which process took each step
 // and, optionally, every shared-register write. The timeliness analyzer
 // (analysis.go) and the experiment harness (internal/exp) consume it.
 type Trace struct {
+	n              int // number of processes (for the analyzer)
 	recordSchedule bool
 	recordWrites   bool
 
@@ -22,7 +25,32 @@ type WriteEvent struct {
 }
 
 func newTrace(n int) *Trace {
-	return &Trace{recordSchedule: true}
+	return &Trace{n: n, recordSchedule: true}
+}
+
+// maxReserveSteps caps how much schedule storage a single Run budget
+// preallocates (1M steps = 4 MiB). Budgets are often generous upper bounds
+// that idle runs never reach; beyond the cap, amortized append growth takes
+// over.
+const maxReserveSteps = 1 << 20
+
+// reserve preallocates schedule storage for up to budget more steps, so the
+// per-step record is a plain indexed store instead of a grow-forever
+// append. Called by Kernel.Run with its step budget.
+func (tr *Trace) reserve(budget int64) {
+	if !tr.recordSchedule || budget <= 0 {
+		return
+	}
+	if budget > maxReserveSteps {
+		budget = maxReserveSteps
+	}
+	need := len(tr.schedule) + int(budget)
+	if cap(tr.schedule) >= need {
+		return
+	}
+	grown := make([]int32, len(tr.schedule), need)
+	copy(grown, tr.schedule)
+	tr.schedule = grown
 }
 
 func (tr *Trace) recordStep(proc int) {
@@ -42,14 +70,42 @@ func (tr *Trace) RecordWrite(ev WriteEvent) {
 // WritesEnabled reports whether the write log is being recorded.
 func (tr *Trace) WritesEnabled() bool { return tr.recordWrites }
 
+// ScheduleEnabled reports whether the schedule is being recorded.
+func (tr *Trace) ScheduleEnabled() bool { return tr.recordSchedule }
+
 // Schedule returns the recorded schedule: element i is the process that
 // took step i. The returned slice is the trace's own storage; treat it as
-// read-only.
+// read-only. It is nil when recording was disabled with
+// WithScheduleTrace(false); use Analyze to get a clear error instead of an
+// everyone-untimely misreading.
 func (tr *Trace) Schedule() []int32 { return tr.schedule }
 
 // Writes returns the recorded write events. The returned slice is the
 // trace's own storage; treat it as read-only.
 func (tr *Trace) Writes() []WriteEvent { return tr.writes }
+
+// ErrNoScheduleTrace is returned by Trace.Analyze when schedule recording
+// was disabled.
+var ErrNoScheduleTrace = errors.New(
+	"sim: schedule trace disabled (WithScheduleTrace(false)): timeliness cannot be analyzed")
+
+// Analyze computes the timeliness report for the recorded schedule. Unlike
+// calling the package-level Analyze on Schedule() directly, it fails
+// clearly when recording was disabled — an empty schedule would otherwise
+// report every process as having taken no steps (unbounded, untimely).
+func (tr *Trace) Analyze() (*TimelinessReport, error) {
+	if !tr.recordSchedule {
+		return nil, ErrNoScheduleTrace
+	}
+	return Analyze(tr.schedule, tr.n), nil
+}
+
+// Bytes returns the memory retained by the trace's schedule and write
+// buffers, for capacity accounting in RunStats.
+func (tr *Trace) Bytes() int64 {
+	const writeEventSize = 8 + 8 + 16 + 8 // step + proc + string header + bool, padded
+	return int64(cap(tr.schedule))*4 + int64(cap(tr.writes))*writeEventSize
+}
 
 // Metrics holds aggregate counters for a run. All fields are written only
 // between steps (single-threaded), so reads after Run are safe.
