@@ -1,0 +1,218 @@
+// Command tbwf-fuzz explores the schedule space of the repo's
+// constructions: it sweeps seeded adversarial schedules (random walks,
+// phase-locking patterns, preemption-bounded runs), crash injections, and
+// abort/effect policy tapes across the registered fuzz targets, checks
+// every run with the targets' property oracles, and writes each failure as
+// a JSON artifact that replays byte-exactly.
+//
+// Usage:
+//
+//	tbwf-fuzz -list
+//	tbwf-fuzz -target all -seeds 32 -budget 200000 -out artifacts/
+//	tbwf-fuzz -target heartbeat-single -seeds 8 -shrink
+//	tbwf-fuzz -replay artifacts/heartbeat-single-seed3.json
+//	tbwf-fuzz -replay artifacts/heartbeat-single-seed3.json -shrink
+//
+// Exit status is non-zero when any oracle failed (or a replayed artifact
+// did not reproduce), so the bounded CI smoke run doubles as a regression
+// gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tbwf/internal/exp"
+	"tbwf/internal/explore"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tbwf-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tbwf-fuzz", flag.ContinueOnError)
+	target := fs.String("target", "all", `target name, or "all" for every non-ablated target`)
+	budget := fs.Int64("budget", 0, "step budget per run (0 = per-target default)")
+	seeds := fs.Int("seeds", 16, "seeds per target")
+	seed0 := fs.Int64("seed0", 1, "first seed of the sweep")
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = one per CPU)")
+	shrink := fs.Bool("shrink", false, "minimize failure artifacts (with -replay: shrink the artifact)")
+	shrinkAttempts := fs.Int("shrink-attempts", 0, "re-executions per shrink (0 = default)")
+	outDir := fs.String("out", "", "directory for failure artifacts (empty = don't write)")
+	replay := fs.String("replay", "", "replay an artifact file instead of fuzzing")
+	list := fs.Bool("list", false, "list registered targets and exit")
+	includeAblated := fs.Bool("include-ablated", false, `with -target all: include the ablated (expected-failing) targets`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, t := range explore.Targets() {
+			mark := " "
+			if t.Ablated {
+				mark = "!"
+			}
+			fmt.Fprintf(out, "%s %-26s n=%d steps=%-8d %s\n", mark, t.Name, t.N, t.Steps, t.Desc)
+		}
+		fmt.Fprintln(out, "\ntargets marked ! are ablated: deliberately broken, expected to fail")
+		return nil
+	}
+
+	if *replay != "" {
+		return replayArtifact(*replay, *shrink, *shrinkAttempts, out)
+	}
+
+	targets, err := selectTargets(*target, *includeAblated)
+	if err != nil {
+		return err
+	}
+	sum, err := explore.Fuzz(explore.Config{
+		Targets:        targets,
+		Seeds:          *seeds,
+		BaseSeed:       *seed0,
+		Budget:         *budget,
+		Parallel:       *parallel,
+		Shrink:         *shrink,
+		ShrinkAttempts: *shrinkAttempts,
+	})
+	if err != nil {
+		return err
+	}
+
+	t := &exp.Table{
+		ID:      "FUZZ",
+		Title:   fmt.Sprintf("schedule-space sweep: %d targets × %d seeds (seed0=%d)", len(targets), *seeds, *seed0),
+		Columns: []string{"target", "runs", "failures", "vacuous"},
+	}
+	for _, ts := range sum.PerTarget {
+		t.AddRow(ts.Target, ts.Runs, ts.Failures, ts.Vacuous)
+	}
+	if *budget > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("step budget %d per run (overrides target defaults)", *budget))
+	}
+	fmt.Fprintln(out, t)
+
+	for _, f := range sum.Findings {
+		v := f.Artifact.Verdicts
+		first := ""
+		for _, vd := range v {
+			if !vd.OK {
+				first = vd.String()
+				break
+			}
+		}
+		fmt.Fprintf(out, "FAIL %s seed %d: %s\n", f.Target, f.Seed, first)
+		if f.ShrinkStats != nil {
+			fmt.Fprintf(out, "     shrunk: %s\n", f.ShrinkStats)
+		}
+	}
+	for _, e := range sum.Errors {
+		fmt.Fprintf(out, "ERROR %s\n", e)
+	}
+
+	if *outDir != "" && len(sum.Findings) > 0 {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range sum.Findings {
+			if err := writeArtifact(*outDir, fmt.Sprintf("%s-seed%d.json", f.Target, f.Seed), f.Artifact); err != nil {
+				return err
+			}
+			if f.Shrunk != nil {
+				if err := writeArtifact(*outDir, fmt.Sprintf("%s-seed%d.min.json", f.Target, f.Seed), f.Shrunk); err != nil {
+					return err
+				}
+			}
+		}
+		fmt.Fprintf(out, "wrote %d artifact(s) to %s\n", len(sum.Findings), *outDir)
+	}
+
+	if sum.Failures > 0 || len(sum.Errors) > 0 {
+		return fmt.Errorf("%d of %d runs failed", sum.Failures+len(sum.Errors), sum.Runs)
+	}
+	fmt.Fprintf(out, "all %d runs passed\n", sum.Runs)
+	return nil
+}
+
+// selectTargets resolves the -target flag: a registry name, or "all".
+func selectTargets(name string, includeAblated bool) ([]explore.Target, error) {
+	if name == "all" {
+		var out []explore.Target
+		for _, t := range explore.Targets() {
+			if t.Ablated && !includeAblated {
+				continue
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	var out []explore.Target
+	for _, part := range strings.Split(name, ",") {
+		t, err := explore.TargetByName(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// replayArtifact re-executes a stored artifact and verifies the replay
+// reproduces the recorded verdicts and trace hash; with shrink set it also
+// minimizes the artifact and writes <path>.min.json.
+func replayArtifact(path string, shrink bool, shrinkAttempts int, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	a, err := explore.DecodeArtifact(data)
+	if err != nil {
+		return err
+	}
+	res, err := explore.Replay(a)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "replayed %s: target %s seed %d, %d steps\n", filepath.Base(path), a.Plan.Target, a.Plan.Seed, res.Outcome.Steps)
+	for _, v := range res.Outcome.Verdicts {
+		fmt.Fprintf(out, "  %s\n", v)
+	}
+	fmt.Fprintf(out, "trace hash: %s (recorded %s)\n", res.Outcome.TraceHash, a.TraceHash)
+	if !res.Exact() {
+		return fmt.Errorf("replay diverged from the artifact (hash match: %v, verdicts match: %v)", res.HashMatch, res.VerdictsMatch)
+	}
+	fmt.Fprintln(out, "replay reproduces the artifact byte-exactly")
+
+	if shrink {
+		min, stats, err := explore.Shrink(a, shrinkAttempts)
+		if err != nil {
+			return fmt.Errorf("shrink: %w", err)
+		}
+		minPath := strings.TrimSuffix(path, ".json") + ".min.json"
+		enc, err := min.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(minPath, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "shrunk: %s\nwrote %s\n", stats, minPath)
+	}
+	return nil
+}
+
+func writeArtifact(dir, name string, a *explore.Artifact) error {
+	enc, err := a.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), enc, 0o644)
+}

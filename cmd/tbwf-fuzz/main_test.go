@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFuzzThenReplayRoundTrip drives the CLI end to end: fuzz the
+// always-failing selftest target into an artifact directory, then replay
+// the artifact (which must reproduce byte-exactly) and shrink it.
+func TestFuzzThenReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-target", "selftest-panic",
+		"-seeds", "2",
+		"-budget", "10000",
+		"-out", dir,
+	}, &out)
+	if err == nil {
+		t.Fatalf("fuzzing selftest-panic exited zero; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL selftest-panic") {
+		t.Fatalf("missing FAIL line in output:\n%s", out.String())
+	}
+
+	matches, globErr := filepath.Glob(filepath.Join(dir, "selftest-panic-seed*.json"))
+	if globErr != nil || len(matches) == 0 {
+		t.Fatalf("no artifacts written to %s (%v)", dir, globErr)
+	}
+
+	out.Reset()
+	if err := run([]string{"-replay", matches[0], "-shrink", "-shrink-attempts", "30"}, &out); err != nil {
+		t.Fatalf("replay failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "replay reproduces the artifact byte-exactly") {
+		t.Fatalf("replay did not report exact reproduction:\n%s", out.String())
+	}
+	minPath := strings.TrimSuffix(matches[0], ".json") + ".min.json"
+	if _, err := os.Stat(minPath); err != nil {
+		t.Fatalf("shrunk artifact not written: %v", err)
+	}
+
+	// The shrunk artifact replays too.
+	out.Reset()
+	if err := run([]string{"-replay", minPath}, &out); err != nil {
+		t.Fatalf("shrunk replay failed: %v\noutput:\n%s", err, out.String())
+	}
+}
+
+// TestCleanSweepExitsZero: a passing target at a small budget exits zero
+// and prints the summary table.
+func TestCleanSweepExitsZero(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-target", "qa-counter", "-seeds", "2", "-budget", "60000"}, &out); err != nil {
+		t.Fatalf("clean sweep returned %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"FUZZ", "qa-counter", "all 2 runs passed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestListAndErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"qa-counter", "! heartbeat-single", "marked ! are ablated"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	if err := run([]string{"-target", "no-such-target"}, &out); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
+		t.Fatal("missing replay file accepted")
+	}
+}

@@ -123,7 +123,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ran %d steps (%s Ω∆)%s\n\n", res.Steps, kind, idleNote(res))
+	schedNote := ""
+	if s, ok := base.(sim.Seeded); ok {
+		schedNote = fmt.Sprintf(", schedule seed %d", s.Seed())
+	}
+	fmt.Printf("ran %d steps (%s Ω∆%s)%s\n\n", res.Steps, kind, schedNote, idleNote(res))
 	fmt.Print(rep)
 	fmt.Printf("\nleaders at end: %v (stabilized at step %d, %d changes)\n",
 		obs.Leaders(), obs.StabilizedAt(), obs.Changes())

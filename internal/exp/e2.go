@@ -30,6 +30,14 @@ func (c *E2Config) defaults() {
 	}
 }
 
+// Schedule seeds for E2's seeded random bases, surfaced in the table notes
+// (the scenarios construct their own schedule values: the rng inside a
+// seeded schedule is mutable and must not be shared across workers).
+const (
+	e2BaseScheduleSeed     = 9
+	e2UntimelyScheduleSeed = 17
+)
+
 // invokerClient is what the E2 drivers need from any of the systems.
 type invokerClient interface {
 	Invoke(p prim.Proc, op objtype.CounterOp) int64
@@ -60,6 +68,8 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		Notes: []string{
 			"expected shape: TBWF ratio ≈ 1 in both scenarios; boosters' ratio ≈ 1 when all timely, ≪ 1 with one untimely process",
 			"of-only guarantees nothing under contention; its numbers are luck, not a guarantee",
+			fmt.Sprintf("schedule seeds: %d (all-timely base), %d (one-untimely base); rerunning with these seeds reproduces the rows exactly",
+				e2BaseScheduleSeed, e2UntimelyScheduleSeed),
 		},
 	}
 
@@ -76,7 +86,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		untimelySched func(clients *[]invokerClient) sim.Schedule
 	}
 	oblivious := func(*[]invokerClient) sim.Schedule {
-		return sim.Restrict(sim.Random(17, nil), map[int]sim.Availability{
+		return sim.Restrict(sim.Random(e2UntimelyScheduleSeed, nil), map[int]sim.Availability{
 			0: sim.GrowingGaps(400, 800, 1.6),
 		})
 	}
@@ -149,7 +159,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 					}
 					return true
 				}
-				return sim.Restrict(sim.Random(17, nil), map[int]sim.Availability{0: avail})
+				return sim.Restrict(sim.Random(e2UntimelyScheduleSeed, nil), map[int]sim.Availability{0: avail})
 			},
 		},
 		{
@@ -175,7 +185,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 			s, scenario := s, scenario
 			scs = append(scs, Scenario{Name: s.name + "/" + scenario, Run: func(res *Result) error {
 				var clients []invokerClient
-				var sched sim.Schedule = sim.Random(9, nil)
+				var sched sim.Schedule = sim.Random(e2BaseScheduleSeed, nil)
 				if scenario == "one-untimely" {
 					sched = s.untimelySched(&clients)
 				}

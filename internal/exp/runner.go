@@ -65,43 +65,71 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ForEach runs fn(0), …, fn(n-1) on a worker pool of the given size (<= 0
+// means one worker per CPU). Items are claimed in index order; fn must be
+// safe to call concurrently for distinct indices. It is the pool behind
+// RunScenarios, exported so other fan-out consumers (the schedule-space
+// fuzzer in internal/explore) share the same bounded-parallelism behaviour.
+func ForEach(parallel, n int, fn func(i int)) {
+	workers := Workers(parallel)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// PanicError is a recovered panic from a scenario (or any other pooled
+// unit of work), carrying the recovered value and the stack captured at
+// recovery time so a fuzz-found panic is diagnosable from a stored
+// artifact alone.
+type PanicError struct {
+	// Value is the recovered value, rendered with %v.
+	Value string
+	// Stack is the goroutine stack at the recovery point.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("scenario panicked: %s\n%s", e.Value, e.Stack)
+}
+
 // RunScenarios executes the scenarios on a worker pool of the given size
 // (<= 0 means one worker per CPU) and appends their rows and notes to t in
 // scenario order, accumulating kernel stats into t.Stats. All scenarios
 // run even if one fails; the error reported is the failing scenario with
 // the lowest index, so error behaviour is independent of the pool size
 // too. A panic inside a scenario is recovered and returned as that
-// scenario's error.
+// scenario's error (a *PanicError wrapping the recovered value and its
+// stack trace).
 func RunScenarios(t *Table, parallel int, scs []Scenario) error {
-	workers := Workers(parallel)
-	if workers > len(scs) {
-		workers = len(scs)
-	}
 	results := make([]Result, len(scs))
 	errs := make([]error, len(scs))
-	if workers <= 1 {
-		for i := range scs {
-			errs[i] = runScenario(&scs[i], &results[i])
-		}
-	} else {
-		var next atomic.Int64
-		next.Store(-1)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1))
-					if i >= len(scs) {
-						return
-					}
-					errs[i] = runScenario(&scs[i], &results[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	ForEach(parallel, len(scs), func(i int) {
+		errs[i] = runScenario(&scs[i], &results[i])
+	})
 	for i := range scs {
 		if errs[i] != nil {
 			return fmt.Errorf("%s %s: %w", t.ID, scs[i].Name, errs[i])
@@ -121,7 +149,7 @@ func RunScenarios(t *Table, parallel int, scs []Scenario) error {
 func runScenario(sc *Scenario, res *Result) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("scenario panicked: %v\n%s", r, debug.Stack())
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
 		}
 	}()
 	return sc.Run(res)

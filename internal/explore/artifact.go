@@ -1,0 +1,113 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ArtifactVersion is bumped when the artifact encoding changes shape.
+const ArtifactVersion = 1
+
+// Artifact is the self-contained JSON record of one failing run: the plan
+// pinned to the executed schedule and policy tape, plus what the run
+// produced. Replaying the plan reproduces the verdicts and the trace hash
+// byte-exactly (see the package determinism contract).
+type Artifact struct {
+	Version int `json:"version"`
+	// Plan is the pinned plan: Prefix holds the full executed schedule and
+	// Tape the full policy decision record.
+	Plan Plan `json:"plan"`
+	// Verdicts are the oracle verdicts the run produced.
+	Verdicts []Verdict `json:"verdicts"`
+	// TraceHash is the run's execution fingerprint.
+	TraceHash string `json:"trace_hash"`
+	// Steps is the number of steps the run actually executed.
+	Steps int64 `json:"steps"`
+	// Err is the kernel error (task panic with stack), if any.
+	Err string `json:"err,omitempty"`
+	// Note records provenance ("found by fuzzing", shrink statistics, …).
+	Note string `json:"note,omitempty"`
+}
+
+// NewArtifact pins a plan to its outcome: the executed schedule becomes the
+// plan's prefix and the recorded policy tape its tape, so the artifact
+// replays without consulting the strategy generator or fresh policy draws.
+// The plan's budget is deliberately NOT trimmed to the executed step count:
+// a run that died in a task panic aborted *mid-step*, and replaying with a
+// budget of exactly the recorded steps would end cleanly one step short of
+// the panic.
+func NewArtifact(p Plan, o *Outcome) *Artifact {
+	p.Prefix = append([]int32(nil), o.Schedule...)
+	p.Tape = o.Tape
+	return &Artifact{
+		Version:   ArtifactVersion,
+		Plan:      p,
+		Verdicts:  append([]Verdict(nil), o.Verdicts...),
+		TraceHash: o.TraceHash,
+		Steps:     o.Steps,
+		Err:       o.Err,
+	}
+}
+
+// Encode renders the artifact as indented JSON with a trailing newline.
+func (a *Artifact) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("explore: encode artifact: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeArtifact parses an artifact and validates its version.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("explore: decode artifact: %w", err)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("explore: artifact version %d, this build reads %d", a.Version, ArtifactVersion)
+	}
+	if a.Plan.Target == "" {
+		return nil, fmt.Errorf("explore: artifact has no target")
+	}
+	return &a, nil
+}
+
+// ReplayResult reports how a replayed run compared to its artifact.
+type ReplayResult struct {
+	// Outcome is the fresh run's outcome.
+	Outcome *Outcome
+	// HashMatch reports whether the trace hash matches the artifact's.
+	HashMatch bool
+	// VerdictsMatch reports whether the verdict list is identical.
+	VerdictsMatch bool
+}
+
+// Exact reports a byte-exact reproduction: same trace, same verdicts.
+func (r *ReplayResult) Exact() bool { return r.HashMatch && r.VerdictsMatch }
+
+// Replay re-executes the artifact's plan and compares the outcome against
+// the stored record.
+func Replay(a *Artifact) (*ReplayResult, error) {
+	out, err := SafeExecute(a.Plan)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplayResult{
+		Outcome:       out,
+		HashMatch:     out.TraceHash == a.TraceHash,
+		VerdictsMatch: verdictsEqual(out.Verdicts, a.Verdicts),
+	}, nil
+}
+
+func verdictsEqual(a, b []Verdict) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+// Package explore is a schedule-space exploration engine over the
+// simulation kernel (internal/sim): a fuzzer for the paper's quantified
+// guarantees. The paper's properties — TBWF (Definition 3), Ω∆ stability
+// (Definition 5), the activity-monitor contract (Definition 9), and
+// linearizability of the query-abortable construction — are quantified
+// over *all* schedules, crash patterns, and abort/effect adversaries, but
+// hand-written tests can only pin a handful of them. This package sweeps
+// that space: it generates adversarial runs from a seed, checks them with
+// property oracles adapted from the repo's existing checkers, and
+// condenses every failure into a small, self-contained JSON artifact that
+// replays byte-exactly.
+//
+// Determinism contract: a run is a pure function of its Plan. The three
+// sources of nondeterminism are each pinned:
+//
+//   - scheduling — the executed schedule is recorded by the kernel's trace
+//     and stored as the plan's explicit prefix, so a replay re-issues the
+//     very same process picks (holes left by the shrinker fall back to a
+//     stateless step-indexed rotation);
+//   - crashes — generated up front from the seed and stored explicitly;
+//   - abort/effect policy coin flips — drawn through a recording tape
+//     (register.Tape) whose record is stored in the plan and replayed
+//     verbatim.
+//
+// Everything else (target wiring, workload scripts) derives
+// deterministically from the seed, so Execute(plan) always produces the
+// same verdicts and the same trace hash. The delta-debugging shrinker
+// (Shrink) leans on exactly this property.
+package explore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime/debug"
+	"strings"
+
+	"tbwf/internal/exp"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// Crash schedules one crash injection: process Proc takes no steps from
+// step Step on.
+type Crash struct {
+	Proc int   `json:"proc"`
+	Step int64 `json:"step"`
+}
+
+// Strategy selects how the generator explores the schedule space past the
+// plan's explicit prefix.
+type Strategy string
+
+const (
+	// StrategyWalk is a seeded uniform random walk over the alive set.
+	StrategyWalk Strategy = "walk"
+	// StrategyPattern repeats a short seed-derived pattern forever —
+	// phase-locking adversaries (strict alternations and their relatives)
+	// that random walks almost never sustain.
+	StrategyPattern Strategy = "pattern"
+	// StrategyPBound is a preemption-bounded schedule: the run is divided
+	// into a seed-chosen number of contiguous segments (at most
+	// maxPreemptions switches), each owned by one process — the classic
+	// few-context-switches adversary.
+	StrategyPBound Strategy = "pbound"
+)
+
+// Plan is the complete, self-contained description of one exploration run.
+// Execute(plan) is deterministic: same plan, same run, same verdicts.
+type Plan struct {
+	// Target names a registered fuzz target (see Targets).
+	Target string `json:"target"`
+	// Seed drives every derived choice: the strategy schedule, the policy
+	// tape's fresh draws, and the target's internal workload script.
+	Seed int64 `json:"seed"`
+	// Steps is the run's step budget.
+	Steps int64 `json:"steps"`
+	// Strategy picks the schedule generator used past the prefix.
+	Strategy Strategy `json:"strategy"`
+	// Prefix holds explicit schedule choices for steps < len(Prefix): the
+	// process to schedule at each step. An entry of -1 is a hole (left by
+	// the shrinker): the step falls back to a stateless rotation over the
+	// alive set. A failure artifact stores the full executed schedule
+	// here, which is what makes replay byte-exact.
+	Prefix []int32 `json:"prefix,omitempty"`
+	// Crashes is the crash set, applied via Kernel.CrashAt.
+	Crashes []Crash `json:"crashes,omitempty"`
+	// Tape is the recorded abort/effect policy decision record ('0'/'1'
+	// per decision, in draw order), replayed verbatim before fresh seeded
+	// draws take over.
+	Tape string `json:"tape,omitempty"`
+}
+
+// Env is what a target's Build receives: the deterministic context of one
+// run.
+type Env struct {
+	// Seed is the plan's seed.
+	Seed int64
+	// Steps is the run's step budget, for scaling workload scripts.
+	Steps int64
+	// Tape is the policy coin-flip tape; wire it into abortable registers
+	// via register.TapedAbort / register.TapedEffect.
+	Tape *register.Tape
+	rng  *rand.Rand
+}
+
+// Rand is the target-local derivation stream: deterministic in the seed
+// and independent of the schedule and tape streams. Build-time draws only.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Outcome is what one executed plan produced.
+type Outcome struct {
+	// Target echoes the plan's target.
+	Target string `json:"target"`
+	// Steps is the number of steps actually executed (less than the budget
+	// when the run went idle).
+	Steps int64 `json:"steps"`
+	// Idle reports whether the run ended with nothing schedulable.
+	Idle bool `json:"idle"`
+	// Verdicts are the target's oracle verdicts, in oracle order.
+	Verdicts []Verdict `json:"verdicts"`
+	// TraceHash fingerprints the executed run: schedule, per-process step
+	// and register-operation counters. Two runs with equal hashes took the
+	// same steps in the same order and issued the same operations.
+	TraceHash string `json:"trace_hash"`
+	// Err is the kernel error (a task panic with its stack), if any.
+	Err string `json:"err,omitempty"`
+
+	// Schedule is the executed schedule (the recorded choice tape); kept
+	// out of the JSON encoding — artifacts carry it as the plan's Prefix.
+	Schedule []int32 `json:"-"`
+	// Tape is the policy decision record after the run.
+	Tape string `json:"-"`
+}
+
+// Failed reports whether any oracle failed.
+func (o *Outcome) Failed() bool {
+	for _, v := range o.Verdicts {
+		if !v.OK {
+			return true
+		}
+	}
+	return false
+}
+
+// FirstFailure returns the first failing verdict, or nil.
+func (o *Outcome) FirstFailure() *Verdict {
+	for i := range o.Verdicts {
+		if !o.Verdicts[i].OK {
+			return &o.Verdicts[i]
+		}
+	}
+	return nil
+}
+
+// Execute runs a plan to completion and returns its outcome. It is a pure
+// function of the plan (see the package comment's determinism contract).
+func Execute(p Plan) (*Outcome, error) {
+	tgt, err := TargetByName(p.Target)
+	if err != nil {
+		return nil, err
+	}
+	steps := p.Steps
+	if steps <= 0 {
+		steps = tgt.Steps
+	}
+	env := &Env{
+		Seed:  p.Seed,
+		Steps: steps,
+		Tape:  register.ReplayTape(mix(p.Seed, streamTape), p.Tape),
+		rng:   rand.New(rand.NewSource(mix(p.Seed, streamTarget))),
+	}
+
+	base := newPlanSchedule(p, steps)
+	var sched sim.Schedule = base
+	if tgt.Avail != nil {
+		if m := tgt.Avail(env); len(m) > 0 {
+			sched = sim.Restrict(base, m)
+		}
+	}
+	k := sim.New(tgt.N, sim.WithSchedule(sched))
+	for _, c := range p.Crashes {
+		if c.Proc >= 0 && c.Proc < tgt.N && c.Step >= 0 {
+			k.CrashAt(c.Proc, c.Step)
+		}
+	}
+	check, err := tgt.Build(k, env)
+	if err != nil {
+		return nil, fmt.Errorf("explore: build target %s: %w", p.Target, err)
+	}
+	res, runErr := k.Run(steps)
+	k.Shutdown()
+
+	out := &Outcome{
+		Target:   p.Target,
+		Steps:    res.Steps,
+		Idle:     res.Idle,
+		Schedule: append([]int32(nil), k.Trace().Schedule()...),
+		Tape:     env.Tape.Bits(),
+	}
+	if runErr != nil {
+		// A task panicked: the panic (with the stack the kernel captured)
+		// is the finding; the target's oracles never see a finished run.
+		// The verdict detail keeps only the error's first line — the stack
+		// below it carries goroutine ids and addresses that vary between
+		// runs, and verdicts must replay byte-exactly. The full stack stays
+		// in Err.
+		out.Err = runErr.Error()
+		detail := out.Err
+		if i := strings.IndexByte(detail, '\n'); i >= 0 {
+			detail = detail[:i]
+		}
+		out.Verdicts = []Verdict{{Oracle: "no-panic", OK: false, Detail: detail}}
+	} else {
+		out.Verdicts = check(k, res)
+	}
+	out.TraceHash = traceHash(k)
+	return out, nil
+}
+
+// SafeExecute is Execute with panic isolation: a panic escaping a target's
+// Build or oracle code is returned as an *exp.PanicError instead of
+// tearing down the caller (the fuzz campaign runs many plans on one worker
+// pool).
+func SafeExecute(p Plan) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &exp.PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	return Execute(p)
+}
+
+// Seed-stream derivation constants: each consumer of the plan's seed draws
+// from its own splitmix64-derived stream so that, e.g., adding a tape draw
+// cannot perturb the schedule.
+const (
+	streamSchedule = 0x736368656475 // "schedu"
+	streamTape     = 0x74617065     // "tape"
+	streamTarget   = 0x746172676574 // "target"
+	streamGen      = 0x67656e       // "gen"
+)
+
+// mix derives an independent 63-bit stream seed from (seed, stream) with a
+// splitmix64 finalizer.
+func mix(seed, stream int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1)
+}
+
+// traceHash fingerprints the executed run with FNV-1a over the recorded
+// schedule and the per-process step/operation counters.
+func traceHash(k *sim.Kernel) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wr(int64(k.N()))
+	wr(k.Step())
+	var buf4 [4]byte
+	for _, s := range k.Trace().Schedule() {
+		binary.LittleEndian.PutUint32(buf4[:], uint32(s))
+		h.Write(buf4[:])
+	}
+	m := k.Metrics()
+	for p := 0; p < k.N(); p++ {
+		wr(m.Steps[p])
+		wr(m.Reads[p])
+		wr(m.Writes[p])
+		wr(m.ReadAborts[p])
+		wr(m.WriteAborts[p])
+	}
+	return fmt.Sprintf("fnv1a:%016x", h.Sum64())
+}

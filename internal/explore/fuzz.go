@@ -1,0 +1,151 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"tbwf/internal/exp"
+)
+
+// Config parameterizes a fuzz campaign.
+type Config struct {
+	// Targets are the fuzz targets to sweep (e.g. Targets(), or a subset).
+	Targets []Target
+	// Seeds is the number of seeds per target (default 16).
+	Seeds int
+	// BaseSeed offsets the seed range: target runs use seeds
+	// BaseSeed, BaseSeed+1, …, BaseSeed+Seeds-1.
+	BaseSeed int64
+	// Budget overrides every target's default step budget when positive.
+	Budget int64
+	// Parallel is the worker-pool size (<= 0: one worker per CPU).
+	Parallel int
+	// Shrink minimizes every failure artifact after the sweep.
+	Shrink bool
+	// ShrinkAttempts caps re-executions per shrink (<= 0: default).
+	ShrinkAttempts int
+}
+
+// Finding is one failing run of a campaign.
+type Finding struct {
+	// Target and Seed locate the run.
+	Target string
+	Seed   int64
+	// Artifact is the pinned, replayable failure record.
+	Artifact *Artifact
+	// Shrunk is the minimized artifact (when Config.Shrink was set and the
+	// reduction succeeded).
+	Shrunk *Artifact
+	// ShrinkStats describes the reduction (nil when not shrunk).
+	ShrinkStats *ShrinkStats
+}
+
+// TargetSummary aggregates one target's runs.
+type TargetSummary struct {
+	Target string
+	// Runs, Failures, Vacuous count total runs, failing runs, and passing
+	// runs in which at least one oracle was vacuous (premise not met).
+	Runs, Failures, Vacuous int
+}
+
+// Summary is a campaign's result.
+type Summary struct {
+	Runs, Failures int
+	PerTarget      []TargetSummary
+	Findings       []Finding
+	// Errors are infrastructure errors (a run that could not execute at
+	// all), distinct from oracle failures.
+	Errors []string
+}
+
+// Fuzz sweeps Seeds plans per target across the worker pool and collects
+// every failure as a pinned artifact. Results are deterministic in
+// (Targets, Seeds, BaseSeed, Budget) and independent of Parallel.
+func Fuzz(cfg Config) (*Summary, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("explore: no targets")
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 16
+	}
+
+	type unit struct {
+		target Target
+		seed   int64
+	}
+	var units []unit
+	for _, tgt := range cfg.Targets {
+		for j := 0; j < cfg.Seeds; j++ {
+			units = append(units, unit{target: tgt, seed: cfg.BaseSeed + int64(j)})
+		}
+	}
+
+	type result struct {
+		finding *Finding
+		vacuous bool
+		err     error
+	}
+	results := make([]result, len(units))
+	exp.ForEach(cfg.Parallel, len(units), func(i int) {
+		u := units[i]
+		plan := NewPlan(u.target, u.seed, cfg.Budget)
+		out, err := SafeExecute(plan)
+		if err != nil {
+			results[i].err = fmt.Errorf("%s seed %d: %w", u.target.Name, u.seed, err)
+			return
+		}
+		if out.Failed() {
+			results[i].finding = &Finding{
+				Target:   u.target.Name,
+				Seed:     u.seed,
+				Artifact: NewArtifact(plan, out),
+			}
+			return
+		}
+		for _, v := range out.Verdicts {
+			if strings.HasPrefix(v.Detail, "vacuous:") {
+				results[i].vacuous = true
+				break
+			}
+		}
+	})
+
+	sum := &Summary{}
+	per := make(map[string]*TargetSummary)
+	for _, tgt := range cfg.Targets {
+		ts := &TargetSummary{Target: tgt.Name}
+		per[tgt.Name] = ts
+		sum.PerTarget = append(sum.PerTarget, *ts)
+	}
+	for i, r := range results {
+		ts := per[units[i].target.Name]
+		ts.Runs++
+		sum.Runs++
+		switch {
+		case r.err != nil:
+			sum.Errors = append(sum.Errors, r.err.Error())
+		case r.finding != nil:
+			ts.Failures++
+			sum.Failures++
+			sum.Findings = append(sum.Findings, *r.finding)
+		case r.vacuous:
+			ts.Vacuous++
+		}
+	}
+	for i := range sum.PerTarget {
+		sum.PerTarget[i] = *per[sum.PerTarget[i].Target]
+	}
+
+	if cfg.Shrink && len(sum.Findings) > 0 {
+		exp.ForEach(cfg.Parallel, len(sum.Findings), func(i int) {
+			f := &sum.Findings[i]
+			shrunk, stats, err := Shrink(f.Artifact, cfg.ShrinkAttempts)
+			if err != nil {
+				return // keep the unshrunk artifact; the failure still stands
+			}
+			f.Shrunk = shrunk
+			f.ShrinkStats = stats
+		})
+	}
+	return sum, nil
+}

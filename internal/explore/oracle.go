@@ -1,0 +1,76 @@
+package explore
+
+import (
+	"fmt"
+
+	"tbwf/internal/sim"
+)
+
+// Verdict is one property oracle's judgement of one run.
+//
+// Oracles are *conditioned*: each asserts its property only when the run
+// actually established the property's premise (the process was timely, the
+// run went idle, the budget was large enough). When the premise failed the
+// verdict is vacuously OK with a "vacuous:" detail — a fuzz campaign
+// reports such runs as passing, and the detail says why no property was
+// actually checked.
+type Verdict struct {
+	// Oracle names the property checked, e.g. "lincheck" or "tbwf-progress".
+	Oracle string `json:"oracle"`
+	// OK reports whether the property held (or was vacuous).
+	OK bool `json:"ok"`
+	// Detail is the human-readable explanation, mandatory for failures.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the verdict one-per-line for logs and artifacts.
+func (v Verdict) String() string {
+	status := "ok"
+	if !v.OK {
+		status = "FAIL"
+	}
+	if v.Detail == "" {
+		return fmt.Sprintf("%s: %s", v.Oracle, status)
+	}
+	return fmt.Sprintf("%s: %s (%s)", v.Oracle, status, v.Detail)
+}
+
+func failf(oracle, format string, args ...any) Verdict {
+	return Verdict{Oracle: oracle, OK: false, Detail: fmt.Sprintf(format, args...)}
+}
+
+func okf(oracle, format string, args ...any) Verdict {
+	return Verdict{Oracle: oracle, OK: true, Detail: fmt.Sprintf(format, args...)}
+}
+
+// vacuousf is a passing verdict whose premise did not hold: nothing was
+// actually asserted about this run.
+func vacuousf(oracle, format string, args ...any) Verdict {
+	return Verdict{Oracle: oracle, OK: true, Detail: "vacuous: " + fmt.Sprintf(format, args...)}
+}
+
+// suffixReport analyzes the timeliness of the executed schedule's suffix
+// starting at step from. Oracles use it to condition on *sustained*
+// timeliness near the end of the run, where their properties are read off.
+func suffixReport(k *sim.Kernel, from int64) *sim.TimelinessReport {
+	sched := k.Trace().Schedule()
+	if from < 0 {
+		from = 0
+	}
+	if from > int64(len(sched)) {
+		from = int64(len(sched))
+	}
+	return sim.Analyze(sched[from:], k.N())
+}
+
+// allTimely reports whether every process in procs has a finite bound at
+// most limit in the report.
+func allTimely(rep *sim.TimelinessReport, procs []int, limit int64) bool {
+	for _, p := range procs {
+		b := rep.Bound[p]
+		if b == sim.Unbounded || b > limit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,220 @@
+package explore
+
+import (
+	"fmt"
+)
+
+// The shrinker reduces a failure artifact to a smaller plan that still
+// fails the *same oracle*. It is classic delta debugging adapted to the
+// plan's structure; every candidate is judged by re-executing it, which the
+// determinism contract makes exact (no flaky reductions).
+//
+// Reduction moves, in order:
+//
+//  1. unpinning — drop the whole prefix and tape: does the bare seed still
+//     reproduce? (When it does, the minimal artifact is just a seed.)
+//  2. budget halving — fewer steps, prefix trimmed to match;
+//  3. crash removal — greedy, one crash at a time;
+//  4. prefix hole-punching — ddmin-style: replace chunks of pinned schedule
+//     entries with -1 holes at doubling granularity;
+//  5. tape truncation — empty tape, then half tape.
+
+// DefaultShrinkAttempts caps re-executions per Shrink call.
+const DefaultShrinkAttempts = 200
+
+// ShrinkStats summarizes what a Shrink call did.
+type ShrinkStats struct {
+	// Attempts is the number of candidate executions performed.
+	Attempts int `json:"attempts"`
+	// Oracle is the failing oracle the shrinker preserved.
+	Oracle string `json:"oracle"`
+	// StepsBefore/StepsAfter are the step budgets.
+	StepsBefore int64 `json:"steps_before"`
+	StepsAfter  int64 `json:"steps_after"`
+	// PinnedBefore/PinnedAfter count non-hole prefix entries.
+	PinnedBefore int `json:"pinned_before"`
+	PinnedAfter  int `json:"pinned_after"`
+	// CrashesBefore/CrashesAfter count crash injections.
+	CrashesBefore int `json:"crashes_before"`
+	CrashesAfter  int `json:"crashes_after"`
+	// TapeBefore/TapeAfter are the tape lengths in bits.
+	TapeBefore int `json:"tape_before"`
+	TapeAfter  int `json:"tape_after"`
+}
+
+func (s ShrinkStats) String() string {
+	return fmt.Sprintf("%d attempts: steps %d→%d, pinned %d→%d, crashes %d→%d, tape %d→%d (oracle %s)",
+		s.Attempts, s.StepsBefore, s.StepsAfter, s.PinnedBefore, s.PinnedAfter,
+		s.CrashesBefore, s.CrashesAfter, s.TapeBefore, s.TapeAfter, s.Oracle)
+}
+
+// failsSame reports whether the outcome fails the named oracle ("" matches
+// any failure).
+func failsSame(out *Outcome, oracle string) bool {
+	for _, v := range out.Verdicts {
+		if !v.OK && (oracle == "" || v.Oracle == oracle) {
+			return true
+		}
+	}
+	return false
+}
+
+// Shrink minimizes the artifact's plan while preserving its first failing
+// oracle, re-executing candidates up to maxAttempts times (<= 0 uses
+// DefaultShrinkAttempts). It returns a new artifact for the reduced plan
+// (with fresh verdicts and trace hash) and the reduction statistics. The
+// input artifact must reproduce its failure, or an error is returned.
+func Shrink(a *Artifact, maxAttempts int) (*Artifact, *ShrinkStats, error) {
+	if maxAttempts <= 0 {
+		maxAttempts = DefaultShrinkAttempts
+	}
+	stats := &ShrinkStats{
+		StepsBefore:   a.Plan.Steps,
+		PinnedBefore:  countPinned(a.Plan.Prefix),
+		CrashesBefore: len(a.Plan.Crashes),
+		TapeBefore:    len(a.Plan.Tape),
+	}
+
+	// Baseline: the artifact must reproduce before reduction means anything.
+	baseOut, err := SafeExecute(a.Plan)
+	stats.Attempts++
+	if err != nil {
+		return nil, nil, fmt.Errorf("explore: shrink baseline: %w", err)
+	}
+	fail := baseOut.FirstFailure()
+	if fail == nil {
+		return nil, nil, fmt.Errorf("explore: artifact does not reproduce: all %d verdicts pass on replay", len(baseOut.Verdicts))
+	}
+	stats.Oracle = fail.Oracle
+
+	best := clonePlan(a.Plan)
+	bestOut := baseOut
+	// try executes a candidate and adopts it when it still fails the same
+	// oracle. It returns false once the attempt budget is exhausted.
+	try := func(cand Plan) bool {
+		if stats.Attempts >= maxAttempts {
+			return false
+		}
+		stats.Attempts++
+		out, err := SafeExecute(cand)
+		if err != nil || !failsSame(out, stats.Oracle) {
+			return false
+		}
+		best = cand
+		bestOut = out
+		return true
+	}
+
+	// 1. Unpin entirely: seed-only reproduction.
+	bare := clonePlan(best)
+	bare.Prefix = nil
+	bare.Tape = ""
+	try(bare)
+
+	// 2. Budget halving.
+	for best.Steps > 1_000 && stats.Attempts < maxAttempts {
+		cand := clonePlan(best)
+		cand.Steps = best.Steps / 2
+		if int64(len(cand.Prefix)) > cand.Steps {
+			cand.Prefix = cand.Prefix[:cand.Steps]
+		}
+		cand.Crashes = crashesWithin(cand.Crashes, cand.Steps)
+		if !try(cand) {
+			break
+		}
+	}
+
+	// 3. Greedy crash removal.
+	for i := 0; i < len(best.Crashes) && stats.Attempts < maxAttempts; {
+		cand := clonePlan(best)
+		cand.Crashes = append(append([]Crash(nil), cand.Crashes[:i]...), cand.Crashes[i+1:]...)
+		if !try(cand) {
+			i++
+		}
+	}
+
+	// 4. Hole-punch the prefix at doubling granularity: first try wiping
+	// large chunks, then smaller ones. A hole falls back to the stateless
+	// rotation, so the remaining pinned entries are the schedule choices the
+	// failure actually depends on.
+	for chunks := 1; stats.Attempts < maxAttempts; chunks *= 2 {
+		pinned := countPinned(best.Prefix)
+		if pinned == 0 {
+			break
+		}
+		size := (len(best.Prefix) + chunks - 1) / chunks
+		if size < 1 {
+			break
+		}
+		for start := 0; start < len(best.Prefix) && stats.Attempts < maxAttempts; start += size {
+			end := start + size
+			if end > len(best.Prefix) {
+				end = len(best.Prefix)
+			}
+			if countPinned(best.Prefix[start:end]) == 0 {
+				continue
+			}
+			cand := clonePlan(best)
+			for i := start; i < end; i++ {
+				cand.Prefix[i] = -1
+			}
+			try(cand)
+		}
+		if size == 1 {
+			break
+		}
+	}
+
+	// 5. Tape truncation: all-fresh draws, then keep only the first half.
+	if best.Tape != "" {
+		cand := clonePlan(best)
+		cand.Tape = ""
+		if !try(cand) && len(best.Tape) > 1 {
+			cand = clonePlan(best)
+			cand.Tape = best.Tape[:len(best.Tape)/2]
+			try(cand)
+		}
+	}
+
+	stats.StepsAfter = best.Steps
+	stats.PinnedAfter = countPinned(best.Prefix)
+	stats.CrashesAfter = len(best.Crashes)
+	stats.TapeAfter = len(best.Tape)
+
+	min := &Artifact{
+		Version:   ArtifactVersion,
+		Plan:      best,
+		Verdicts:  append([]Verdict(nil), bestOut.Verdicts...),
+		TraceHash: bestOut.TraceHash,
+		Steps:     bestOut.Steps,
+		Err:       bestOut.Err,
+		Note:      "shrunk: " + stats.String(),
+	}
+	return min, stats, nil
+}
+
+func countPinned(prefix []int32) int {
+	n := 0
+	for _, v := range prefix {
+		if v >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func crashesWithin(crashes []Crash, steps int64) []Crash {
+	var out []Crash
+	for _, c := range crashes {
+		if c.Step < steps {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func clonePlan(p Plan) Plan {
+	p.Prefix = append([]int32(nil), p.Prefix...)
+	p.Crashes = append([]Crash(nil), p.Crashes...)
+	return p
+}

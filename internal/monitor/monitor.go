@@ -73,6 +73,10 @@ type Pair struct {
 	// Hb is the shared register HbRegister[q,p], written by q and read
 	// by p.
 	Hb prim.Register[int64]
+
+	// ablateFaultGate disables the allow-increment gating of Figure 2
+	// (lines 18–26); see AblateFaultGate.
+	ablateFaultGate bool
 }
 
 // NewPair wires an activity monitor A(p,q) over the given heartbeat
@@ -89,6 +93,13 @@ func NewPair(p, q int, hb prim.Register[int64]) *Pair {
 		Hb:         hb,
 	}
 }
+
+// AblateFaultGate removes the allow-increment gating of Figure 2: every
+// suspicion then bumps faultCntr, so a crashed q is charged over and over
+// instead of at most once (Definition 9, Property 5b fails). Ablation for
+// tests and the schedule-space fuzzer only; call before spawning the
+// monitoring task.
+func (m *Pair) AblateFaultGate() { m.ablateFaultGate = true }
 
 // MonitoredTask returns the task to run on process q: the top half of
 // Figure 2. While active-for_q[p] is on, it writes an increasing heartbeat
@@ -151,7 +162,7 @@ func (m *Pair) MonitoringTask() func(prim.Proc) {
 						allowIncrement = true
 					default: // lines 21–26: hbCounter >= 0 && <= prev
 						m.Status.Set(StatusInactive)
-						if allowIncrement {
+						if allowIncrement || m.ablateFaultGate {
 							m.FaultCntr.Set(m.FaultCntr.Get() + 1)
 							hbTimeout++
 							allowIncrement = false

@@ -44,7 +44,9 @@ func RoundRobin() Schedule {
 
 // Pattern returns a schedule that repeats seq forever. If the preferred
 // process is not schedulable at some step, the next alive process at or
-// after it (cyclically by id) is chosen instead.
+// after it (cyclically by id) is chosen instead: when every alive id is
+// below the preferred one, the choice wraps around to the smallest alive
+// id, wherever it sits in the alive slice.
 func Pattern(seq ...int) Schedule {
 	if len(seq) == 0 {
 		return RoundRobin()
@@ -59,7 +61,15 @@ func Pattern(seq ...int) Schedule {
 				return p
 			}
 		}
-		return alive[0]
+		// Cyclic wrap: no alive id is at or after want, so take the
+		// smallest alive id explicitly rather than assuming alive[0] is it.
+		min := alive[0]
+		for _, p := range alive[1:] {
+			if p < min {
+				min = p
+			}
+		}
+		return min
 	})
 }
 
@@ -97,29 +107,50 @@ func SmoothWeighted(weights []int) Schedule {
 	})
 }
 
+// Seeded is implemented by schedules derived from a seed. Frontends use it
+// to surface the seed in their output so any run is reproducible.
+type Seeded interface {
+	Seed() int64
+}
+
+// RandomSchedule is a seeded random schedule; see Random.
+type RandomSchedule struct {
+	seed int64
+	w    []float64
+	rng  *rand.Rand
+}
+
 // Random returns a seeded random schedule: each step picks an alive process
 // with probability proportional to weights[p] (weight 1 for processes
 // beyond the slice, minimum 0). Deterministic for a given seed.
-func Random(seed int64, weights []float64) Schedule {
-	w := append([]float64(nil), weights...)
-	rng := rand.New(rand.NewSource(seed))
-	return ScheduleFunc(func(step int64, alive []int) int {
-		total := 0.0
-		for _, p := range alive {
-			total += weightOf(w, p)
+func Random(seed int64, weights []float64) *RandomSchedule {
+	return &RandomSchedule{
+		seed: seed,
+		w:    append([]float64(nil), weights...),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Seed returns the seed the schedule was built from.
+func (s *RandomSchedule) Seed() int64 { return s.seed }
+
+// Next implements Schedule.
+func (s *RandomSchedule) Next(step int64, alive []int) int {
+	total := 0.0
+	for _, p := range alive {
+		total += weightOf(s.w, p)
+	}
+	if total <= 0 {
+		return alive[s.rng.Intn(len(alive))]
+	}
+	x := s.rng.Float64() * total
+	for _, p := range alive {
+		x -= weightOf(s.w, p)
+		if x < 0 {
+			return p
 		}
-		if total <= 0 {
-			return alive[rng.Intn(len(alive))]
-		}
-		x := rng.Float64() * total
-		for _, p := range alive {
-			x -= weightOf(w, p)
-			if x < 0 {
-				return p
-			}
-		}
-		return alive[len(alive)-1]
-	})
+	}
+	return alive[len(alive)-1]
 }
 
 func weightOf(w []float64, p int) float64 {

@@ -62,6 +62,95 @@ func TestPatternSkipsDeadProcess(t *testing.T) {
 	}
 }
 
+func TestPatternWrapsBelowWant(t *testing.T) {
+	// Regression: when every alive id is below the preferred one, the
+	// choice must wrap cyclically to the smallest alive id — even when the
+	// alive slice is not sorted, so the wrap cannot silently rely on
+	// alive[0] being the minimum.
+	s := Pattern(5)
+	if got := s.Next(0, []int{1, 3}); got != 1 {
+		t.Fatalf("Pattern(5) over alive [1 3] = %d, want 1 (cyclic wrap)", got)
+	}
+	s = Pattern(5)
+	if got := s.Next(0, []int{3, 1}); got != 1 {
+		t.Fatalf("Pattern(5) over alive [3 1] = %d, want 1 (cyclic wrap to the minimum)", got)
+	}
+}
+
+func TestSmoothWeightedEmptyAndZeroWeights(t *testing.T) {
+	// Empty weights: every alive process has weight 0, so the schedule must
+	// fall back to the deterministic step-indexed rotation.
+	s := SmoothWeighted(nil)
+	alive := []int{0, 1, 2}
+	for i := int64(0); i < 9; i++ {
+		want := alive[int(i)%len(alive)]
+		if got := s.Next(i, alive); got != want {
+			t.Fatalf("empty weights: step %d picked %d, want fallback %d", i, got, want)
+		}
+	}
+	// All-zero weights behave the same.
+	s = SmoothWeighted([]int{0, 0})
+	if got := s.Next(0, []int{0, 1}); got != 0 {
+		t.Fatalf("zero weights: step 0 picked %d, want 0", got)
+	}
+}
+
+func TestSmoothWeightedSingleAliveProcess(t *testing.T) {
+	s := SmoothWeighted([]int{1, 7})
+	for i := int64(0); i < 20; i++ {
+		if got := s.Next(i, []int{1}); got != 1 {
+			t.Fatalf("single alive process: picked %d, want 1", got)
+		}
+	}
+}
+
+func TestFlickerZeroIntensity(t *testing.T) {
+	// A flicker with no on- or off-phase (period <= 0) degenerates to
+	// Always: the process is never suppressed.
+	for _, f := range []Availability{Flicker(0, 0, 0), Flicker(0, 0, 5), Flicker(-1, 1, 0)} {
+		for i := int64(0); i < 50; i++ {
+			if !f(i) {
+				t.Fatalf("zero-intensity flicker suppressed step %d", i)
+			}
+		}
+	}
+	// Zero on-steps with a positive period: never available; Restrict must
+	// then ignore the availability so time does not stop.
+	off := Flicker(0, 3, 0)
+	for i := int64(0); i < 9; i++ {
+		if off(i) {
+			t.Fatalf("Flicker(0,3) available at step %d, want never", i)
+		}
+	}
+	s := Restrict(RoundRobin(), map[int]Availability{0: off})
+	if got := s.Next(0, []int{0}); got != 0 {
+		t.Fatalf("Restrict with a fully suppressed singleton returned %d, want 0", got)
+	}
+}
+
+func TestCompositeSchedulesSingleAliveProcess(t *testing.T) {
+	// Compositions (Restrict over SoloAfter over a weighted base) must stay
+	// well defined when the alive set collapses to one process.
+	s := Restrict(
+		SoloAfter(SmoothWeighted([]int{2, 1}), 1, 100),
+		map[int]Availability{0: Flicker(1, 1, 0)},
+	)
+	for i := int64(0); i < 200; i++ {
+		if got := s.Next(i, []int{1}); got != 1 {
+			t.Fatalf("composite schedule: step %d picked %d, want the only alive process 1", i, got)
+		}
+	}
+}
+
+func TestRandomScheduleExposesSeed(t *testing.T) {
+	s := Random(42, nil)
+	if got := s.Seed(); got != 42 {
+		t.Fatalf("Seed() = %d, want 42", got)
+	}
+	var _ Seeded = s
+	var _ Schedule = s
+}
+
 func TestFlickerAvailability(t *testing.T) {
 	f := Flicker(3, 2, 0)
 	want := []bool{true, true, true, false, false, true, true, true, false, false}
