@@ -9,6 +9,7 @@
 //	tbwf-bench -parallel 4    # scenario worker-pool size (0: one per CPU)
 //	tbwf-bench -stats         # report kernel throughput per experiment
 //	tbwf-bench -csv out/      # additionally write one CSV per table
+//	tbwf-bench -json BENCH_4.json  # machine-readable results (see EXPERIMENTS.md)
 //	tbwf-bench -list          # list experiments and exit
 //
 // Tables are byte-identical whatever -parallel is; the flag only changes
@@ -17,10 +18,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,8 +45,12 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "scenario worker-pool size (<= 0: one worker per CPU)")
 	stats := fs.Bool("stats", false, "print kernel execution statistics per experiment")
 	csvDir := fs.String("csv", "", "directory to write per-table CSV files into")
+	jsonPath := fs.String("json", "", "write machine-readable results to this JSON file")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateParallel(fs, *parallel); err != nil {
 		return err
 	}
 
@@ -73,9 +80,24 @@ func run(args []string) error {
 
 	opts := exp.Options{Quick: *quick, Parallel: *parallel}
 	failed := 0
+	doc := benchDoc{
+		Schema:   benchSchema,
+		Quick:    *quick,
+		Parallel: *parallel,
+		NumCPU:   runtime.NumCPU(),
+		Go:       runtime.Version(),
+	}
 	for _, e := range experiments {
+		var ms0, ms1 runtime.MemStats
+		if *jsonPath != "" {
+			runtime.ReadMemStats(&ms0)
+		}
 		start := time.Now()
 		table, err := e.Run(opts)
+		if *jsonPath != "" && err == nil {
+			runtime.ReadMemStats(&ms1)
+			doc.Benchmarks = append(doc.Benchmarks, benchRecord(e, table.Stats, ms1.Mallocs-ms0.Mallocs, time.Since(start)))
+		}
 		if err != nil {
 			// Print and keep going: one broken experiment must not hide the
 			// others' tables. The exit code still reports the failure.
@@ -100,10 +122,77 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, doc); err != nil {
+			return err
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) failed", failed)
 	}
 	return nil
+}
+
+// validateParallel rejects an explicitly-set non-positive -parallel. The
+// unset default (0) keeps its one-worker-per-CPU meaning; asking for zero
+// or negative workers is always a mistake, so it fails loudly instead of
+// being silently remapped.
+func validateParallel(fs *flag.FlagSet, parallel int) error {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			set = true
+		}
+	})
+	if set && parallel <= 0 {
+		return fmt.Errorf("-parallel must be positive, got %d (omit the flag for one worker per CPU)", parallel)
+	}
+	return nil
+}
+
+// benchSchema names the JSON document layout; EXPERIMENTS.md documents it.
+const benchSchema = "tbwf-bench/v1"
+
+// benchDoc is the machine-readable result document written by -json.
+type benchDoc struct {
+	Schema     string       `json:"schema"`
+	Quick      bool         `json:"quick"`
+	Parallel   int          `json:"parallel"`
+	NumCPU     int          `json:"num_cpu"`
+	Go         string       `json:"go"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// benchEntry is one experiment's performance record.
+type benchEntry struct {
+	ID            string  `json:"id"`
+	Name          string  `json:"name"`
+	Steps         int64   `json:"steps"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+	WallSeconds   float64 `json:"wall_seconds"`
+}
+
+func benchRecord(e exp.Experiment, s sim.RunStats, mallocs uint64, wall time.Duration) benchEntry {
+	rec := benchEntry{
+		ID:          e.ID,
+		Name:        e.Name,
+		Steps:       s.Steps,
+		StepsPerSec: s.StepsPerSec(),
+		WallSeconds: wall.Seconds(),
+	}
+	if s.Steps > 0 {
+		rec.AllocsPerStep = float64(mallocs) / float64(s.Steps)
+	}
+	return rec
+}
+
+func writeBenchJSON(path string, doc benchDoc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // formatStats renders an aggregated RunStats one-liner. Steps/s is summed

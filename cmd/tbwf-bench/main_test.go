@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -42,5 +43,42 @@ func TestUnknownExperimentRejected(t *testing.T) {
 func TestBadFlagRejected(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestNonPositiveParallelRejected(t *testing.T) {
+	for _, v := range []string{"0", "-1"} {
+		if err := run([]string{"-quick", "-run", "A3", "-parallel", v}); err == nil {
+			t.Errorf("-parallel %s accepted", v)
+		}
+	}
+	// Omitting the flag keeps the one-worker-per-CPU default.
+	if err := run([]string{"-quick", "-run", "A3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONResults(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-quick", "-run", "A3", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("json not written: %v", err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("results do not parse: %v", err)
+	}
+	if doc.Schema != benchSchema || !doc.Quick || doc.NumCPU < 1 {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 1 {
+		t.Fatalf("benchmarks = %+v", doc.Benchmarks)
+	}
+	b := doc.Benchmarks[0]
+	if b.ID != "A3" || b.Steps <= 0 || b.StepsPerSec <= 0 || b.AllocsPerStep < 0 || b.WallSeconds <= 0 {
+		t.Fatalf("benchmark record = %+v", b)
 	}
 }

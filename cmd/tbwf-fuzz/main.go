@@ -53,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := validateParallel(fs, *parallel); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, t := range explore.Targets() {
@@ -215,4 +218,21 @@ func writeArtifact(dir, name string, a *explore.Artifact) error {
 		return err
 	}
 	return os.WriteFile(filepath.Join(dir, name), enc, 0o644)
+}
+
+// validateParallel rejects an explicitly-set non-positive -parallel. The
+// unset default (0) keeps its one-worker-per-CPU meaning; asking for zero
+// or negative workers is always a mistake, so it fails loudly instead of
+// being silently remapped.
+func validateParallel(fs *flag.FlagSet, parallel int) error {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			set = true
+		}
+	})
+	if set && parallel <= 0 {
+		return fmt.Errorf("-parallel must be positive, got %d (omit the flag for one worker per CPU)", parallel)
+	}
+	return nil
 }

@@ -82,3 +82,12 @@ func TestListAndErrors(t *testing.T) {
 		t.Fatal("missing replay file accepted")
 	}
 }
+
+func TestNonPositiveParallelRejected(t *testing.T) {
+	var out strings.Builder
+	for _, v := range []string{"0", "-2"} {
+		if err := run([]string{"-target", "heartbeat-single", "-seeds", "1", "-parallel", v}, &out); err == nil {
+			t.Errorf("-parallel %s accepted", v)
+		}
+	}
+}

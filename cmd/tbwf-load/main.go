@@ -1,0 +1,96 @@
+// Command tbwf-load drives a running tbwf-serve with closed-loop workers
+// and reports latency and throughput as JSON (see internal/serve/loadgen).
+//
+// Usage:
+//
+//	tbwf-load -addr http://127.0.0.1:8080 -clients 8 -duration 5s
+//	tbwf-load -mix 'add=9,read=1' -report report.json
+//	tbwf-load -inject-process 2 -inject-spec growing:400:2ms:1.5 -inject-after 2s
+//
+// Each client is pinned to replica (client mod n). With an injection the
+// report splits latency into the timely clients and those pinned to the
+// degraded replica — the service-level graceful-degradation measurement.
+// The human digest goes to stderr; -report writes the JSON document to a
+// file, or to stdout with -report -.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tbwf/internal/serve/loadgen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tbwf-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("tbwf-load", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "service base URL")
+	clients := fs.Int("clients", 8, "closed-loop client workers")
+	duration := fs.Duration("duration", 5*time.Second, "measurement window")
+	mix := fs.String("mix", "add=9,read=1", "weighted op mix, e.g. 'add=9,read=1'")
+	report := fs.String("report", "", "write the JSON report to this file ('-': stdout)")
+	injProcess := fs.Int("inject-process", -1, "mid-run: retune this process (-1: no injection)")
+	injSpec := fs.String("inject-spec", "growing:400:2ms:1.5", "profile spec for the injection")
+	injAfter := fs.Duration("inject-after", 0, "injection delay (0: half the duration)")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout (bounds the run's tail on degraded replicas)")
+	snapIndexes := fs.Int("snapshot-indexes", 1, "index range for snapshot update ops")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients <= 0 {
+		return fmt.Errorf("-clients must be positive, got %d", *clients)
+	}
+	if *duration <= 0 {
+		return fmt.Errorf("-duration must be positive, got %v", *duration)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:         *addr,
+		Clients:         *clients,
+		Duration:        *duration,
+		Mix:             *mix,
+		Timeout:         *timeout,
+		SnapshotIndexes: *snapIndexes,
+	}
+	if *injProcess >= 0 {
+		after := *injAfter
+		if after <= 0 {
+			after = *duration / 2
+		}
+		cfg.Inject = &loadgen.Injection{Process: *injProcess, Spec: *injSpec, After: after}
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(os.Stderr, loadgen.Format(rep))
+
+	doc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	doc = append(doc, '\n')
+	switch *report {
+	case "":
+	case "-":
+		if _, err := stdout.Write(doc); err != nil {
+			return err
+		}
+	default:
+		if err := os.WriteFile(*report, doc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tbwf-load: report written to %s\n", *report)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tbwf/internal/serve"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-clients", "0"},
+		{"-clients", "-3"},
+		{"-duration", "0s"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 2, Object: "counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	err = run([]string{
+		"-addr", ts.URL,
+		"-clients", "2",
+		"-duration", "300ms",
+		"-mix", "add=3,read=1",
+		"-report", path,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Object    string  `json:"object"`
+		TotalOps  int64   `json:"total_ops"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+		Errors    int64   `json:"errors"`
+		Timely    struct {
+			Count int64   `json:"count"`
+			P99US float64 `json:"p99_us"`
+		} `json:"timely"`
+		TimelyP99US float64 `json:"timely_p99_us"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Object != "counter" || rep.TotalOps == 0 || rep.OpsPerSec <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if rep.Timely.Count != rep.TotalOps || rep.TimelyP99US != rep.Timely.P99US {
+		t.Fatalf("timely digest inconsistent: %+v", rep)
+	}
+}
+
+func TestRunUnreachableServer(t *testing.T) {
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-duration", "100ms"}, os.Stdout); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}

@@ -1,0 +1,95 @@
+// Command tbwf-serve deploys a TBWF-replicated object on the real-time
+// substrate and serves it over HTTP (see internal/serve for the API).
+//
+// Usage:
+//
+//	tbwf-serve                          # 4-replica counter on :8080
+//	tbwf-serve -n 6 -object jobqueue
+//	tbwf-serve -pace '*:steady:10us;2:growing:400:2ms:1.5'
+//	tbwf-serve -addr 127.0.0.1:9090 -queue-depth 128
+//
+// The pacing spec assigns each process's initial step profile; the
+// /v1/fault endpoint retunes a live process afterwards. SIGINT/SIGTERM
+// shut the service down cleanly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"tbwf/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "tbwf-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the service and blocks until stop closes or a termination
+// signal arrives. If ready is non-nil the bound address is sent on it once
+// the listener is up (tests bind :0 and read the real port back).
+func run(args []string, ready chan<- string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("tbwf-serve", flag.ContinueOnError)
+	n := fs.Int("n", 4, "number of replicas (processes), at least 2")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	object := fs.String("object", "counter",
+		fmt.Sprintf("object to deploy, one of %s", strings.Join(serve.Objects(), ", ")))
+	pace := fs.String("pace", "",
+		"initial pacing, e.g. '*:steady:10us;2:growing:400:2ms:1.5' (empty: full speed)")
+	queueDepth := fs.Int("queue-depth", 64, "per-replica bounded request queue depth")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pacing, err := serve.ParsePacing(*pace, *n)
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(serve.Config{
+		N:          *n,
+		Object:     *object,
+		QueueDepth: *queueDepth,
+		Pacing:     pacing,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		srv.Stop()
+		return err
+	}
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	fmt.Fprintf(os.Stderr, "tbwf-serve: %s with %d replicas on http://%s\n",
+		*object, *n, ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "tbwf-serve: %v, shutting down\n", s)
+	case <-stop:
+	case err := <-serveErr:
+		srv.Stop()
+		return err
+	}
+	httpSrv.Close()
+	return srv.Stop()
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-n", "1"},
+		{"-object", "nope"},
+		{"-pace", "banana"},
+		{"-pace", "9:steady"}, // target out of range for -n 4
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args, nil, nil); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestRunServesAndStops(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "2", "-object", "counter",
+			"-pace", "*:steady"}, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/invoke", "application/json",
+		strings.NewReader(`{"op":{"kind":"add","delta":5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil || !inv.OK {
+		t.Fatalf("invoke: ok=%v err=%v", inv.OK, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Object string `json:"object"`
+		N      int    `json:"n"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Object != "counter" || stats.N != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop")
+	}
+}
+
+func TestRunReportsBusyAddr(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "2"}, ready, stop)
+	}()
+	addr := <-ready
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	err := run([]string{"-addr", addr, "-n", "2"}, nil, nil)
+	if err == nil {
+		t.Fatal("second server on the same address succeeded")
+	}
+	if !strings.Contains(fmt.Sprint(err), "address already in use") {
+		t.Logf("got error %v (accepting any bind failure)", err)
+	}
+}

@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"tbwf/internal/omega"
 	"tbwf/internal/prim"
@@ -44,10 +45,11 @@ type Client[S, O, R any] struct {
 	// paper warns about and exists only for that experiment.
 	canonical bool
 
-	completed atomic.Int64
-	invokes   atomic.Int64
-	queries   atomic.Int64
-	aborts    atomic.Int64
+	completed  atomic.Int64
+	invokes    atomic.Int64
+	queries    atomic.Int64
+	aborts     atomic.Int64
+	lastDoneNS atomic.Int64
 }
 
 // NewClient wires process me's endpoint from its Ω∆ instance and its
@@ -79,6 +81,12 @@ func NewClientNonCanonical[S, O, R any](inst *omega.Instance, h *qa.Handle[S, O,
 // Me returns the client's process id.
 func (c *Client[S, O, R]) Me() int { return c.me }
 
+// markDone records a completed operation and stamps the completion time.
+func (c *Client[S, O, R]) markDone() {
+	c.completed.Add(1)
+	c.lastDoneNS.Store(time.Now().UnixNano())
+}
+
 // Invoke executes op on the TBWF object and blocks until it completes,
 // returning the operation's response. It is the procedure invoke(op, O, T)
 // of Figure 7. If the calling process is timely in the run, the call
@@ -105,7 +113,7 @@ func (c *Client[S, O, R]) Invoke(p prim.Proc, op O) R {
 				switch out {
 				case qa.QueryApplied: // line 8: res ∉ {⊥, F}
 					c.omega.Candidate.Set(false)
-					c.completed.Add(1)
+					c.markDone()
 					return r
 				case qa.QueryNotApplied: // line 10: res = F → op' ← op
 					doQuery = false
@@ -117,7 +125,7 @@ func (c *Client[S, O, R]) Invoke(p prim.Proc, op O) R {
 				r, ok := c.handle.Invoke(op) // line 7 with op' = op
 				if ok {                      // line 8
 					c.omega.Candidate.Set(false)
-					c.completed.Add(1)
+					c.markDone()
 					return r
 				}
 				c.aborts.Add(1)
@@ -136,16 +144,22 @@ type Stats struct {
 	Invokes, Queries int64
 	// Aborts counts ⊥ outcomes from those calls.
 	Aborts int64
+	// LastCompletedUnixNano is the wall-clock time of the latest
+	// completion (0 if none yet). A growing age flags a client that is
+	// currently failing to make progress — the telemetry layer's live
+	// liveness signal.
+	LastCompletedUnixNano int64
 }
 
 // Stats returns a snapshot of the client's counters. It is safe to call
 // from harness hooks while the client is running.
 func (c *Client[S, O, R]) Stats() Stats {
 	return Stats{
-		Completed: c.completed.Load(),
-		Invokes:   c.invokes.Load(),
-		Queries:   c.queries.Load(),
-		Aborts:    c.aborts.Load(),
+		Completed:             c.completed.Load(),
+		Invokes:               c.invokes.Load(),
+		Queries:               c.queries.Load(),
+		Aborts:                c.aborts.Load(),
+		LastCompletedUnixNano: c.lastDoneNS.Load(),
 	}
 }
 

@@ -94,6 +94,24 @@ func NewPair(p, q int, hb prim.Register[int64]) *Pair {
 	}
 }
 
+// Telemetry is a consistent-enough snapshot of one monitor's outputs for
+// dashboards and metrics endpoints.
+type Telemetry struct {
+	// P monitors Q.
+	P, Q int
+	// Status is the current estimate of Q's state at P.
+	Status Status
+	// FaultCntr is the number of times Q was suspected of not being
+	// P-timely.
+	FaultCntr int64
+}
+
+// Telemetry returns the monitor's current outputs. A read-only tap: it
+// consumes no process steps and may be called from any goroutine.
+func (m *Pair) Telemetry() Telemetry {
+	return Telemetry{P: m.P, Q: m.Q, Status: m.Status.Get(), FaultCntr: m.FaultCntr.Get()}
+}
+
 // AblateFaultGate removes the allow-increment gating of Figure 2: every
 // suspicion then bumps faultCntr, so a crashed q is charged over and over
 // instead of at most once (Definition 9, Property 5b fails). Ablation for

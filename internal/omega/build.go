@@ -93,6 +93,32 @@ func BuildWithOptions(n int, sp prim.Spawner, newReg func(name string, init int6
 	return d, nil
 }
 
+// Leaders returns the current leader output of every process — a
+// telemetry tap; it consumes no process steps.
+func (d *Deployment) Leaders() []int {
+	out := make([]int, d.N)
+	for p := range out {
+		out[p] = d.Instances[p].Leader.Get()
+	}
+	return out
+}
+
+// FaultMatrix returns the current faultCntr_p[q] matrix (diagonal 0): how
+// many times each monitoring process has suspected each monitored one of
+// not being timely. A telemetry tap; it consumes no process steps.
+func (d *Deployment) FaultMatrix() [][]int64 {
+	out := make([][]int64, d.N)
+	for p := 0; p < d.N; p++ {
+		out[p] = make([]int64, d.N)
+		for q := 0; q < d.N; q++ {
+			if m := d.Monitors[p][q]; m != nil {
+				out[p][q] = m.FaultCntr.Get()
+			}
+		}
+	}
+	return out
+}
+
 // System is a Deployment on the simulation kernel, with concrete register
 // types exposed so tests and experiments can Peek at counter values.
 type System struct {

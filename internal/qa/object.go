@@ -3,6 +3,7 @@ package qa
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultMaxScan bounds how many log slots one Invoke or Query call
@@ -95,6 +96,32 @@ type Handle[S, O, R any] struct {
 	// Slots at which the current operation was proposed. Invoke processes
 	// slots in order, so at most the last of these can still be undecided.
 	proposed []int64
+
+	// Instrumentation counters, atomic so telemetry layers can snapshot
+	// them while the owning task runs.
+	nProposals    atomic.Int64 // descriptor proposals from Invoke
+	nNopProposals atomic.Int64 // Nop proposals from Query
+	nReplayed     atomic.Int64 // decided slots folded into the replay cache
+}
+
+// HandleStats is a snapshot of a handle's instrumentation counters.
+type HandleStats struct {
+	// Proposals counts operation-descriptor proposals (Invoke); NopProposals
+	// counts the fate-settling Nop proposals (Query).
+	Proposals, NopProposals int64
+	// SlotsReplayed counts decided log slots folded into the handle's
+	// replay cache — the handle's catch-up work.
+	SlotsReplayed int64
+}
+
+// Stats returns a snapshot of the handle's counters. Safe to call from any
+// goroutine.
+func (h *Handle[S, O, R]) Stats() HandleStats {
+	return HandleStats{
+		Proposals:     h.nProposals.Load(),
+		NopProposals:  h.nNopProposals.Load(),
+		SlotsReplayed: h.nReplayed.Load(),
+	}
 }
 
 // Me returns the handle's process id.
@@ -109,6 +136,7 @@ func (h *Handle[S, O, R]) nextBallot() int64 {
 // log position.
 func (h *Handle[S, O, R]) apply(d Desc[O]) {
 	h.next++
+	h.nReplayed.Add(1)
 	if d.Nop {
 		return
 	}
@@ -151,6 +179,7 @@ func (h *Handle[S, O, R]) Invoke(op O) (R, bool) {
 		}
 		// First undecided slot: propose our descriptor.
 		h.proposed = append(h.proposed, h.next)
+		h.nProposals.Add(1)
 		v, ok := s.propose(h.me, h.nextBallot(), desc)
 		if !ok {
 			return zero, false // ⊥ (fate unknown until Query)
@@ -199,6 +228,7 @@ func (h *Handle[S, O, R]) Query() (R, QueryOutcome) {
 			// leftover descriptor, adopted and finished on our behalf —
 			// settles the slot.
 			nop := Desc[O]{Proc: h.me, Seq: h.seq, Nop: true}
+			h.nNopProposals.Add(1)
 			if _, ok := s.propose(h.me, h.nextBallot(), nop); !ok {
 				return zero, QueryAborted
 			}

@@ -33,6 +33,9 @@ type TBWFStack[S, O, R any] struct {
 	Instances []*omega.Instance
 	Object    *qa.SharedObject[S, O, R]
 	Clients   []*core.Client[S, O, R]
+	// Omega is the full Ω∆ deployment (monitors included), exposed so
+	// telemetry layers can tap leader outputs and fault counters.
+	Omega *omega.Deployment
 }
 
 // BuildTBWF wires a TBWF object of the given sequential type on the
@@ -52,6 +55,7 @@ func BuildTBWF[S, O, R any](r *Runtime, typ qa.Type[S, O, R]) (*TBWFStack[S, O, 
 		Instances: dep.Instances,
 		Object:    obj,
 		Clients:   make([]*core.Client[S, O, R], r.N()),
+		Omega:     dep,
 	}
 	for p := 0; p < r.N(); p++ {
 		c, err := core.NewClient(dep.Instances[p], obj.Handle(p))

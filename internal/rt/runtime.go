@@ -66,7 +66,15 @@ type Gate struct {
 	profile Profile
 	step    atomic.Int64
 	crashed atomic.Bool
-	stopped *atomic.Bool // the runtime's stop flag, shared
+	stopped *atomic.Bool  // the runtime's stop flag, shared
+	stopCh  chan struct{} // closed by Stop; interrupts in-progress gap sleeps
+
+	// Step-gap telemetry, updated on every pace. Gaps are wall-clock
+	// nanoseconds between consecutive steps of the process (any of its
+	// tasks), the live analogue of the paper's scheduling gaps.
+	lastStepNS atomic.Int64 // UnixNano of the latest step; 0 before the first
+	maxGapNS   atomic.Int64
+	ewmaGapNS  atomic.Int64 // exponentially weighted moving average, α=1/16
 }
 
 func (g *Gate) pace() {
@@ -76,23 +84,51 @@ func (g *Gate) pace() {
 	if g.crashed.Load() {
 		prim.ExitTask("process crashed")
 	}
+	g.observeGap(time.Now().UnixNano())
 	step := g.step.Add(1)
 	g.mu.Lock()
 	d := g.profile(step)
 	g.mu.Unlock()
 	if d > 0 {
-		time.Sleep(d)
+		// Interruptible sleep: a process deep in a grown gap must not hold
+		// up Stop for the remainder of its pause.
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-g.stopCh:
+			t.Stop()
+			prim.ExitTask("runtime stopped")
+		}
 	} else {
 		runtime.Gosched()
 	}
 }
 
+// observeGap folds one inter-step gap into the gate's telemetry.
+func (g *Gate) observeGap(now int64) {
+	prev := g.lastStepNS.Swap(now)
+	if prev == 0 || now <= prev {
+		return
+	}
+	gap := now - prev
+	for {
+		max := g.maxGapNS.Load()
+		if gap <= max || g.maxGapNS.CompareAndSwap(max, gap) {
+			break
+		}
+	}
+	old := g.ewmaGapNS.Load()
+	g.ewmaGapNS.Store(old + (gap-old)/16)
+}
+
 // Runtime hosts n processes as goroutine groups.
 type Runtime struct {
-	n       int
-	gates   []*Gate
-	stopped atomic.Bool
-	wg      sync.WaitGroup
+	n        int
+	gates    []*Gate
+	stopped  atomic.Bool
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	mu  sync.Mutex
 	err error
@@ -104,13 +140,13 @@ var _ prim.Spawner = (*Runtime)(nil)
 // profile (nil means Steady(0)). Use SetProfile to differentiate before
 // spawning.
 func New(n int, def Profile) *Runtime {
-	r := &Runtime{n: n, gates: make([]*Gate, n)}
+	r := &Runtime{n: n, gates: make([]*Gate, n), stopCh: make(chan struct{})}
 	for p := 0; p < n; p++ {
 		prof := def
 		if prof == nil {
 			prof = Steady(0)
 		}
-		r.gates[p] = &Gate{profile: prof, stopped: &r.stopped}
+		r.gates[p] = &Gate{profile: prof, stopped: &r.stopped, stopCh: r.stopCh}
 	}
 	return r
 }
@@ -164,16 +200,59 @@ func (r *Runtime) Spawn(pr int, name string, fn func(p prim.Proc)) {
 	}()
 }
 
-// Stop asks every task to exit at its next step and waits for them.
-// It returns the first task panic, if any.
+// Stop asks every task to exit at its next step (interrupting any
+// in-progress gap sleep) and waits for them. It returns the first task
+// panic, if any. Stop is idempotent: a second call only re-reads the
+// error.
 func (r *Runtime) Stop() error {
-	r.stopped.Store(true)
+	r.stopOnce.Do(func() {
+		r.stopped.Store(true)
+		close(r.stopCh)
+	})
 	r.wg.Wait()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.err
 }
 
+// Stopping returns a channel closed when Stop is first called. Service
+// code whose tasks block on their own channels (rather than in Step)
+// selects on it to exit promptly.
+func (r *Runtime) Stopping() <-chan struct{} { return r.stopCh }
+
 // StepOf returns how many steps process p has taken — a rough liveness
 // indicator for demos.
 func (r *Runtime) StepOf(p int) int64 { return r.gates[p].step.Load() }
+
+// ProcStats is a live snapshot of one process's pacing telemetry.
+type ProcStats struct {
+	// Steps is the number of steps the process has taken.
+	Steps int64
+	// MaxGap is the largest wall-clock gap observed between two
+	// consecutive steps; AvgGap is an EWMA (α=1/16) of the same series.
+	MaxGap, AvgGap time.Duration
+	// SinceLastStep is the time elapsed since the latest step (0 if the
+	// process has not stepped yet) — a growing value flags a process that
+	// is currently inside a gap.
+	SinceLastStep time.Duration
+	// Crashed reports whether the process was crashed.
+	Crashed bool
+}
+
+// ProcStats returns process p's step-gap telemetry. Safe to call from any
+// goroutine while the runtime runs.
+func (r *Runtime) ProcStats(p int) ProcStats {
+	g := r.gates[p]
+	s := ProcStats{
+		Steps:   g.step.Load(),
+		MaxGap:  time.Duration(g.maxGapNS.Load()),
+		AvgGap:  time.Duration(g.ewmaGapNS.Load()),
+		Crashed: g.crashed.Load(),
+	}
+	if last := g.lastStepNS.Load(); last > 0 {
+		if d := time.Now().UnixNano() - last; d > 0 {
+			s.SinceLastStep = time.Duration(d)
+		}
+	}
+	return s
+}

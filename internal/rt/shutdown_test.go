@@ -1,0 +1,90 @@
+package rt
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+)
+
+// Stopping a full BuildTBWF deployment must tear down every goroutine the
+// runtime spawned (monitors, Ω∆ tasks, clients), and a second Stop must be
+// a harmless no-op.
+func TestStopTearsDownDeployment(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	r := New(3, nil)
+	stack, err := BuildTBWF[int64, objtype.CounterOp, int64](r, objtype.Counter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive one operation per process so the deployment demonstrably ran
+	// before being stopped.
+	done := make(chan int64, 3)
+	for p := 0; p < 3; p++ {
+		p := p
+		r.Spawn(p, "client", func(pp prim.Proc) {
+			done <- stack.Clients[p].Invoke(pp, objtype.CounterOp{Delta: 1})
+		})
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("deployment made no progress")
+		}
+	}
+
+	if err := r.Stop(); err != nil {
+		t.Fatalf("first stop: %v", err)
+	}
+
+	// Stop waits for every spawned task, but the goroutines themselves may
+	// still be winding down their exit path; poll briefly for the count to
+	// return to the pre-deployment level.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before deployment, %d after stop\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := r.Stop(); err != nil {
+		t.Fatalf("second stop is not a no-op: %v", err)
+	}
+}
+
+// Stop must also be prompt and idempotent when a process is mid-gap in a
+// degraded profile (the sleep is interruptible).
+func TestStopInterruptsDegradedProcess(t *testing.T) {
+	r := New(2, nil)
+	r.SetProfile(1, GrowingGaps(1, 30*time.Second, 1))
+	stepped := make(chan struct{})
+	r.Spawn(1, "sleeper", func(pp prim.Proc) {
+		close(stepped)
+		for {
+			pp.Step() // first step draws the 30s gap
+		}
+	})
+	<-stepped
+	time.Sleep(10 * time.Millisecond) // let the task enter the gap sleep
+	start := time.Now()
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stop took %v with a process mid-gap", d)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

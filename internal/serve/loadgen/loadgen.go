@@ -1,0 +1,443 @@
+// Package loadgen drives a running tbwf-serve instance with closed-loop
+// workers and produces a JSON latency/throughput report.
+//
+// Each client worker is pinned to one replica (client i → replica i mod n)
+// and issues one operation at a time, so offered load tracks service
+// capacity and per-client latency is a clean probe of that replica's
+// timeliness. An optional fault injection retunes one replica's pacing
+// profile mid-run through the service's /v1/fault endpoint; the report
+// then splits latency digests into the timely clients (pinned elsewhere)
+// and the slow clients (pinned to the degraded replica), which is the
+// service-level view of the paper's graceful-degradation claim.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tbwf/internal/serve"
+	"tbwf/internal/serve/telemetry"
+)
+
+// Injection schedules one mid-run fault: After the given delay, Process's
+// pacing profile is retuned to Spec via POST /v1/fault.
+type Injection struct {
+	Process int
+	Spec    string
+	After   time.Duration
+}
+
+// Config parameterises one load run.
+type Config struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Clients is the number of closed-loop workers (default 8).
+	Clients int
+	// Duration is the measurement window (default 5s).
+	Duration time.Duration
+	// Mix is a weighted operation mix, e.g. "add=9,read=1". Kinds must be
+	// operations of the deployed object (validated against /v1/stats).
+	Mix string
+	// SnapshotIndexes bounds the index used by snapshot update ops
+	// (default 1, i.e. every update hits component 0).
+	SnapshotIndexes int
+	// Inject, if non-nil, schedules a mid-run fault injection.
+	Inject *Injection
+	// Timeout bounds each request (default 15s). It also bounds the run's
+	// tail: a client whose replica degrades mid-run gives up on its last
+	// operation after at most this long (counted under Timeouts).
+	Timeout time.Duration
+	// Client is the HTTP client to use (default: one with Timeout).
+	Client *http.Client
+}
+
+// Report is the JSON document a run produces.
+type Report struct {
+	Object     string  `json:"object"`
+	N          int     `json:"n"`
+	Clients    int     `json:"clients"`
+	Mix        string  `json:"mix"`
+	DurationMS int64   `json:"duration_ms"`
+	TotalOps   int64   `json:"total_ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// Backpressure counts 503 responses (full replica queues); Timeouts
+	// counts requests that outlived Config.Timeout (expected for clients
+	// of a degraded replica); Errors counts every other non-200 outcome.
+	Backpressure int64 `json:"backpressure"`
+	Timeouts     int64 `json:"timeouts"`
+	Errors       int64 `json:"errors"`
+
+	Overall telemetry.Summary            `json:"overall"`
+	PerKind map[string]telemetry.Summary `json:"per_kind"`
+
+	// Timely digests the clients pinned to non-injected replicas; Slow the
+	// clients pinned to the injected one. Without an injection every client
+	// is timely and Slow.Count is 0.
+	Timely telemetry.Summary `json:"timely"`
+	Slow   telemetry.Summary `json:"slow"`
+	// TimelyP99US is Timely's p99 in microseconds, surfaced at the top
+	// level so shell pipelines can assert on it directly.
+	TimelyP99US float64 `json:"timely_p99_us"`
+
+	Injection *InjectionRecord `json:"injection,omitempty"`
+	PerClient []ClientReport   `json:"per_client"`
+}
+
+// InjectionRecord describes the fault that was actually applied.
+type InjectionRecord struct {
+	Process int    `json:"process"`
+	Spec    string `json:"spec"`
+	AtMS    int64  `json:"at_ms"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ClientReport is one worker's slice of the report.
+type ClientReport struct {
+	Client       int               `json:"client"`
+	Replica      int               `json:"replica"`
+	Ops          int64             `json:"ops"`
+	Backpressure int64             `json:"backpressure"`
+	Timeouts     int64             `json:"timeouts"`
+	Errors       int64             `json:"errors"`
+	Latency      telemetry.Summary `json:"latency"`
+}
+
+type weightedKind struct {
+	kind   string
+	weight int
+}
+
+// parseMix parses "add=9,read=1" into an ordered weighted kind list.
+func parseMix(s string) ([]weightedKind, error) {
+	var out []weightedKind
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		kind, w, found := strings.Cut(entry, "=")
+		weight := 1
+		if found {
+			v, err := strconv.Atoi(w)
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("loadgen: bad mix weight %q (want kind=positive-int)", entry)
+			}
+			weight = v
+		}
+		if kind == "" {
+			return nil, fmt.Errorf("loadgen: empty op kind in mix entry %q", entry)
+		}
+		out = append(out, weightedKind{kind: kind, weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix")
+	}
+	return out, nil
+}
+
+// pickKind draws one kind from the mix using rng.
+func pickKind(mix []weightedKind, rng *rand.Rand) string {
+	total := 0
+	for _, wk := range mix {
+		total += wk.weight
+	}
+	r := rng.Intn(total)
+	for _, wk := range mix {
+		r -= wk.weight
+		if r < 0 {
+			return wk.kind
+		}
+	}
+	return mix[len(mix)-1].kind
+}
+
+// fillOp builds the wire operation for one request. Values are unique per
+// (client, seq) so enq/write payloads are distinguishable downstream.
+func fillOp(kind string, client int, seq int64, snapIndexes int) serve.WireOp {
+	op := serve.WireOp{Kind: kind}
+	val := int64(client)<<32 | (seq & 0xffffffff)
+	switch kind {
+	case "add":
+		op.Delta = 1
+	case "write", "enq":
+		op.Value = val
+	case "cas":
+		op.Old = 0
+		op.New = val
+	case "update":
+		op.Index = client % snapIndexes
+		op.Value = val
+	}
+	return op
+}
+
+type serverInfo struct {
+	Object string   `json:"object"`
+	N      int      `json:"n"`
+	Kinds  []string `json:"kinds"`
+}
+
+// fetchInfo reads /v1/stats to learn the replica count and op kinds.
+func fetchInfo(hc *http.Client, baseURL string) (serverInfo, error) {
+	var info serverInfo
+	resp, err := hc.Get(baseURL + "/v1/stats")
+	if err != nil {
+		return info, fmt.Errorf("loadgen: cannot reach %s: %w", baseURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return info, fmt.Errorf("loadgen: %s/v1/stats: HTTP %d", baseURL, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return info, fmt.Errorf("loadgen: bad stats document: %w", err)
+	}
+	if info.N < 1 {
+		return info, fmt.Errorf("loadgen: stats reports n = %d", info.N)
+	}
+	return info, nil
+}
+
+type invokeResult struct {
+	OK bool `json:"ok"`
+}
+
+// worker is one closed-loop client; it owns its histogram and counters.
+type worker struct {
+	client   int
+	replica  int
+	ops      int64
+	bp       int64
+	timeouts int64
+	errs     int64
+	hist     telemetry.Histogram
+}
+
+// Run executes the configured load against a live service and assembles
+// the report. It is synchronous: it returns after Duration plus the tail
+// of in-flight requests.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.SnapshotIndexes <= 0 {
+		cfg.SnapshotIndexes = 1
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 15 * time.Second
+	}
+	hc := cfg.Client
+	if hc == nil {
+		hc = &http.Client{Timeout: cfg.Timeout}
+	}
+	baseURL := strings.TrimSuffix(cfg.BaseURL, "/")
+	if baseURL == "" {
+		return nil, fmt.Errorf("loadgen: empty base URL")
+	}
+	mix, err := parseMix(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	info, err := fetchInfo(hc, baseURL)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(info.Kinds))
+	for _, k := range info.Kinds {
+		known[k] = true
+	}
+	for _, wk := range mix {
+		if !known[wk.kind] {
+			return nil, fmt.Errorf("loadgen: mix kind %q not served by object %s (have %v)",
+				wk.kind, info.Object, info.Kinds)
+		}
+	}
+	if inj := cfg.Inject; inj != nil {
+		if inj.Process < 0 || inj.Process >= info.N {
+			return nil, fmt.Errorf("loadgen: inject process %d out of range [0,%d)", inj.Process, info.N)
+		}
+		if _, err := serve.ParseProfile(inj.Spec); err != nil {
+			return nil, err
+		}
+	}
+
+	workers := make([]*worker, cfg.Clients)
+	for i := range workers {
+		workers[i] = &worker{client: i, replica: i % info.N}
+	}
+	var timely, slow telemetry.Histogram
+	perKind := make(map[string]*telemetry.Histogram, len(mix))
+	var perKindMu sync.Mutex
+	for _, wk := range mix {
+		perKind[wk.kind] = &telemetry.Histogram{}
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var injRec *InjectionRecord
+	var injWG sync.WaitGroup
+	if inj := cfg.Inject; inj != nil {
+		injRec = &InjectionRecord{Process: inj.Process, Spec: inj.Spec}
+		injWG.Add(1)
+		go func() {
+			defer injWG.Done()
+			time.Sleep(inj.After)
+			body, _ := json.Marshal(map[string]any{"process": inj.Process, "spec": inj.Spec})
+			resp, err := hc.Post(baseURL+"/v1/fault", "application/json", bytes.NewReader(body))
+			injRec.AtMS = time.Since(start).Milliseconds()
+			if err != nil {
+				injRec.Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				injRec.Error = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w.client)*7919 + 1))
+			isSlow := cfg.Inject != nil && w.replica == cfg.Inject.Process
+			var seq int64
+			for time.Now().Before(deadline) {
+				kind := pickKind(mix, rng)
+				op := fillOp(kind, w.client, seq, cfg.SnapshotIndexes)
+				seq++
+				body, _ := json.Marshal(map[string]any{"replica": w.replica, "op": op})
+				t0 := time.Now()
+				resp, err := hc.Post(baseURL+"/v1/invoke", "application/json", bytes.NewReader(body))
+				if err != nil {
+					var ue *url.Error
+					if errors.As(err, &ue) && ue.Timeout() {
+						w.timeouts++
+					} else {
+						w.errs++
+					}
+					continue
+				}
+				lat := time.Since(t0)
+				func() {
+					defer resp.Body.Close()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var res invokeResult
+						if json.NewDecoder(resp.Body).Decode(&res) != nil || !res.OK {
+							w.errs++
+							return
+						}
+						w.ops++
+						w.hist.Record(lat)
+						if isSlow {
+							slow.Record(lat)
+						} else {
+							timely.Record(lat)
+						}
+						perKindMu.Lock()
+						perKind[kind].Record(lat)
+						perKindMu.Unlock()
+					case http.StatusServiceUnavailable:
+						w.bp++
+						// Backpressured: the replica queue is full, give the
+						// worker loop a beat before re-offering.
+						time.Sleep(time.Millisecond)
+					default:
+						w.errs++
+					}
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	injWG.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{
+		Object:     info.Object,
+		N:          info.N,
+		Clients:    cfg.Clients,
+		Mix:        cfg.Mix,
+		DurationMS: elapsed.Milliseconds(),
+		Overall:    telemetry.Summary{},
+		PerKind:    make(map[string]telemetry.Summary, len(perKind)),
+		Timely:     timely.Summary(),
+		Slow:       slow.Summary(),
+		Injection:  injRec,
+	}
+	rep.TimelyP99US = rep.Timely.P99US
+	var overall telemetry.Histogram
+	for _, w := range workers {
+		rep.TotalOps += w.ops
+		rep.Backpressure += w.bp
+		rep.Timeouts += w.timeouts
+		rep.Errors += w.errs
+		rep.PerClient = append(rep.PerClient, ClientReport{
+			Client:       w.client,
+			Replica:      w.replica,
+			Ops:          w.ops,
+			Backpressure: w.bp,
+			Timeouts:     w.timeouts,
+			Errors:       w.errs,
+			Latency:      w.hist.Summary(),
+		})
+	}
+	// Overall merges the timely and slow populations, which partition all
+	// recorded operations.
+	overall.Merge(&timely)
+	overall.Merge(&slow)
+	rep.Overall = overall.Summary()
+	for k, h := range perKind {
+		rep.PerKind[k] = h.Summary()
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// Format renders a short human-readable digest of the report.
+func Format(r *Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "object=%s n=%d clients=%d mix=%s\n", r.Object, r.N, r.Clients, r.Mix)
+	fmt.Fprintf(&sb, "ops=%d (%.0f/s) backpressure=%d timeouts=%d errors=%d in %dms\n",
+		r.TotalOps, r.OpsPerSec, r.Backpressure, r.Timeouts, r.Errors, r.DurationMS)
+	fmt.Fprintf(&sb, "overall  p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs\n",
+		r.Overall.P50US, r.Overall.P90US, r.Overall.P99US, r.Overall.MaxUS)
+	if r.Injection != nil {
+		fmt.Fprintf(&sb, "injected %s on process %d at %dms\n",
+			r.Injection.Spec, r.Injection.Process, r.Injection.AtMS)
+		fmt.Fprintf(&sb, "timely   p50=%.0fµs p99=%.0fµs (%d ops)\n",
+			r.Timely.P50US, r.Timely.P99US, r.Timely.Count)
+		fmt.Fprintf(&sb, "slow     p50=%.0fµs p99=%.0fµs (%d ops)\n",
+			r.Slow.P50US, r.Slow.P99US, r.Slow.Count)
+	}
+	kinds := make([]string, 0, len(r.PerKind))
+	for k := range r.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		s := r.PerKind[k]
+		fmt.Fprintf(&sb, "%-8s p50=%.0fµs p99=%.0fµs (%d ops)\n", k, s.P50US, s.P99US, s.Count)
+	}
+	return sb.String()
+}

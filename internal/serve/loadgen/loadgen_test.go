@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tbwf/internal/serve"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("add=9,read=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 || mix[0].kind != "add" || mix[0].weight != 9 || mix[1].kind != "read" || mix[1].weight != 1 {
+		t.Fatalf("parseMix = %+v", mix)
+	}
+	if mix, err := parseMix("deq"); err != nil || mix[0].weight != 1 {
+		t.Fatalf("bare kind: mix=%+v err=%v", mix, err)
+	}
+	for _, bad := range []string{"", "add=0", "add=-1", "add=x", "=3"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickKindRespectsWeights(t *testing.T) {
+	mix, err := parseMix("add=9,read=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[pickKind(mix, rng)]++
+	}
+	if counts["add"] < 8500 || counts["read"] < 500 {
+		t.Fatalf("weighted pick skewed: %v", counts)
+	}
+}
+
+func TestFillOp(t *testing.T) {
+	if op := fillOp("add", 3, 7, 1); op.Delta != 1 {
+		t.Fatalf("add: %+v", op)
+	}
+	if op := fillOp("write", 3, 7, 1); op.Value != int64(3)<<32|7 {
+		t.Fatalf("write: %+v", op)
+	}
+	if op := fillOp("update", 5, 1, 2); op.Index != 1 {
+		t.Fatalf("update index: %+v", op)
+	}
+	if op := fillOp("read", 0, 0, 1); op != (serve.WireOp{Kind: "read"}) {
+		t.Fatalf("read: %+v", op)
+	}
+}
+
+// TestRunAgainstLiveServer drives a real in-process service briefly and
+// checks the report adds up.
+func TestRunAgainstLiveServer(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 3, Object: "counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:  ts.URL,
+		Clients:  3,
+		Duration: 400 * time.Millisecond,
+		Mix:      "add=4,read=1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Object != "counter" || rep.N != 3 || rep.Clients != 3 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.TotalOps == 0 {
+		t.Fatal("no operations completed")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if rep.Overall.Count != rep.TotalOps {
+		t.Fatalf("overall count %d != total ops %d", rep.Overall.Count, rep.TotalOps)
+	}
+	if rep.Timely.Count != rep.TotalOps || rep.Slow.Count != 0 {
+		t.Fatalf("no injection, but timely=%d slow=%d of %d",
+			rep.Timely.Count, rep.Slow.Count, rep.TotalOps)
+	}
+	var perClient int64
+	for _, c := range rep.PerClient {
+		perClient += c.Ops
+		if c.Replica != c.Client%3 {
+			t.Fatalf("client %d pinned to replica %d", c.Client, c.Replica)
+		}
+	}
+	if perClient != rep.TotalOps {
+		t.Fatalf("per-client sum %d != total %d", perClient, rep.TotalOps)
+	}
+	var perKind int64
+	for _, s := range rep.PerKind {
+		perKind += s.Count
+	}
+	if perKind != rep.TotalOps {
+		t.Fatalf("per-kind sum %d != total %d", perKind, rep.TotalOps)
+	}
+	if out := Format(rep); out == "" {
+		t.Fatal("empty Format output")
+	}
+}
+
+// TestRunWithInjection checks the mid-run fault path: the injection is
+// applied, recorded, and the slow population is the injected replica's.
+func TestRunWithInjection(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 3, Object: "counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:  ts.URL,
+		Clients:  3,
+		Duration: 500 * time.Millisecond,
+		Mix:      "add",
+		Inject:   &Injection{Process: 1, Spec: "steady:500us", After: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Injection == nil || rep.Injection.Error != "" {
+		t.Fatalf("injection not applied: %+v", rep.Injection)
+	}
+	if rep.Injection.Process != 1 || rep.Injection.AtMS < 100 {
+		t.Fatalf("injection record: %+v", rep.Injection)
+	}
+	if rep.Timely.Count == 0 || rep.Slow.Count == 0 {
+		t.Fatalf("expected both populations: timely=%d slow=%d", rep.Timely.Count, rep.Slow.Count)
+	}
+	if rep.TimelyP99US != rep.Timely.P99US {
+		t.Fatalf("TimelyP99US %v != Timely.P99US %v", rep.TimelyP99US, rep.Timely.P99US)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 2, Object: "counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if _, err := Run(Config{BaseURL: "", Mix: "add"}); err == nil {
+		t.Error("empty base URL accepted")
+	}
+	if _, err := Run(Config{BaseURL: ts.URL, Mix: "enq"}); err == nil {
+		t.Error("mix kind foreign to the object accepted")
+	}
+	if _, err := Run(Config{BaseURL: ts.URL, Mix: "add=x"}); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if _, err := Run(Config{BaseURL: ts.URL, Mix: "add",
+		Inject: &Injection{Process: 9, Spec: "steady"}}); err == nil {
+		t.Error("out-of-range inject process accepted")
+	}
+	if _, err := Run(Config{BaseURL: ts.URL, Mix: "add",
+		Inject: &Injection{Process: 0, Spec: "nope"}}); err == nil {
+		t.Error("bad inject spec accepted")
+	}
+}

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/serve/telemetry"
+)
+
+// metrics holds the server's hot-path instrumentation: all histograms and
+// counters are preallocated per (replica, op-kind) at startup so the
+// record path never allocates or locks.
+type metrics struct {
+	start   time.Time
+	kinds   []string
+	kindIdx map[string]int
+
+	perOp    [][]*telemetry.Histogram // [replica][kind]
+	perProc  []*telemetry.Histogram   // [replica], all kinds
+	served   []telemetry.Counter
+	rejected []telemetry.Counter
+
+	leaderChanges telemetry.Counter
+	leaderHist    *telemetry.Series
+	faultTraj     *telemetry.Series
+
+	mu         sync.Mutex
+	injections []Injection
+}
+
+func newMetrics(n int, kinds []string) *metrics {
+	m := &metrics{
+		start:      time.Now(),
+		kinds:      kinds,
+		kindIdx:    make(map[string]int, len(kinds)),
+		perOp:      make([][]*telemetry.Histogram, n),
+		perProc:    make([]*telemetry.Histogram, n),
+		served:     make([]telemetry.Counter, n),
+		rejected:   make([]telemetry.Counter, n),
+		leaderHist: telemetry.NewSeries(256),
+		faultTraj:  telemetry.NewSeries(256),
+	}
+	for i, k := range kinds {
+		m.kindIdx[k] = i
+	}
+	for p := 0; p < n; p++ {
+		m.perProc[p] = &telemetry.Histogram{}
+		m.perOp[p] = make([]*telemetry.Histogram, len(kinds))
+		for i := range kinds {
+			m.perOp[p][i] = &telemetry.Histogram{}
+		}
+	}
+	return m
+}
+
+func (m *metrics) recordServed(p int, kind string, lat time.Duration) {
+	m.perProc[p].Record(lat)
+	if i, ok := m.kindIdx[kind]; ok {
+		m.perOp[p][i].Record(lat)
+	}
+	m.served[p].Inc()
+}
+
+func (m *metrics) recordRejected(p int) { m.rejected[p].Inc() }
+
+func (m *metrics) recordInjection(inj Injection) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.injections = append(m.injections, inj)
+}
+
+func (m *metrics) injectionList() []Injection {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Injection, len(m.injections))
+	copy(out, m.injections)
+	return out
+}
+
+// Injection records one live profile retune performed through the fault
+// endpoint.
+type Injection struct {
+	// AtMS is milliseconds since server start.
+	AtMS int64 `json:"at_ms"`
+	// Process is the retuned process; Spec the applied profile spec.
+	Process int    `json:"process"`
+	Spec    string `json:"spec"`
+}
+
+// MetricsReport is the full JSON document served on /v1/metrics: latency
+// histograms per process and per operation, the TBWF stack's timeliness
+// telemetry (leader identity and churn from Ω∆, step-gap estimates, abort
+// counts, monitor fault-counter trajectories), and the injection history.
+type MetricsReport struct {
+	Object    string           `json:"object"`
+	N         int              `json:"n"`
+	UptimeMS  int64            `json:"uptime_ms"`
+	Processes []ProcessMetrics `json:"processes"`
+	Leader    LeaderMetrics    `json:"leader"`
+	Faults    FaultMetrics     `json:"faults"`
+	// QASlots is the number of operation-log slots allocated so far.
+	QASlots    int64       `json:"qa_slots"`
+	Injections []Injection `json:"injections"`
+}
+
+// ProcessMetrics is one replica's slice of the report.
+type ProcessMetrics struct {
+	P int `json:"p"`
+	// Steps and the gap estimates come from the rt substrate: MaxGapUS is
+	// the largest observed wall-clock gap between the process's steps,
+	// AvgGapUS an EWMA, SinceLastStepUS the age of the latest step.
+	Steps           int64   `json:"steps"`
+	MaxGapUS        float64 `json:"max_gap_us"`
+	AvgGapUS        float64 `json:"avg_gap_us"`
+	SinceLastStepUS float64 `json:"since_last_step_us"`
+	// QueueDepth is the replica's current bounded-queue occupancy;
+	// Served/Rejected count accepted and backpressured requests.
+	QueueDepth int   `json:"queue_depth"`
+	Served     int64 `json:"served"`
+	Rejected   int64 `json:"rejected"`
+	// Client mirrors core.Client's counters; Aborts is the ⊥ count.
+	Client ClientMetrics `json:"client"`
+	// QA mirrors the process's query-abortable handle counters.
+	QA QAMetrics `json:"qa"`
+	// Latency digests all of the replica's operations; PerOp splits by
+	// operation kind.
+	Latency telemetry.Summary            `json:"latency"`
+	PerOp   map[string]telemetry.Summary `json:"per_op"`
+}
+
+// ClientMetrics is the wire form of core.Stats.
+type ClientMetrics struct {
+	Completed            int64   `json:"completed"`
+	Invokes              int64   `json:"invokes"`
+	Queries              int64   `json:"queries"`
+	Aborts               int64   `json:"aborts"`
+	SinceLastCompletedMS float64 `json:"since_last_completed_ms"`
+}
+
+// QAMetrics is the wire form of qa.HandleStats.
+type QAMetrics struct {
+	Proposals     int64 `json:"proposals"`
+	NopProposals  int64 `json:"nop_proposals"`
+	SlotsReplayed int64 `json:"slots_replayed"`
+}
+
+// LeaderMetrics reports Ω∆'s live outputs.
+type LeaderMetrics struct {
+	// Current is the leader every process currently agrees on, or -1.
+	Current int `json:"current"`
+	// PerProcess is each process's own leader output (-1 is the paper's ?).
+	PerProcess []int `json:"per_process"`
+	// Changes counts leader-output transitions since start (election
+	// churn), sampled at the server's sampling period.
+	Changes int64 `json:"changes"`
+	// History is the sampled leader-vector trajectory.
+	History []telemetry.Sample `json:"history"`
+}
+
+// FaultMetrics reports the activity monitors' suspicion state.
+type FaultMetrics struct {
+	// Matrix[p][q] is faultCntr_p[q] now.
+	Matrix [][]int64 `json:"matrix"`
+	// Trajectory samples, for each process q, the total suspicions of q
+	// summed over all monitoring processes — the degradation signature of
+	// an untimely process is its column climbing.
+	Trajectory []telemetry.Sample `json:"trajectory"`
+}
+
+// sample runs the low-rate sampler: leader churn at cfg.SampleEvery,
+// trajectory snapshots at cfg.TrajectoryEvery. It owns prev between
+// iterations; everything it reads is a lock-free or Var-guarded tap.
+func (s *Server) sample(dep *omega.Deployment) {
+	defer close(s.samplerDone)
+	tick := time.NewTicker(s.cfg.SampleEvery)
+	defer tick.Stop()
+	trajEvery := int(s.cfg.TrajectoryEvery / s.cfg.SampleEvery)
+	if trajEvery < 1 {
+		trajEvery = 1
+	}
+	prev := dep.Leaders()
+	for i := 0; ; i++ {
+		select {
+		case <-s.stopping:
+			return
+		case <-tick.C:
+		}
+		cur := dep.Leaders()
+		for p := range cur {
+			if cur[p] != prev[p] {
+				s.metrics.leaderChanges.Inc()
+			}
+		}
+		prev = cur
+		if i%trajEvery == 0 {
+			vec := make([]int64, len(cur))
+			for p, l := range cur {
+				vec[p] = int64(l)
+			}
+			s.metrics.leaderHist.Append(vec)
+			s.metrics.faultTraj.Append(columnSums(dep.FaultMatrix()))
+		}
+	}
+}
+
+// columnSums reduces the fault matrix to per-monitored-process totals.
+func columnSums(m [][]int64) []int64 {
+	out := make([]int64, len(m))
+	for _, row := range m {
+		for q, v := range row {
+			out[q] += v
+		}
+	}
+	return out
+}
+
+// report assembles the full metrics document.
+func (s *Server) report() MetricsReport {
+	n := s.cfg.N
+	dep := s.backend.deployment()
+	now := time.Now()
+	rep := MetricsReport{
+		Object:     s.cfg.Object,
+		N:          n,
+		UptimeMS:   now.Sub(s.metrics.start).Milliseconds(),
+		Processes:  make([]ProcessMetrics, n),
+		QASlots:    s.backend.slots(),
+		Injections: s.metrics.injectionList(),
+	}
+	for p := 0; p < n; p++ {
+		ps := s.rt.ProcStats(p)
+		cs := s.backend.clientStats(p)
+		qs := s.backend.qaStats(p)
+		pm := ProcessMetrics{
+			P:               p,
+			Steps:           ps.Steps,
+			MaxGapUS:        float64(ps.MaxGap) / 1e3,
+			AvgGapUS:        float64(ps.AvgGap) / 1e3,
+			SinceLastStepUS: float64(ps.SinceLastStep) / 1e3,
+			QueueDepth:      s.backend.queueDepth(p),
+			Served:          s.metrics.served[p].Load(),
+			Rejected:        s.metrics.rejected[p].Load(),
+			Client: ClientMetrics{
+				Completed: cs.Completed,
+				Invokes:   cs.Invokes,
+				Queries:   cs.Queries,
+				Aborts:    cs.Aborts,
+			},
+			QA: QAMetrics{
+				Proposals:     qs.Proposals,
+				NopProposals:  qs.NopProposals,
+				SlotsReplayed: qs.SlotsReplayed,
+			},
+			Latency: s.metrics.perProc[p].Summary(),
+			PerOp:   make(map[string]telemetry.Summary, len(s.metrics.kinds)),
+		}
+		if cs.LastCompletedUnixNano > 0 {
+			pm.Client.SinceLastCompletedMS = float64(now.UnixNano()-cs.LastCompletedUnixNano) / 1e6
+		}
+		for i, k := range s.metrics.kinds {
+			pm.PerOp[k] = s.metrics.perOp[p][i].Summary()
+		}
+		rep.Processes[p] = pm
+	}
+	leaders := dep.Leaders()
+	agreed := leaders[0]
+	for _, l := range leaders {
+		if l != agreed {
+			agreed = omega.NoLeader
+			break
+		}
+	}
+	rep.Leader = LeaderMetrics{
+		Current:    agreed,
+		PerProcess: leaders,
+		Changes:    s.metrics.leaderChanges.Load(),
+		History:    s.metrics.leaderHist.Samples(),
+	}
+	rep.Faults = FaultMetrics{
+		Matrix:     dep.FaultMatrix(),
+		Trajectory: s.metrics.faultTraj.Samples(),
+	}
+	return rep
+}

@@ -1,0 +1,262 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tbwf/internal/core"
+	"tbwf/internal/objtype"
+	"tbwf/internal/omega"
+	"tbwf/internal/prim"
+	"tbwf/internal/qa"
+	"tbwf/internal/rt"
+)
+
+// WireOp is the object-agnostic JSON encoding of one operation. Kind
+// selects the operation; the other fields are read per object:
+//
+//	counter:  add(delta), read
+//	register: read, write(value), cas(old,new)
+//	snapshot: update(index,value), scan
+//	jobqueue: enq(value), deq
+type WireOp struct {
+	Kind  string `json:"kind"`
+	Delta int64  `json:"delta,omitempty"`
+	Value int64  `json:"value,omitempty"`
+	Old   int64  `json:"old,omitempty"`
+	New   int64  `json:"new,omitempty"`
+	Index int    `json:"index,omitempty"`
+}
+
+// ErrQueueFull is returned by a backend when a replica's bounded request
+// queue is full — the service's backpressure signal (HTTP 503).
+var ErrQueueFull = errors.New("serve: replica queue full")
+
+// errNoReadOp marks objects without a read-only operation.
+var errNoReadOp = errors.New("serve: object has no read-only operation")
+
+// pending is one in-flight request: filled in by the replica worker.
+type pending struct {
+	replica int
+	kind    string
+	start   time.Time
+	done    chan result
+}
+
+type result struct {
+	resp    any
+	latency time.Duration
+}
+
+// backend is the object-type-erased face of a deployed TBWF stack; the
+// generic tbwfBackend implements it for each sequential type.
+type backend interface {
+	// start spawns the per-replica worker tasks on the runtime.
+	start()
+	// submit decodes op and enqueues it for replica p; ErrQueueFull means
+	// backpressure, other errors are bad requests. On success the result
+	// arrives on pd.done.
+	submit(p int, op WireOp, pd *pending) error
+	// readOp returns the object's canonical read-only operation, or
+	// errNoReadOp.
+	readOp() (WireOp, error)
+	// kinds lists the operation kinds the object accepts.
+	kinds() []string
+	queueDepth(p int) int
+	clientStats(p int) core.Stats
+	qaStats(p int) qa.HandleStats
+	slots() int64
+	deployment() *omega.Deployment
+}
+
+// tbwfBackend adapts one rt.TBWFStack to the wire protocol: a bounded
+// request queue and a single worker task per replica (a process's
+// operations must all flow through its one client, from its own task).
+type tbwfBackend[S, O, R any] struct {
+	srv    *Server
+	stack  *rt.TBWFStack[S, O, R]
+	decode func(WireOp) (O, error)
+	encode func(R) any
+	read   *WireOp // nil: no read-only op
+	kindsL []string
+	queues []chan queued[O]
+}
+
+type queued[O any] struct {
+	op O
+	pd *pending
+}
+
+func newBackend[S, O, R any](srv *Server, typ qa.Type[S, O, R],
+	decode func(WireOp) (O, error), encode func(R) any, read *WireOp, kinds []string) (*tbwfBackend[S, O, R], error) {
+	stack, err := rt.BuildTBWF[S, O, R](srv.rt, typ)
+	if err != nil {
+		return nil, err
+	}
+	b := &tbwfBackend[S, O, R]{
+		srv:    srv,
+		stack:  stack,
+		decode: decode,
+		encode: encode,
+		read:   read,
+		kindsL: kinds,
+		queues: make([]chan queued[O], srv.cfg.N),
+	}
+	for p := range b.queues {
+		b.queues[p] = make(chan queued[O], srv.cfg.QueueDepth)
+	}
+	return b, nil
+}
+
+func (b *tbwfBackend[S, O, R]) start() {
+	for p := 0; p < b.srv.cfg.N; p++ {
+		p := p
+		q := b.queues[p]
+		client := b.stack.Clients[p]
+		b.srv.rt.Spawn(p, fmt.Sprintf("serve-worker[%d]", p), func(pp prim.Proc) {
+			for {
+				select {
+				case item := <-q:
+					r := client.Invoke(pp, item.op)
+					lat := time.Since(item.pd.start)
+					b.srv.metrics.recordServed(p, item.pd.kind, lat)
+					item.pd.done <- result{resp: b.encode(r), latency: lat}
+				case <-b.srv.rt.Stopping():
+					return
+				}
+			}
+		})
+	}
+}
+
+func (b *tbwfBackend[S, O, R]) submit(p int, op WireOp, pd *pending) error {
+	decoded, err := b.decode(op)
+	if err != nil {
+		return err
+	}
+	select {
+	case b.queues[p] <- queued[O]{op: decoded, pd: pd}:
+		return nil
+	default:
+		b.srv.metrics.recordRejected(p)
+		return ErrQueueFull
+	}
+}
+
+func (b *tbwfBackend[S, O, R]) readOp() (WireOp, error) {
+	if b.read == nil {
+		return WireOp{}, errNoReadOp
+	}
+	return *b.read, nil
+}
+
+func (b *tbwfBackend[S, O, R]) kinds() []string      { return b.kindsL }
+func (b *tbwfBackend[S, O, R]) queueDepth(p int) int { return len(b.queues[p]) }
+func (b *tbwfBackend[S, O, R]) clientStats(p int) core.Stats {
+	return b.stack.Clients[p].Stats()
+}
+func (b *tbwfBackend[S, O, R]) qaStats(p int) qa.HandleStats {
+	return b.stack.Object.Handle(p).Stats()
+}
+func (b *tbwfBackend[S, O, R]) slots() int64                  { return b.stack.Object.Slots() }
+func (b *tbwfBackend[S, O, R]) deployment() *omega.Deployment { return b.stack.Omega }
+
+// Objects returns the deployable object names, sorted.
+func Objects() []string {
+	names := make([]string, 0, len(objectBuilders))
+	for name := range objectBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var objectBuilders = map[string]func(srv *Server) (backend, error){
+	"counter":  buildCounter,
+	"register": buildRegister,
+	"snapshot": buildSnapshot,
+	"jobqueue": buildJobQueue,
+}
+
+func buildCounter(srv *Server) (backend, error) {
+	readOp := WireOp{Kind: "read"}
+	return newBackend[int64, objtype.CounterOp, int64](srv, objtype.Counter{},
+		func(op WireOp) (objtype.CounterOp, error) {
+			switch op.Kind {
+			case "add":
+				return objtype.CounterOp{Delta: op.Delta}, nil
+			case "read":
+				return objtype.CounterOp{}, nil
+			}
+			return objtype.CounterOp{}, fmt.Errorf("serve: counter op kind %q (want add or read)", op.Kind)
+		},
+		func(r int64) any { return map[string]int64{"prev": r} },
+		&readOp, []string{"add", "read"})
+}
+
+func buildRegister(srv *Server) (backend, error) {
+	readOp := WireOp{Kind: "read"}
+	return newBackend[int64, objtype.RegOp, objtype.RegResp](srv, objtype.Register{},
+		func(op WireOp) (objtype.RegOp, error) {
+			switch op.Kind {
+			case "read":
+				return objtype.RegOp{Kind: objtype.RegRead}, nil
+			case "write":
+				return objtype.RegOp{Kind: objtype.RegWrite, New: op.Value}, nil
+			case "cas":
+				return objtype.RegOp{Kind: objtype.RegCAS, Old: op.Old, New: op.New}, nil
+			}
+			return objtype.RegOp{}, fmt.Errorf("serve: register op kind %q (want read, write or cas)", op.Kind)
+		},
+		func(r objtype.RegResp) any {
+			return map[string]any{"prev": r.Prev, "swapped": r.Swapped}
+		},
+		&readOp, []string{"read", "write", "cas"})
+}
+
+func buildSnapshot(srv *Server) (backend, error) {
+	m := srv.cfg.SnapshotComponents
+	if m <= 0 {
+		m = srv.cfg.N
+	}
+	readOp := WireOp{Kind: "scan"}
+	return newBackend[[]int64, objtype.SnapOp, objtype.SnapResp](srv, objtype.Snapshot{Components: m},
+		func(op WireOp) (objtype.SnapOp, error) {
+			switch op.Kind {
+			case "update":
+				if op.Index < 0 || op.Index >= m {
+					return objtype.SnapOp{}, fmt.Errorf("serve: snapshot index %d out of range [0,%d)", op.Index, m)
+				}
+				return objtype.SnapOp{Update: true, Index: op.Index, V: op.Value}, nil
+			case "scan":
+				return objtype.SnapOp{}, nil
+			}
+			return objtype.SnapOp{}, fmt.Errorf("serve: snapshot op kind %q (want update or scan)", op.Kind)
+		},
+		func(r objtype.SnapResp) any {
+			if r.View != nil {
+				return map[string]any{"view": r.View}
+			}
+			return map[string]any{"prev": r.Prev}
+		},
+		&readOp, []string{"update", "scan"})
+}
+
+func buildJobQueue(srv *Server) (backend, error) {
+	return newBackend[[]int64, objtype.QueueOp, objtype.QueueResp](srv, objtype.Queue{},
+		func(op WireOp) (objtype.QueueOp, error) {
+			switch op.Kind {
+			case "enq":
+				return objtype.QueueOp{Enq: true, V: op.Value}, nil
+			case "deq":
+				return objtype.QueueOp{}, nil
+			}
+			return objtype.QueueOp{}, fmt.Errorf("serve: jobqueue op kind %q (want enq or deq)", op.Kind)
+		},
+		func(r objtype.QueueResp) any {
+			return map[string]any{"value": r.V, "ok": r.Ok}
+		},
+		nil, []string{"enq", "deq"})
+}

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tbwf/internal/rt"
+)
+
+// ParseProfile parses a pacing-profile spec into an rt.Profile:
+//
+//	steady            — full speed (cooperative yield per step)
+//	steady:<dur>      — constant per-step delay, e.g. steady:100us
+//	growing:<burst>:<first>:<factor>
+//	                  — run <burst> steps, then pause; pauses start at
+//	                    <first> and grow by <factor> each time, e.g.
+//	                    growing:400:2ms:1.5 — the paper's untimely process
+//
+// Durations use Go syntax (ns, us, ms, s).
+func ParseProfile(spec string) (rt.Profile, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ":")
+	switch parts[0] {
+	case "steady":
+		switch len(parts) {
+		case 1:
+			return rt.Steady(0), nil
+		case 2:
+			d, err := time.ParseDuration(parts[1])
+			if err != nil || d < 0 {
+				return nil, fmt.Errorf("serve: bad steady delay %q", parts[1])
+			}
+			return rt.Steady(d), nil
+		}
+		return nil, fmt.Errorf("serve: steady takes at most one argument, got %q", spec)
+	case "growing":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("serve: growing needs burst:first:factor, got %q", spec)
+		}
+		burst, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || burst <= 0 {
+			return nil, fmt.Errorf("serve: bad growing burst %q", parts[1])
+		}
+		first, err := time.ParseDuration(parts[2])
+		if err != nil || first <= 0 {
+			return nil, fmt.Errorf("serve: bad growing first gap %q", parts[2])
+		}
+		factor, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || factor < 1 {
+			return nil, fmt.Errorf("serve: bad growing factor %q (need ≥ 1)", parts[3])
+		}
+		return rt.GrowingGaps(burst, first, factor), nil
+	}
+	return nil, fmt.Errorf("serve: unknown profile %q (want steady[:dur] or growing:burst:first:factor)", parts[0])
+}
+
+// ParsePacing parses a per-process pacing assignment for n processes:
+// semicolon-separated entries of the form <target>:<profile-spec>, where
+// <target> is a process id or "*" (all processes). Later entries override
+// earlier ones, so "*:steady:10us;2:growing:400:2ms:1.5" paces everyone at
+// 10µs/step except process 2, which degrades. An empty string means all
+// processes run at full speed. Entries for out-of-range processes are
+// rejected.
+func ParsePacing(s string, n int) ([]rt.Profile, error) {
+	out := make([]rt.Profile, n)
+	for i := range out {
+		out[i] = rt.Steady(0)
+	}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		target, rest, found := strings.Cut(entry, ":")
+		if !found {
+			return nil, fmt.Errorf("serve: pacing entry %q has no profile (want target:profile)", entry)
+		}
+		if target == "*" {
+			// Each process needs its own profile instance: profiles keep
+			// internal state.
+			for p := range out {
+				prof, err := ParseProfile(rest)
+				if err != nil {
+					return nil, err
+				}
+				out[p] = prof
+			}
+			continue
+		}
+		p, err := strconv.Atoi(target)
+		if err != nil {
+			return nil, fmt.Errorf("serve: pacing target %q is neither a process id nor *", target)
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("serve: pacing target %d out of range [0,%d)", p, n)
+		}
+		prof, err := ParseProfile(rest)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = prof
+	}
+	return out, nil
+}

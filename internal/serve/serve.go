@@ -1,0 +1,314 @@
+// Package serve is the live TBWF service layer: it deploys a
+// TBWF-replicated object (internal/core over internal/qa and internal/omega)
+// on the real-time substrate (internal/rt) and exposes it over HTTP.
+//
+// Each of the n processes is one replica: it runs its share of the Ω∆ and
+// monitor tasks plus a single worker task that drains a bounded request
+// queue through the process's TBWF client — so a request's latency is
+// exactly the time for that replica, at its current timeliness, to push
+// the operation through the paper's Figure 7 protocol. A full queue
+// produces immediate backpressure (ErrQueueFull → HTTP 503) instead of
+// unbounded buffering.
+//
+// The JSON API:
+//
+//	POST /v1/invoke  {"replica":0,"op":{"kind":"add","delta":1}}
+//	GET  /v1/read?replica=0        — the object's read-only op, if any
+//	GET  /v1/stats                 — light liveness snapshot
+//	GET  /v1/metrics               — full MetricsReport (latency histograms,
+//	                                 leader churn, step gaps, fault counters)
+//	POST /v1/fault   {"process":2,"spec":"growing:400:2ms:1.5"}
+//
+// The fault endpoint retunes a live process's pacing profile, so the
+// paper's degradation story can be triggered and watched on a running
+// service: the retuned replica's latency collapses, the timely replicas'
+// p99 stays bounded.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tbwf/internal/rt"
+)
+
+// Config sizes a server.
+type Config struct {
+	// N is the number of replicas (processes), at least 2.
+	N int
+	// Object names the deployed type: one of Objects().
+	Object string
+	// QueueDepth bounds each replica's request queue (default 64).
+	QueueDepth int
+	// SnapshotComponents sizes the snapshot object (default N).
+	SnapshotComponents int
+	// Pacing assigns each process's initial profile (nil: all full speed).
+	Pacing []rt.Profile
+	// SampleEvery is the leader-churn sampling period (default 2ms);
+	// TrajectoryEvery the fault/leader trajectory period (default 100ms).
+	SampleEvery, TrajectoryEvery time.Duration
+}
+
+// Server is a deployed TBWF object behind an HTTP handler. Create with
+// New, serve via any http.Server (it implements http.Handler), stop with
+// Stop.
+type Server struct {
+	cfg     Config
+	rt      *rt.Runtime
+	backend backend
+	metrics *metrics
+	mux     *http.ServeMux
+
+	rr          atomic.Int64 // round-robin replica cursor
+	stopping    chan struct{}
+	stopOnce    sync.Once
+	samplerDone chan struct{}
+}
+
+// New builds the runtime, deploys the object, starts the replica workers
+// and the telemetry sampler.
+func New(cfg Config) (*Server, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("serve: n = %d, need at least 2 replicas", cfg.N)
+	}
+	build, ok := objectBuilders[cfg.Object]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown object %q (have %v)", cfg.Object, Objects())
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 2 * time.Millisecond
+	}
+	if cfg.TrajectoryEvery <= 0 {
+		cfg.TrajectoryEvery = 100 * time.Millisecond
+	}
+	if cfg.Pacing != nil && len(cfg.Pacing) != cfg.N {
+		return nil, fmt.Errorf("serve: %d pacing profiles for %d processes", len(cfg.Pacing), cfg.N)
+	}
+	s := &Server{
+		cfg:         cfg,
+		rt:          rt.New(cfg.N, nil),
+		stopping:    make(chan struct{}),
+		samplerDone: make(chan struct{}),
+	}
+	for p, prof := range cfg.Pacing {
+		s.rt.SetProfile(p, prof)
+	}
+	b, err := build(s)
+	if err != nil {
+		return nil, err
+	}
+	s.backend = b
+	s.metrics = newMetrics(cfg.N, b.kinds())
+	b.start()
+	go s.sample(b.deployment())
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/invoke", s.handleInvoke)
+	s.mux.HandleFunc("/v1/read", s.handleRead)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/fault", s.handleFault)
+	return s, nil
+}
+
+// N returns the replica count.
+func (s *Server) N() int { return s.cfg.N }
+
+// Runtime exposes the underlying substrate (tests retune profiles through
+// it directly; external callers use the fault endpoint).
+func (s *Server) Runtime() *rt.Runtime { return s.rt }
+
+// Stop shuts the service down: pending handlers return 503, workers and
+// the sampler exit, and the runtime's tasks unwind. Idempotent.
+func (s *Server) Stop() error {
+	s.stopOnce.Do(func() { close(s.stopping) })
+	err := s.rt.Stop()
+	<-s.samplerDone
+	return err
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]any{"ok": false, "error": fmt.Sprintf(format, args...)})
+}
+
+type invokeRequest struct {
+	// Replica routes the operation; nil or -1 round-robins.
+	Replica *int   `json:"replica"`
+	Op      WireOp `json:"op"`
+}
+
+type invokeResponse struct {
+	OK        bool    `json:"ok"`
+	Replica   int     `json:"replica"`
+	Resp      any     `json:"resp"`
+	LatencyUS float64 `json:"latency_us"`
+}
+
+func (s *Server) pickReplica(req *int) (int, error) {
+	if req == nil || *req < 0 {
+		return int(s.rr.Add(1)-1) % s.cfg.N, nil
+	}
+	if *req >= s.cfg.N {
+		return 0, fmt.Errorf("replica %d out of range [0,%d)", *req, s.cfg.N)
+	}
+	return *req, nil
+}
+
+// dispatch enqueues op on replica p and waits for its completion, the
+// client's disconnect, or shutdown.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p int, op WireOp) {
+	pd := &pending{replica: p, kind: op.Kind, start: time.Now(), done: make(chan result, 1)}
+	if err := s.backend.submit(p, op, pd); err != nil {
+		if err == ErrQueueFull {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "replica %d backpressured: %v", p, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	select {
+	case res := <-pd.done:
+		writeJSON(w, http.StatusOK, invokeResponse{
+			OK:        true,
+			Replica:   p,
+			Resp:      res.resp,
+			LatencyUS: float64(res.latency) / 1e3,
+		})
+	case <-r.Context().Done():
+		// Client gone; the worker will still complete the operation (it is
+		// already queued) and the buffered done channel absorbs the result.
+	case <-s.stopping:
+		writeError(w, http.StatusServiceUnavailable, "server stopping")
+	}
+}
+
+func (s *Server) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req invokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	p, err := s.pickReplica(req.Replica)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.dispatch(w, r, p, req.Op)
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	op, err := s.backend.readOp()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "object %s: %v", s.cfg.Object, err)
+		return
+	}
+	replica := (*int)(nil)
+	if q := r.URL.Query().Get("replica"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad replica %q", q)
+			return
+		}
+		replica = &v
+	}
+	p, err := s.pickReplica(replica)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.dispatch(w, r, p, op)
+}
+
+// statsReport is the light /v1/stats document.
+type statsReport struct {
+	Object    string   `json:"object"`
+	N         int      `json:"n"`
+	UptimeMS  int64    `json:"uptime_ms"`
+	Kinds     []string `json:"kinds"`
+	Served    []int64  `json:"served"`
+	Rejected  []int64  `json:"rejected"`
+	Queued    []int    `json:"queued"`
+	Completed []int64  `json:"completed"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	rep := statsReport{
+		Object:   s.cfg.Object,
+		N:        s.cfg.N,
+		UptimeMS: time.Since(s.metrics.start).Milliseconds(),
+		Kinds:    s.backend.kinds(),
+	}
+	for p := 0; p < s.cfg.N; p++ {
+		rep.Served = append(rep.Served, s.metrics.served[p].Load())
+		rep.Rejected = append(rep.Rejected, s.metrics.rejected[p].Load())
+		rep.Queued = append(rep.Queued, s.backend.queueDepth(p))
+		rep.Completed = append(rep.Completed, s.backend.clientStats(p).Completed)
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.report())
+}
+
+type faultRequest struct {
+	Process int    `json:"process"`
+	Spec    string `json:"spec"`
+}
+
+func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req faultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Process < 0 || req.Process >= s.cfg.N {
+		writeError(w, http.StatusBadRequest, "process %d out of range [0,%d)", req.Process, s.cfg.N)
+		return
+	}
+	prof, err := ParseProfile(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.rt.SetProfile(req.Process, prof)
+	inj := Injection{
+		AtMS:    time.Since(s.metrics.start).Milliseconds(),
+		Process: req.Process,
+		Spec:    req.Spec,
+	}
+	s.metrics.recordInjection(inj)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "injection": inj})
+}

@@ -1,0 +1,270 @@
+// Package telemetry provides the allocation-free measurement primitives
+// of the live service layer (internal/serve): atomic counters, lock-free
+// log-linear latency histograms, and small bounded sample series.
+//
+// Everything on the record path is wait-free in the practical sense: a
+// Record or Add is a handful of atomic operations, never allocates, and
+// never takes a lock — instrumentation must not introduce the very
+// contention and blocking the TBWF stack is built to tolerate. Snapshots
+// copy the counters out and are approximate under concurrent recording
+// (each bucket is read atomically, the set of buckets is not), which is
+// the usual and acceptable trade for metrics.
+package telemetry
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is an allocation-free atomic event counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d int64) { c.v.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Histogram bucketing: log-linear ("HDR-style"). Values below subCount
+// nanoseconds get exact buckets; above that, each power-of-two octave is
+// split into subCount linear sub-buckets, so the relative quantile error
+// is at most 1/subCount ≈ 6%.
+const (
+	subBits  = 4
+	subCount = 1 << subBits // linear sub-buckets per octave
+	// numBuckets covers the full int64 nanosecond range (≈292 years):
+	// the largest int64 maps to bucket subCount*(64-subBits) - 1.
+	numBuckets = subCount * (64 - subBits)
+)
+
+// bucketOf maps a non-negative nanosecond value to its bucket index.
+func bucketOf(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - subBits - 1
+	sub := int(v>>uint(e)) - subCount
+	return subCount*(e+1) + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket idx — the
+// (conservative) representative used when reading quantiles back out.
+func bucketUpper(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	e := idx/subCount - 1
+	sub := idx % subCount
+	return (int64(subCount+sub+1) << uint(e)) - 1
+}
+
+// Histogram is a lock-free log-linear latency histogram. Record is
+// allocation-free and safe for any number of concurrent recorders. The
+// zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [numBuckets]atomic.Int64
+}
+
+// Record adds one observation. Negative durations count as zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Merge folds other's current contents into h, bucket by bucket. Both
+// histograms may have concurrent recorders; the result then reflects some
+// consistent interleaving of the adds.
+func (h *Histogram) Merge(other *Histogram) {
+	for i := range other.buckets {
+		if c := other.buckets[i].Load(); c > 0 {
+			h.buckets[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	m := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if m <= cur || h.max.CompareAndSwap(cur, m) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram out for quantile queries.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	for i := range h.buckets {
+		if c := h.buckets[i].Load(); c > 0 {
+			s.buckets = append(s.buckets, bucketCount{idx: i, n: c})
+		}
+	}
+	return s
+}
+
+// Summary returns the standard latency digest of the histogram's current
+// contents.
+func (h *Histogram) Summary() Summary { return h.Snapshot().Summary() }
+
+type bucketCount struct {
+	idx int
+	n   int64
+}
+
+// Snapshot is a point-in-time copy of a histogram.
+type Snapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Max     time.Duration
+	buckets []bucketCount // non-empty buckets, ascending index
+}
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) of the
+// recorded values, within one bucket's width. It returns 0 for an empty
+// snapshot.
+func (s Snapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var seen int64
+	for _, b := range s.buckets {
+		seen += b.n
+		if seen >= rank {
+			u := bucketUpper(b.idx)
+			if time.Duration(u) > s.Max {
+				return s.Max // the last bucket's upper bound can overshoot
+			}
+			return time.Duration(u)
+		}
+	}
+	return s.Max
+}
+
+// Mean returns the arithmetic mean of the recorded values.
+func (s Snapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Summary condenses a snapshot to the digest the service layer reports.
+func (s Snapshot) Summary() Summary {
+	return Summary{
+		Count:  s.Count,
+		MeanUS: float64(s.Mean()) / 1e3,
+		P50US:  float64(s.Quantile(0.50)) / 1e3,
+		P90US:  float64(s.Quantile(0.90)) / 1e3,
+		P99US:  float64(s.Quantile(0.99)) / 1e3,
+		MaxUS:  float64(s.Max) / 1e3,
+	}
+}
+
+// Summary is the JSON-ready latency digest: count plus mean/p50/p90/p99/max
+// in microseconds.
+type Summary struct {
+	Count  int64   `json:"count"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P90US  float64 `json:"p90_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// Sample is one point of a Series.
+type Sample struct {
+	// UnixMS is the sample's wall-clock timestamp in milliseconds.
+	UnixMS int64 `json:"t_ms"`
+	// Values is the sampled vector (meaning is the series owner's).
+	Values []int64 `json:"values"`
+}
+
+// Series is a bounded ring of timestamped vector samples — used for the
+// low-rate trajectories (monitor fault counters, leader history) exposed
+// on the metrics endpoint. Unlike the hot-path types above it takes a
+// mutex: sampling happens a few times per second, not per operation.
+type Series struct {
+	mu    sync.Mutex
+	cap   int
+	ring  []Sample
+	next  int
+	total int
+}
+
+// NewSeries returns a series keeping the last capacity samples (minimum 1).
+func NewSeries(capacity int) *Series {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Series{cap: capacity, ring: make([]Sample, 0, capacity)}
+}
+
+// Append records a sample with the current wall-clock time. The values
+// slice is copied.
+func (s *Series) Append(values []int64) {
+	v := make([]int64, len(values))
+	copy(v, values)
+	smp := Sample{UnixMS: time.Now().UnixMilli(), Values: v}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, smp)
+	} else {
+		s.ring[s.next] = smp
+		s.next = (s.next + 1) % s.cap
+	}
+	s.total++
+}
+
+// Samples returns the retained samples, oldest first.
+func (s *Series) Samples() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Total returns how many samples were ever appended.
+func (s *Series) Total() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every value must land in a bucket whose range contains it, and bucket
+// indices must be monotone in the value.
+func TestBucketMapping(t *testing.T) {
+	vals := []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 100, 1_000, 65_535, 1 << 20, 1 << 40, 1<<62 + 12345}
+	prevIdx := -1
+	for _, v := range vals {
+		idx := bucketOf(v)
+		if idx < prevIdx {
+			t.Fatalf("bucketOf not monotone: bucketOf(%d) = %d < %d", v, idx, prevIdx)
+		}
+		prevIdx = idx
+		upper := bucketUpper(idx)
+		if v > upper {
+			t.Fatalf("value %d above its bucket's upper bound %d (idx %d)", v, upper, idx)
+		}
+		if idx > 0 && v <= bucketUpper(idx-1) {
+			t.Fatalf("value %d also fits bucket %d (upper %d)", v, idx-1, bucketUpper(idx-1))
+		}
+	}
+	// Relative error bound: upper/lower ≤ 1 + 2/subCount for large values.
+	for idx := subCount; idx < numBuckets-1; idx++ {
+		lo, hi := bucketUpper(idx-1)+1, bucketUpper(idx)
+		if float64(hi-lo) > float64(lo)/subCount+1 {
+			t.Fatalf("bucket %d too wide: [%d,%d]", idx, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 µs uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.90, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*(1+2.0/subCount) {
+			t.Errorf("q%.2f = %v, want within [%v, %v+%.0f%%]", c.q, got, c.want, c.want, 200.0/subCount)
+		}
+	}
+	if s.Max != time.Millisecond {
+		t.Errorf("max = %v, want 1ms", s.Max)
+	}
+	if m := s.Mean(); m < 450*time.Microsecond || m > 550*time.Microsecond {
+		t.Errorf("mean = %v", m)
+	}
+	sum := h.Summary()
+	if sum.P99US < 990 || sum.MaxUS != 1000 {
+		t.Errorf("summary %+v", sum)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Quantile(0.99) != 0 || s.Mean() != 0 {
+		t.Fatal("empty histogram must read 0")
+	}
+	h.Record(-time.Second) // clamps to 0
+	if s := h.Snapshot(); s.Count != 1 || s.Max != 0 {
+		t.Fatalf("negative record: %+v", s)
+	}
+}
+
+// Concurrent recording must neither lose counts nor race (run under -race).
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var c Counter
+	const workers, each = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Nanosecond)
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*each {
+		t.Fatalf("lost records: %d != %d", h.Count(), workers*each)
+	}
+	if c.Load() != workers*each {
+		t.Fatalf("lost counts: %d", c.Load())
+	}
+}
+
+func TestSeriesRing(t *testing.T) {
+	s := NewSeries(3)
+	for i := int64(0); i < 5; i++ {
+		s.Append([]int64{i})
+	}
+	got := s.Samples()
+	if len(got) != 3 || s.Total() != 5 {
+		t.Fatalf("len=%d total=%d", len(got), s.Total())
+	}
+	for i, want := range []int64{2, 3, 4} {
+		if got[i].Values[0] != want {
+			t.Fatalf("ring order wrong: %v", got)
+		}
+	}
+}
