@@ -13,7 +13,7 @@ import (
 
 	"tbwf/internal/baseline"
 	"tbwf/internal/consensus"
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/exp"
 	"tbwf/internal/monitor"
 	"tbwf/internal/objtype"
@@ -26,7 +26,7 @@ import (
 )
 
 // hammer spawns per-process tasks invoking Add(1) forever on the stack.
-func hammer(k *sim.Kernel, st *core.Stack[int64, objtype.CounterOp, int64]) {
+func hammer(k *sim.Kernel, st *deploy.Stack[int64, objtype.CounterOp, int64]) {
 	for p := 0; p < k.N(); p++ {
 		p := p
 		k.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
@@ -52,7 +52,7 @@ func BenchmarkE1Degradation(b *testing.B) {
 					avail[p] = sim.GrowingGaps(400, int64(600+200*p), 1.5)
 				}
 				kern := sim.New(n, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), avail)), sim.WithScheduleTrace(false))
-				st, err := core.Build[int64, objtype.CounterOp, int64](kern, objtype.Counter{}, core.BuildConfig{})
+				st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(kern), objtype.Counter{}, deploy.BuildConfig{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -101,7 +101,7 @@ func BenchmarkE2Baselines(b *testing.B) {
 	}
 	systems := []sys{
 		{"tbwf", func(k *sim.Kernel) ([]func(prim.Proc), []func() int64, error) {
-			st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, core.BuildConfig{})
+			st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -110,7 +110,7 @@ func BenchmarkE2Baselines(b *testing.B) {
 			return l, c, nil
 		}},
 		{"ack-booster", func(k *sim.Kernel) ([]func(prim.Proc), []func() int64, error) {
-			cs, err := baseline.BuildAck[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak)
+			cs, err := baseline.BuildAck[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, weak)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -184,7 +184,7 @@ func BenchmarkE4OmegaAbortable(b *testing.B) {
 			var stab int64
 			for i := 0; i < b.N; i++ {
 				k := sim.New(n, sim.WithScheduleTrace(false))
-				sys, err := omegaab.Build(k)
+				sys, err := omegaab.Build(deploy.Sim(k))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -271,8 +271,7 @@ func BenchmarkE7Canonical(b *testing.B) {
 			var shareSum float64
 			for i := 0; i < b.N; i++ {
 				k := sim.New(n, sim.WithScheduleTrace(false))
-				st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{},
-					core.BuildConfig{NonCanonical: nonCanonical})
+				st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{NonCanonical: nonCanonical})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -368,7 +367,7 @@ func BenchmarkE9Consensus(b *testing.B) {
 	var lastAt int64
 	for i := 0; i < b.N; i++ {
 		k := sim.New(n, sim.WithScheduleTrace(false))
-		parts, err := consensus.BuildSim(k, []int64{100, 101, 102}, false)
+		parts, err := consensus.Build(deploy.Sim(k), []int64{100, 101, 102}, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -521,5 +520,25 @@ func BenchmarkFullTableQuick(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkDeployBuild measures the composition root itself: the cost of
+// wiring a full TBWF counter stack (Ω∆, qa object, clients) on a fresh
+// simulation kernel, for both Ω∆ kinds. Build cost is off the hot path but
+// bounds how cheaply the fuzzer can stand up a deployment per seed.
+func BenchmarkDeployBuild(b *testing.B) {
+	for _, kind := range []deploy.OmegaKind{deploy.OmegaRegisters, deploy.OmegaAbortable} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k := sim.New(4, sim.WithScheduleTrace(false))
+				if _, err := deploy.Build[int64, objtype.CounterOp, int64](
+					deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{Kind: kind}); err != nil {
+					b.Fatal(err)
+				}
+				k.Shutdown()
+			}
+		})
 	}
 }

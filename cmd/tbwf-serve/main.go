@@ -7,6 +7,7 @@
 //	tbwf-serve -n 6 -object jobqueue
 //	tbwf-serve -pace '*:steady:10us;2:growing:400:2ms:1.5'
 //	tbwf-serve -addr 127.0.0.1:9090 -queue-depth 128
+//	tbwf-serve -omega abortable            # Theorem 15's Ω∆ from abortable registers
 //
 // The pacing spec assigns each process's initial step profile; the
 // /v1/fault endpoint retunes a live process afterwards. SIGINT/SIGTERM
@@ -45,6 +46,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	pace := fs.String("pace", "",
 		"initial pacing, e.g. '*:steady:10us;2:growing:400:2ms:1.5' (empty: full speed)")
 	queueDepth := fs.Int("queue-depth", 64, "per-replica bounded request queue depth")
+	omegaKind := fs.String("omega", "atomic", "omega implementation: atomic | abortable")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,6 +58,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	srv, err := serve.New(serve.Config{
 		N:          *n,
 		Object:     *object,
+		Omega:      *omegaKind,
 		QueueDepth: *queueDepth,
 		Pacing:     pacing,
 	})

@@ -15,11 +15,26 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-object", "nope"},
 		{"-pace", "banana"},
 		{"-pace", "9:steady"}, // target out of range for -n 4
+		{"-omega", "quantum"},
 		{"-badflag"},
 	}
 	for _, args := range cases {
 		if err := run(args, nil, nil); err == nil {
 			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// A bad -omega value must name the accepted vocabulary in the error, so
+// an operator can self-correct without reading the source.
+func TestOmegaFlagValidation(t *testing.T) {
+	err := run([]string{"-omega", "quantum"}, nil, nil)
+	if err == nil {
+		t.Fatal("run accepted -omega quantum")
+	}
+	for _, want := range []string{"quantum", "atomic", "abortable"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
 		}
 	}
 }

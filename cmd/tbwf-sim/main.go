@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/omega"
 	"tbwf/internal/prim"
@@ -78,15 +79,13 @@ func run(args []string) error {
 		k.CrashAt(proc, at)
 	}
 
-	kind := core.OmegaRegisters
-	if *omegaKind == "abortable" {
-		kind = core.OmegaAbortable
-	} else if *omegaKind != "atomic" {
-		return fmt.Errorf("unknown omega kind %q", *omegaKind)
+	kind, err := deploy.ParseOmegaKind(*omegaKind)
+	if err != nil {
+		return err
 	}
 
-	st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{},
-		core.BuildConfig{Kind: kind, NonCanonical: *nonCanonical})
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{},
+		deploy.BuildConfig{Kind: kind, NonCanonical: *nonCanonical})
 	if err != nil {
 		return err
 	}

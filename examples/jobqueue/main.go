@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"log"
 
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -35,7 +35,7 @@ func main() {
 	k := sim.New(n, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{
 		1: degradeAfter(300_000),
 	})))
-	st, err := core.Build[[]int64, objtype.QueueOp, objtype.QueueResp](k, objtype.Queue{}, core.BuildConfig{})
+	st, err := deploy.Build[[]int64, objtype.QueueOp, objtype.QueueResp](deploy.Sim(k), objtype.Queue{}, deploy.BuildConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

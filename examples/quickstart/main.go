@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/rt"
@@ -26,7 +27,7 @@ func main() {
 		opsEach = 5
 	)
 	runtime := rt.New(n, rt.Steady(0))
-	stack, err := rt.BuildTBWF[int64, objtype.CounterOp, int64](runtime, objtype.Counter{})
+	stack, err := deploy.Build[int64, objtype.CounterOp, int64](runtime, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,7 +6,7 @@ import (
 
 	"tbwf/internal/register"
 
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -67,15 +67,15 @@ func TestBaselinesCompleteWhenAllTimely(t *testing.T) {
 		// itself part of the paper's point. Probabilistic aborts let
 		// their happy path work.
 		"of-only": func(k *sim.Kernel) ([]invoker, error) {
-			cs, err := BuildOF[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weakAdversary())
+			cs, err := BuildOF[int64, objtype.CounterOp, int64](register.Substrate(k), objtype.Counter{}, weakAdversary())
 			return asInvokers(cs), err
 		},
 		"panic-booster": func(k *sim.Kernel) ([]invoker, error) {
-			cs, err := BuildPanic[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weakAdversary())
+			cs, err := BuildPanic[int64, objtype.CounterOp, int64](register.Substrate(k), objtype.Counter{}, weakAdversary())
 			return asInvokers(cs), err
 		},
 		"ack-booster": func(k *sim.Kernel) ([]invoker, error) {
-			cs, err := BuildAck[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weakAdversary())
+			cs, err := BuildAck[int64, objtype.CounterOp, int64](register.Substrate(k), objtype.Counter{}, weakAdversary())
 			return asInvokers(cs), err
 		},
 	}
@@ -156,7 +156,7 @@ func TestPanicBoosterCollapsesUnderOneUntimelyProcess(t *testing.T) {
 	}
 	sched := sim.Restrict(sim.Random(17, nil), map[int]sim.Availability{0: avail})
 	k2 := sim.New(3, sim.WithSchedule(sched))
-	cs, err := BuildPanic[int64, objtype.CounterOp, int64](k2, objtype.Counter{}, weakAdversary())
+	cs, err := BuildPanic[int64, objtype.CounterOp, int64](register.Substrate(k2), objtype.Counter{}, weakAdversary())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +176,7 @@ func TestPanicBoosterCollapsesUnderOneUntimelyProcess(t *testing.T) {
 // grow without bound and every round waits for its gaps.
 func TestAckBoosterCollapsesUnderOneUntimelyProcess(t *testing.T) {
 	k := sim.New(3, sim.WithSchedule(untimelySchedule()))
-	cs, err := BuildAck[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weakAdversary())
+	cs, err := BuildAck[int64, objtype.CounterOp, int64](register.Substrate(k), objtype.Counter{}, weakAdversary())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestAckBoosterCollapsesUnderOneUntimelyProcess(t *testing.T) {
 // stack keeps the timely processes' throughput steady.
 func TestTBWFDoesNotCollapseInSameScenario(t *testing.T) {
 	k := sim.New(3, sim.WithSchedule(untimelySchedule()))
-	st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, core.BuildConfig{})
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

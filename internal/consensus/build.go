@@ -7,49 +7,51 @@ import (
 	"tbwf/internal/omegaab"
 	"tbwf/internal/prim"
 	"tbwf/internal/register"
-	"tbwf/internal/sim"
 )
 
-// SimRegisters returns consensus register factories backed by the
-// simulation kernel's abortable registers.
-func SimRegisters[V comparable](k *sim.Kernel, opts ...register.AbOption) Registers[V] {
+// SubstrateRegisters returns consensus register factories backed by any
+// substrate's abortable registers (the simulation kernel's concrete typed
+// ones on a sim substrate).
+func SubstrateRegisters[V comparable](sub prim.Substrate, opts ...register.AbOption) Registers[V] {
 	return Registers[V]{
 		Ballot: func(name string, writer int) prim.AbortableRegister[int64] {
-			return register.NewAbortable(k, name, int64(0), append(opts, register.WithRoles(writer, -1))...)
+			return register.SubstrateAbortable(sub, name, int64(0), append(opts, register.WithRoles(writer, -1))...)
 		},
 		Accept: func(name string, writer int) prim.AbortableRegister[accepted[V]] {
-			return register.NewAbortable(k, name, accepted[V]{}, append(opts, register.WithRoles(writer, -1))...)
+			return register.SubstrateAbortable(sub, name, accepted[V]{}, append(opts, register.WithRoles(writer, -1))...)
 		},
 		Msg: func(name string, writer, reader int) prim.AbortableRegister[decision[V]] {
-			return register.NewAbortable(k, name, decision[V]{}, append(opts, register.WithRoles(writer, reader))...)
+			return register.SubstrateAbortable(sub, name, decision[V]{}, append(opts, register.WithRoles(writer, reader))...)
 		},
 	}
 }
 
-// BuildSim wires a full consensus deployment on the kernel — Ω∆ from
+// Build wires a full consensus deployment on any substrate — Ω∆ from
 // abortable registers (or atomic registers when atomicOmega is set), one
 // consensus instance, and one participant task per process proposing
 // proposals[p] — and spawns everything.
-func BuildSim[V comparable](k *sim.Kernel, proposals []V, atomicOmega bool, opts ...register.AbOption) ([]*Participant[V], error) {
-	n := k.N()
+func Build[V comparable](sub prim.Substrate, proposals []V, atomicOmega bool, opts ...register.AbOption) ([]*Participant[V], error) {
+	n := sub.N()
 	if len(proposals) != n {
 		return nil, fmt.Errorf("consensus: %d proposals for %d processes", len(proposals), n)
 	}
 	var endpoints []*omega.Instance
 	if atomicOmega {
-		sys, err := omega.BuildRegisters(k)
+		dep, err := omega.BuildWith(n, sub, func(name string, init int64) prim.Register[int64] {
+			return register.SubstrateAtomic(sub, name, init)
+		}, omega.BuildOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("consensus: %w", err)
 		}
-		endpoints = sys.Instances
+		endpoints = dep.Instances
 	} else {
-		sys, err := omegaab.Build(k, opts...)
+		sys, err := omegaab.Build(sub, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("consensus: %w", err)
 		}
 		endpoints = sys.Instances
 	}
-	inst, err := New(n, SimRegisters[V](k, opts...))
+	inst, err := New(n, SubstrateRegisters[V](sub, opts...))
 	if err != nil {
 		return nil, err
 	}
@@ -60,7 +62,7 @@ func BuildSim[V comparable](k *sim.Kernel, proposals []V, atomicOmega bool, opts
 			return nil, err
 		}
 		parts[p] = part
-		k.Spawn(p, fmt.Sprintf("consensus[%d]", p), task)
+		sub.Spawn(p, fmt.Sprintf("consensus[%d]", p), task)
 	}
 	return parts, nil
 }

@@ -1,0 +1,185 @@
+// Package deploy is the single composition root for TBWF object stacks:
+// one generic Build that wires Ω∆ (either implementation), the
+// query-abortable object, and the per-process clients on *any*
+// prim.Substrate — the deterministic simulation kernel (via Sim) or the
+// live real-time runtime (rt.Runtime is itself a Substrate).
+//
+// The point, per the paper and per Alistarh et al.'s observation that
+// progress is a property of the scheduler as much as of the code, is that
+// exactly the same wiring runs under both schedulers: tests and the
+// schedule-space fuzzer explore the very stack the service layer runs
+// hot. Before this package, internal/core (sim) and internal/rt (live)
+// each had their own divergent builder; both now delegate here or are
+// gone.
+package deploy
+
+import (
+	"fmt"
+
+	"tbwf/internal/core"
+	"tbwf/internal/omega"
+	"tbwf/internal/omegaab"
+	"tbwf/internal/prim"
+	"tbwf/internal/qa"
+	"tbwf/internal/register"
+	"tbwf/internal/sim"
+)
+
+// Sim adapts a simulation kernel to prim.Substrate. It is
+// register.Substrate re-exported under the deployment vocabulary:
+// deploy.Build(deploy.Sim(k), ...) is the sim composition root.
+func Sim(k *sim.Kernel) prim.Substrate { return register.Substrate(k) }
+
+// OmegaKind selects which Ω∆ implementation a TBWF stack runs on.
+type OmegaKind int
+
+const (
+	// OmegaRegisters is the Figure 3 implementation from activity
+	// monitors and atomic registers (Section 5).
+	OmegaRegisters OmegaKind = iota + 1
+	// OmegaAbortable is the Figure 4–6 implementation from abortable
+	// registers only (Section 6). Together with the qa construction it
+	// realizes Theorem 15: a TBWF object of any type from abortable
+	// registers alone.
+	OmegaAbortable
+)
+
+// String names the kind.
+func (k OmegaKind) String() string {
+	switch k {
+	case OmegaRegisters:
+		return "atomic-registers"
+	case OmegaAbortable:
+		return "abortable-registers"
+	default:
+		return fmt.Sprintf("OmegaKind(%d)", int(k))
+	}
+}
+
+// ParseOmegaKind maps the user-facing flag vocabulary ("atomic",
+// "abortable"; "" defaults to atomic) to an OmegaKind, with an error that
+// lists the accepted values.
+func ParseOmegaKind(s string) (OmegaKind, error) {
+	switch s {
+	case "", "atomic":
+		return OmegaRegisters, nil
+	case "abortable":
+		return OmegaAbortable, nil
+	default:
+		return 0, fmt.Errorf("unknown omega kind %q (accepted values: atomic, abortable)", s)
+	}
+}
+
+// BuildConfig configures a TBWF stack.
+type BuildConfig struct {
+	// Kind selects the Ω∆ implementation; default OmegaRegisters.
+	Kind OmegaKind
+	// NonCanonical disables the Figure 7 line 2 wait (experiment E7 only).
+	NonCanonical bool
+	// RegisterOptions apply to every abortable register in the stack
+	// (the qa object's, and Ω∆'s when Kind is OmegaAbortable).
+	RegisterOptions []register.AbOption
+}
+
+// Stack is a fully wired TBWF object deployment: Ω∆ (its tasks already
+// spawned), the underlying query-abortable object, and one client per
+// process. Client *tasks* are not spawned — the caller drives
+// Clients[p].Invoke from its own workload tasks.
+type Stack[S, O, R any] struct {
+	Kind OmegaKind
+	// Instances[p] is process p's Ω∆ endpoint.
+	Instances []*omega.Instance
+	// Object is the shared query-abortable object.
+	Object *qa.SharedObject[S, O, R]
+	// Clients[p] is process p's TBWF endpoint.
+	Clients []*core.Client[S, O, R]
+	// Omega is the full atomic-register Ω∆ deployment (monitors
+	// included), non-nil iff Kind is OmegaRegisters; telemetry layers tap
+	// leader outputs and fault counters through it.
+	Omega *omega.Deployment
+	// OmegaAb is the abortable-register Ω∆ system, non-nil iff Kind is
+	// OmegaAbortable.
+	OmegaAb *omegaab.System
+}
+
+// Build wires a TBWF object of the given sequential type for every
+// process of the substrate.
+func Build[S, O, R any](sub prim.Substrate, typ qa.Type[S, O, R], cfg BuildConfig) (*Stack[S, O, R], error) {
+	if cfg.Kind == 0 {
+		cfg.Kind = OmegaRegisters
+	}
+	n := sub.N()
+	st := &Stack[S, O, R]{Kind: cfg.Kind}
+	switch cfg.Kind {
+	case OmegaRegisters:
+		dep, err := omega.BuildWith(n, sub, func(name string, init int64) prim.Register[int64] {
+			return register.SubstrateAtomic(sub, name, init)
+		}, omega.BuildOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: build Ω∆ (registers): %w", err)
+		}
+		st.Instances = dep.Instances
+		st.Omega = dep
+	case OmegaAbortable:
+		sys, err := omegaab.Build(sub, cfg.RegisterOptions...)
+		if err != nil {
+			return nil, fmt.Errorf("deploy: build Ω∆ (abortable): %w", err)
+		}
+		st.Instances = sys.Instances
+		st.OmegaAb = sys
+	default:
+		return nil, fmt.Errorf("deploy: unknown omega kind %d", int(cfg.Kind))
+	}
+
+	obj, err := qa.New(typ, n, qa.SubstrateFactories[O](sub, cfg.RegisterOptions...), 0)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: build qa object: %w", err)
+	}
+	st.Object = obj
+
+	st.Clients = make([]*core.Client[S, O, R], n)
+	for p := 0; p < n; p++ {
+		var c *core.Client[S, O, R]
+		var err error
+		if cfg.NonCanonical {
+			c, err = core.NewClientNonCanonical(st.Instances[p], obj.Handle(p))
+		} else {
+			c, err = core.NewClient(st.Instances[p], obj.Handle(p))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("deploy: client %d: %w", p, err)
+		}
+		st.Clients[p] = c
+	}
+	return st, nil
+}
+
+// CompletedOps returns each client's completed-operation count.
+func (st *Stack[S, O, R]) CompletedOps() []int64 {
+	out := make([]int64, len(st.Clients))
+	for p, c := range st.Clients {
+		out[p] = c.Completed()
+	}
+	return out
+}
+
+// Leaders returns the current leader output of every process — a
+// telemetry tap; it consumes no process steps. It works for either Ω∆
+// kind.
+func (st *Stack[S, O, R]) Leaders() []int {
+	out := make([]int, len(st.Instances))
+	for p := range out {
+		out[p] = st.Instances[p].Leader.Get()
+	}
+	return out
+}
+
+// FaultMatrix returns the activity monitors' fault-counter matrix, or nil
+// when the stack's Ω∆ runs on abortable registers (Figures 4–6 have no
+// fault counters).
+func (st *Stack[S, O, R]) FaultMatrix() [][]int64 {
+	if st.Omega == nil {
+		return nil
+	}
+	return st.Omega.FaultMatrix()
+}

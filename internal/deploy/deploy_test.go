@@ -1,9 +1,10 @@
-package core
+package deploy
 
 import (
 	"fmt"
 	"testing"
 
+	"tbwf/internal/core"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -30,7 +31,7 @@ func spawnCounterClients(k *sim.Kernel, st *Stack[int64, objtype.CounterOp, int6
 
 func buildCounterStack(t *testing.T, k *sim.Kernel, cfg BuildConfig) *Stack[int64, objtype.CounterOp, int64] {
 	t.Helper()
-	st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, cfg)
+	st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestAllTimelyIsWaitFree(t *testing.T) {
 	}
 	defer k.Shutdown()
 
-	rep, err := Evaluate(sim.Analyze(k.Trace().Schedule(), n), st.CompletedOps(), wanted, 64)
+	rep, err := core.Evaluate(sim.Analyze(k.Trace().Schedule(), n), st.CompletedOps(), wanted, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestTimelyClientsUnhinderedByUntimelyOnes(t *testing.T) {
 
 	// The report must classify 2,3 as timely and satisfied; 0,1 as
 	// untimely (whatever they managed).
-	rep, err := Evaluate(sim.Analyze(k.Trace().Schedule(), n), st.CompletedOps(), wanted, 64)
+	rep, err := core.Evaluate(sim.Analyze(k.Trace().Schedule(), n), st.CompletedOps(), wanted, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestCanonicalUsePreventsMonopolization(t *testing.T) {
 }
 
 func TestClientWiringValidation(t *testing.T) {
-	if _, err := NewClient[int64, objtype.CounterOp, int64](nil, nil); err == nil {
+	if _, err := core.NewClient[int64, objtype.CounterOp, int64](nil, nil); err == nil {
 		t.Error("nil wiring accepted")
 	}
 }

@@ -1,10 +1,10 @@
-package core_test
+package deploy_test
 
 import (
 	"fmt"
 	"sort"
 
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -15,7 +15,7 @@ import (
 // responses are exactly 0..5 — every increment linearized.
 func ExampleBuild() {
 	k := sim.New(2)
-	st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, core.BuildConfig{})
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

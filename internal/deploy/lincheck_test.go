@@ -1,4 +1,4 @@
-package core
+package deploy
 
 import (
 	"fmt"
@@ -18,7 +18,7 @@ import (
 func TestTBWFRegisterHistoryLinearizes(t *testing.T) {
 	const n, opsEach = 3, 7
 	k := sim.New(n, sim.WithSchedule(sim.Random(13, nil)))
-	st, err := Build[int64, objtype.RegOp, objtype.RegResp](k, objtype.Register{}, BuildConfig{})
+	st, err := Build[int64, objtype.RegOp, objtype.RegResp](Sim(k), objtype.Register{}, BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestTBWFRegisterHistoryLinearizes(t *testing.T) {
 func TestTBWFAbortableStackHistoryLinearizes(t *testing.T) {
 	const n, opsEach = 3, 4
 	k := sim.New(n)
-	st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
+	st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package core
+package deploy
 
 import (
 	"fmt"
@@ -19,7 +19,7 @@ import (
 func TestTBWFSnapshotObject(t *testing.T) {
 	const n, rounds = 3, 6
 	k := sim.New(n, sim.WithSchedule(sim.Random(41, nil)))
-	st, err := Build[[]int64, objtype.SnapOp, objtype.SnapResp](k,
+	st, err := Build[[]int64, objtype.SnapOp, objtype.SnapResp](Sim(k),
 		objtype.Snapshot{Components: n}, BuildConfig{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,4 +1,4 @@
-package core
+package deploy
 
 import (
 	"fmt"
@@ -17,7 +17,7 @@ func TestFullStackDeterminism(t *testing.T) {
 	run := func() ([]int64, []int64) {
 		const n = 3
 		k := sim.New(n, sim.WithSchedule(sim.Random(31, nil)))
-		st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{})
+		st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,7 +66,7 @@ func TestSoakMixedChurnAndCrashes(t *testing.T) {
 		0: sim.GrowingGaps(500, 2_000, 1.5), // untimely forever
 		2: sim.Flicker(20_000, 5_000, 0),    // bursty but timely
 	})))
-	st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{})
+	st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package core
+package deploy
 
 import (
 	"fmt"
@@ -21,7 +21,7 @@ func TestCrashInjectionSweep(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			k := sim.New(n, sim.WithSchedule(sim.Random(seed, nil)))
-			st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{})
+			st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -89,7 +89,7 @@ func TestCrashInjectionAbortableStack(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			k := sim.New(n)
-			st, err := Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
+			st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
 			if err != nil {
 				t.Fatal(err)
 			}

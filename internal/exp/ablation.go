@@ -148,9 +148,9 @@ func A2SelfPunishment(cfg A2Config) (*Table, error) {
 		}
 		scs = append(scs, Scenario{Name: name, Run: func(res *Result) error {
 			k := sim.New(3)
-			dep, err := omega.BuildWithOptions(3, k, func(name string, init int64) prim.Register[int64] {
+			dep, err := omega.BuildWith(3, k, func(name string, init int64) prim.Register[int64] {
 				return register.NewAtomic(k, name, init)
-			}, ablate)
+			}, omega.BuildOptions{AblateSelfPunishment: ablate})
 			if err != nil {
 				return err
 			}

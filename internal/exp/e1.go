@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/sim"
 )
 
@@ -62,7 +63,7 @@ func E1Degradation(cfg E1Config) (*Table, error) {
 			u := cfg.N - k // untimely count, at ids 0..u-1
 			kern := sim.New(cfg.N, sim.WithSchedule(
 				sim.Restrict(sim.RoundRobin(), untimelyGrowing(u))))
-			st, err := buildCounterStack(kern, core.BuildConfig{Kind: core.OmegaRegisters})
+			st, err := buildCounterStack(kern, deploy.BuildConfig{Kind: deploy.OmegaRegisters})
 			if err != nil {
 				return err
 			}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"tbwf/internal/baseline"
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/register"
@@ -94,7 +94,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "tbwf",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				st, err := buildCounterStack(k, core.BuildConfig{Kind: core.OmegaRegisters})
+				st, err := buildCounterStack(k, deploy.BuildConfig{Kind: deploy.OmegaRegisters})
 				if err != nil {
 					return nil, err
 				}
@@ -109,7 +109,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "of-only",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				cs, err := baseline.BuildOF[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak())
+				cs, err := baseline.BuildOF[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, weak())
 				if err != nil {
 					return nil, err
 				}
@@ -124,7 +124,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "panic-booster",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				cs, err := baseline.BuildPanic[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak())
+				cs, err := baseline.BuildPanic[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, weak())
 				if err != nil {
 					return nil, err
 				}
@@ -165,7 +165,7 @@ func E2Baselines(cfg E2Config) (*Table, error) {
 		{
 			name: "ack-booster",
 			build: func(k *sim.Kernel) ([]invokerClient, error) {
-				cs, err := baseline.BuildAck[int64, objtype.CounterOp, int64](k, objtype.Counter{}, weak())
+				cs, err := baseline.BuildAck[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, weak())
 				if err != nil {
 					return nil, err
 				}

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 
+	"tbwf/internal/deploy"
 	"tbwf/internal/omega"
 	"tbwf/internal/omegaab"
 	"tbwf/internal/sim"
@@ -186,7 +187,7 @@ func E4OmegaAbortable(cfg E3Config) (*Table, error) {
 					steps *= 3 // untimely convergence needs the gaps to play out
 				}
 				k := sim.New(n, sim.WithSchedule(sc.sched(n)))
-				sys, err := omegaab.Build(k)
+				sys, err := omegaab.Build(deploy.Sim(k))
 				if err != nil {
 					return err
 				}

@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/omega"
 	"tbwf/internal/sim"
 )
@@ -130,7 +130,7 @@ func E7Canonical(cfg E7Config) (*Table, error) {
 		}
 		scs = append(scs, Scenario{Name: name, Run: func(res *Result) error {
 			k := sim.New(cfg.N)
-			st, err := buildCounterStack(k, core.BuildConfig{Kind: core.OmegaRegisters, NonCanonical: nonCanonical})
+			st, err := buildCounterStack(k, deploy.BuildConfig{Kind: deploy.OmegaRegisters, NonCanonical: nonCanonical})
 			if err != nil {
 				return err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tbwf/internal/consensus"
+	"tbwf/internal/deploy"
 	"tbwf/internal/omegaab"
 	"tbwf/internal/prim"
 	"tbwf/internal/qa"
@@ -197,7 +198,7 @@ func E9Consensus(cfg E9Config) (*Table, error) {
 				for p := range proposals {
 					proposals[p] = int64(100 + p)
 				}
-				parts, err := consensus.BuildSim(k, proposals, false)
+				parts, err := consensus.Build(deploy.Sim(k), proposals, false)
 				if err != nil {
 					return err
 				}
@@ -354,7 +355,7 @@ func E10AbortableComm(cfg E10Config) (*Table, error) {
 			if sc.avail != nil {
 				k = sim.New(2, sim.WithSchedule(sim.Restrict(sim.RoundRobin(), map[int]sim.Availability{0: sc.avail()})))
 			}
-			sys, err := omegaab.Build(k)
+			sys, err := omegaab.Build(deploy.Sim(k))
 			if err != nil {
 				return err
 			}

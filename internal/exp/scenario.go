@@ -3,7 +3,7 @@ package exp
 import (
 	"fmt"
 
-	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -11,11 +11,11 @@ import (
 
 // CounterStack is the concrete TBWF stack type used across experiments: a
 // shared fetch-and-add counter.
-type CounterStack = core.Stack[int64, objtype.CounterOp, int64]
+type CounterStack = deploy.Stack[int64, objtype.CounterOp, int64]
 
 // buildCounterStack builds a TBWF counter stack on k.
-func buildCounterStack(k *sim.Kernel, cfg core.BuildConfig) (*CounterStack, error) {
-	return core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, cfg)
+func buildCounterStack(k *sim.Kernel, cfg deploy.BuildConfig) (*CounterStack, error) {
+	return deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, cfg)
 }
 
 // spawnHammers gives every process a task that invokes Add(1) through its

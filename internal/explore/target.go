@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/lincheck"
 	"tbwf/internal/monitor"
 	"tbwf/internal/objtype"
@@ -87,9 +88,10 @@ const (
 	messengerMinSteps    = 50_000
 )
 
-// Targets returns the registry of fuzz targets.
+// Targets returns the registry of fuzz targets: the stack-level entries
+// below plus the service-level serve/* entries (serveTargets).
 func Targets() []Target {
-	return []Target{
+	ts := []Target{
 		{
 			Name:      "qa-counter",
 			Desc:      "query-abortable counter under taped abort/effect adversaries; lincheck oracle",
@@ -120,7 +122,7 @@ func Targets() []Target {
 			Steps:     600_000,
 			CrashProc: -1,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
-				return buildStack(k, env, core.OmegaRegisters, atomicStackMinSteps)
+				return buildStack(k, env, deploy.OmegaRegisters, atomicStackMinSteps)
 			},
 		},
 		{
@@ -130,7 +132,7 @@ func Targets() []Target {
 			Steps:     2_500_000,
 			CrashProc: -1,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
-				return buildStack(k, env, core.OmegaAbortable, abortableStackMinSteps)
+				return buildStack(k, env, deploy.OmegaAbortable, abortableStackMinSteps)
 			},
 		},
 		{
@@ -241,6 +243,7 @@ func Targets() []Target {
 			Build:     buildSelftestPanic,
 		},
 	}
+	return append(ts, serveTargets()...)
 }
 
 // TargetNames returns the registered target names, registry order.
@@ -377,8 +380,8 @@ func buildQACounter(k *sim.Kernel, env *Env, corrupt bool) (Check, error) {
 // buildStack wires the full TBWF counter stack with hammer clients and two
 // oracles: TBWF progress (every timely process completes its quota) and log
 // accounting (completed operations never exceed allocated log slots).
-func buildStack(k *sim.Kernel, env *Env, kind core.OmegaKind, minSteps int64) (Check, error) {
-	st, err := core.Build[int64, objtype.CounterOp, int64](k, objtype.Counter{}, core.BuildConfig{
+func buildStack(k *sim.Kernel, env *Env, kind deploy.OmegaKind, minSteps int64) (Check, error) {
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{
 		Kind:            kind,
 		RegisterOptions: tapedRegisterOptions(env),
 	})
@@ -479,9 +482,9 @@ func buildOmegaDef5(k *sim.Kernel, env *Env) (Check, error) {
 // A2 scenario) and asserts that leadership at the two permanent candidates
 // stops reacting to the churn — which needs Figure 3's self-punishment rule.
 func buildOmegaChurn(k *sim.Kernel, env *Env, ablate bool) (Check, error) {
-	dep, err := omega.BuildWithOptions(k.N(), k, func(name string, init int64) prim.Register[int64] {
+	dep, err := omega.BuildWith(k.N(), k, func(name string, init int64) prim.Register[int64] {
 		return register.NewAtomic(k, name, init)
-	}, ablate)
+	}, omega.BuildOptions{AblateSelfPunishment: ablate})
 	if err != nil {
 		return nil, err
 	}

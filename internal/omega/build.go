@@ -22,18 +22,20 @@ type Deployment struct {
 	CounterReg []prim.Register[int64]
 }
 
+// BuildOptions collects the optional knobs of BuildWith.
+type BuildOptions struct {
+	// AblateSelfPunishment disables Figure 3's self-punishment rule
+	// (RegistersConfig.AblateSelfPunishment) — the A2 ablation,
+	// experiments only.
+	AblateSelfPunishment bool
+}
+
 // BuildWith wires the Figure 2 + Figure 3 stack for n processes on an
 // arbitrary substrate: sp spawns the tasks, newReg creates the shared
 // atomic registers (heartbeat registers and counter registers). For every
 // ordered pair (p,q) it spawns the monitoring task of A(p,q) on p and the
 // monitored task on q, plus each process's Ω∆ main loop.
-func BuildWith(n int, sp prim.Spawner, newReg func(name string, init int64) prim.Register[int64]) (*Deployment, error) {
-	return BuildWithOptions(n, sp, newReg, false)
-}
-
-// BuildWithOptions is BuildWith plus the A2 ablation switch
-// (RegistersConfig.AblateSelfPunishment); experiments only.
-func BuildWithOptions(n int, sp prim.Spawner, newReg func(name string, init int64) prim.Register[int64], ablateSelfPunishment bool) (*Deployment, error) {
+func BuildWith(n int, sp prim.Spawner, newReg func(name string, init int64) prim.Register[int64], opts BuildOptions) (*Deployment, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("omega: n = %d, need at least 2 processes", n)
 	}
@@ -73,7 +75,7 @@ func BuildWithOptions(n int, sp prim.Spawner, newReg func(name string, init int6
 			FaultCntr:            make([]*prim.Var[int64], n),
 			ActiveFor:            make([]*prim.Var[bool], n),
 			CounterReg:           d.CounterReg,
-			AblateSelfPunishment: ablateSelfPunishment,
+			AblateSelfPunishment: opts.AblateSelfPunishment,
 		}
 		for q := 0; q < n; q++ {
 			if q == p {
@@ -136,7 +138,7 @@ type System struct {
 func BuildRegisters(k *sim.Kernel) (*System, error) {
 	d, err := BuildWith(k.N(), k, func(name string, init int64) prim.Register[int64] {
 		return register.NewAtomic(k, name, init)
-	})
+	}, BuildOptions{})
 	if err != nil {
 		return nil, err
 	}

@@ -16,9 +16,9 @@ func runSpecScenario(t *testing.T, ablateSelfPunish bool, steps int64) (*Recorde
 	t.Helper()
 	const n = 4
 	k := sim.New(n)
-	dep, err := BuildWithOptions(n, k, func(name string, init int64) prim.Register[int64] {
+	dep, err := BuildWith(n, k, func(name string, init int64) prim.Register[int64] {
 		return register.NewAtomic(k, name, init)
-	}, ablateSelfPunish)
+	}, BuildOptions{AblateSelfPunishment: ablateSelfPunish})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,9 +70,9 @@ func TestDefinition5CatchesAblatedVariant(t *testing.T) {
 func TestDefinition5VacuousWithoutTimelyPCandidate(t *testing.T) {
 	const n = 2
 	k := sim.New(n)
-	dep, err := BuildWithOptions(n, k, func(name string, init int64) prim.Register[int64] {
+	dep, err := BuildWith(n, k, func(name string, init int64) prim.Register[int64] {
 		return register.NewAtomic(k, name, init)
-	}, false)
+	}, BuildOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,43 +6,43 @@ import (
 	"tbwf/internal/omega"
 	"tbwf/internal/prim"
 	"tbwf/internal/register"
-	"tbwf/internal/sim"
 )
 
-// System is a fully wired Ω∆ deployment over abortable registers on a
-// simulation kernel. Build it with Build; the Figure 6 tasks are already
-// spawned. The register matrices are kept for statistics (abort rates).
+// System is a fully wired Ω∆ deployment over abortable registers on any
+// substrate. Build it with Build; the Figure 6 tasks are already spawned.
+// The register matrices are kept for statistics (abort rates).
 type System struct {
 	N int
 	// Instances[p] is process p's Ω∆ endpoint.
 	Instances []*omega.Instance
 	// MsgRegs[p][q] is MsgRegister[p,q]; Hb1[p][q] and Hb2[p][q] are
-	// HbRegister1/2[p,q]. Diagonals are nil.
-	MsgRegs  [][]*register.Abortable[Msg]
-	Hb1, Hb2 [][]*register.Abortable[int64]
+	// HbRegister1/2[p,q]. Diagonals are nil. On the simulation substrate
+	// these are concrete *register.Abortable values (the typed fast path).
+	MsgRegs  [][]prim.AbortableRegister[Msg]
+	Hb1, Hb2 [][]prim.AbortableRegister[int64]
 }
 
-// Build wires the Figure 4–6 stack for all n processes of the kernel:
+// Build wires the Figure 4–6 stack for all n processes of the substrate:
 // 3·n·(n−1) single-writer single-reader abortable registers plus one main
 // task per process. The register options (abort and effect policies) apply
 // to every register; the default is the strongest adversary.
-func Build(k *sim.Kernel, opts ...register.AbOption) (*System, error) {
-	n := k.N()
+func Build(sub prim.Substrate, opts ...register.AbOption) (*System, error) {
+	n := sub.N()
 	if n < 2 {
-		return nil, fmt.Errorf("omegaab: kernel has %d processes, need at least 2", n)
+		return nil, fmt.Errorf("omegaab: substrate has %d processes, need at least 2", n)
 	}
 	s := &System{
 		N:         n,
 		Instances: make([]*omega.Instance, n),
-		MsgRegs:   make([][]*register.Abortable[Msg], n),
-		Hb1:       make([][]*register.Abortable[int64], n),
-		Hb2:       make([][]*register.Abortable[int64], n),
+		MsgRegs:   make([][]prim.AbortableRegister[Msg], n),
+		Hb1:       make([][]prim.AbortableRegister[int64], n),
+		Hb2:       make([][]prim.AbortableRegister[int64], n),
 	}
 	for p := 0; p < n; p++ {
 		s.Instances[p] = omega.NewInstance(p)
-		s.MsgRegs[p] = make([]*register.Abortable[Msg], n)
-		s.Hb1[p] = make([]*register.Abortable[int64], n)
-		s.Hb2[p] = make([]*register.Abortable[int64], n)
+		s.MsgRegs[p] = make([]prim.AbortableRegister[Msg], n)
+		s.Hb1[p] = make([]prim.AbortableRegister[int64], n)
+		s.Hb2[p] = make([]prim.AbortableRegister[int64], n)
 	}
 	for p := 0; p < n; p++ {
 		for q := 0; q < n; q++ {
@@ -50,9 +50,9 @@ func Build(k *sim.Kernel, opts ...register.AbOption) (*System, error) {
 				continue
 			}
 			role := register.WithRoles(p, q)
-			s.MsgRegs[p][q] = register.NewAbortable(k, fmt.Sprintf("MsgRegister[%d,%d]", p, q), Msg{}, append(opts, role)...)
-			s.Hb1[p][q] = register.NewAbortable(k, fmt.Sprintf("HbRegister1[%d,%d]", p, q), int64(0), append(opts, role)...)
-			s.Hb2[p][q] = register.NewAbortable(k, fmt.Sprintf("HbRegister2[%d,%d]", p, q), int64(0), append(opts, role)...)
+			s.MsgRegs[p][q] = register.SubstrateAbortable(sub, fmt.Sprintf("MsgRegister[%d,%d]", p, q), Msg{}, append(opts, role)...)
+			s.Hb1[p][q] = register.SubstrateAbortable(sub, fmt.Sprintf("HbRegister1[%d,%d]", p, q), int64(0), append(opts, role)...)
+			s.Hb2[p][q] = register.SubstrateAbortable(sub, fmt.Sprintf("HbRegister2[%d,%d]", p, q), int64(0), append(opts, role)...)
 		}
 	}
 	for p := 0; p < n; p++ {
@@ -85,7 +85,7 @@ func Build(k *sim.Kernel, opts ...register.AbOption) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("wire process %d: %w", p, err)
 		}
-		k.Spawn(p, fmt.Sprintf("omegaab[%d]", p), task)
+		sub.Spawn(p, fmt.Sprintf("omegaab[%d]", p), task)
 	}
 	return s, nil
 }
@@ -105,10 +105,11 @@ func (s *System) Aborts() AbortStats {
 			if p == q {
 				continue
 			}
-			ms := s.MsgRegs[p][q].Stats()
+			ms, _ := prim.RegisterStats(s.MsgRegs[p][q])
 			a.MsgOps += ms.Reads + ms.Writes
 			a.MsgAborts += ms.ReadAborts + ms.WriteAborts
-			for _, hs := range []register.Stats{s.Hb1[p][q].Stats(), s.Hb2[p][q].Stats()} {
+			for _, r := range []prim.AbortableRegister[int64]{s.Hb1[p][q], s.Hb2[p][q]} {
+				hs, _ := prim.RegisterStats(r)
 				a.HbOps += hs.Reads + hs.Writes
 				a.HbAborts += hs.ReadAborts + hs.WriteAborts
 			}

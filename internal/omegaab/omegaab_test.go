@@ -10,7 +10,7 @@ import (
 
 func buildSys(t *testing.T, k *sim.Kernel, opts ...register.AbOption) (*System, *omega.Observer) {
 	t.Helper()
-	sys, err := Build(k, opts...)
+	sys, err := Build(register.Substrate(k), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"tbwf/internal/omega"
+	"tbwf/internal/register"
 	"tbwf/internal/sim"
 )
 
@@ -13,7 +14,7 @@ import (
 func TestDefinition5HoldsForAbortableImplementation(t *testing.T) {
 	const n = 4
 	k := sim.New(n)
-	sys, err := Build(k)
+	sys, err := Build(register.Substrate(k))
 	if err != nil {
 		t.Fatal(err)
 	}

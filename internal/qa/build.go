@@ -6,23 +6,31 @@ import (
 	"tbwf/internal/sim"
 )
 
-// SimFactories returns register factories backed by the simulation
-// kernel's abortable registers. The ballot and vote registers are
-// single-writer multi-reader; the decision cache is multi-writer. The
-// register options (abort/effect policies) apply to every register; the
-// default is the strongest adversary.
-func SimFactories[O any](k *sim.Kernel, opts ...register.AbOption) Factories[O] {
+// SubstrateFactories returns register factories backed by any substrate's
+// abortable registers. The ballot and vote registers are single-writer
+// multi-reader; the decision cache is multi-writer. The register options
+// (abort/effect policies) apply to every register; the default is the
+// strongest adversary. On a simulation-kernel substrate the registers are
+// the kernel's concrete typed ones (register.SubstrateAbortable's fast
+// path); register names and roles propagate on every substrate.
+func SubstrateFactories[O any](sub prim.Substrate, opts ...register.AbOption) Factories[O] {
 	return Factories[O]{
 		Ballot: func(name string, writer int) prim.AbortableRegister[int64] {
-			return register.NewAbortable(k, name, int64(0), append(opts, register.WithRoles(writer, -1))...)
+			return register.SubstrateAbortable(sub, name, int64(0), append(opts, register.WithRoles(writer, -1))...)
 		},
 		Accept: func(name string, writer int) prim.AbortableRegister[Accepted[O]] {
-			return register.NewAbortable(k, name, Accepted[O]{}, append(opts, register.WithRoles(writer, -1))...)
+			return register.SubstrateAbortable(sub, name, Accepted[O]{}, append(opts, register.WithRoles(writer, -1))...)
 		},
 		Decide: func(name string) prim.AbortableRegister[Decision[O]] {
-			return register.NewAbortable(k, name, Decision[O]{}, opts...)
+			return register.SubstrateAbortable(sub, name, Decision[O]{}, opts...)
 		},
 	}
+}
+
+// SimFactories returns register factories backed by the simulation
+// kernel's abortable registers.
+func SimFactories[O any](k *sim.Kernel, opts ...register.AbOption) Factories[O] {
+	return SubstrateFactories[O](register.Substrate(k), opts...)
 }
 
 // NewSim creates a query-abortable object whose registers live on the

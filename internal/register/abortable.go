@@ -48,60 +48,21 @@ type abOp[T any] struct {
 	finished  bool
 }
 
-// AbOption configures an abortable register.
-type AbOption struct {
-	abort  AbortPolicy
-	effect EffectPolicy
-	writer int
-	reader int
-	set    uint8
-}
-
-const (
-	setAbort uint8 = 1 << iota
-	setEffect
-	setRoles
-)
-
-// WithAbortPolicy overrides the abort policy (default AlwaysAbort).
-func WithAbortPolicy(p AbortPolicy) AbOption { return AbOption{abort: p, set: setAbort} }
-
-// WithEffectPolicy overrides the effect policy for aborted writes
-// (default NoEffect).
-func WithEffectPolicy(p EffectPolicy) AbOption { return AbOption{effect: p, set: setEffect} }
-
-// WithRoles restricts the register to one writer and one reader process
-// (single-writer single-reader), as in Section 6.
-func WithRoles(writer, reader int) AbOption {
-	return AbOption{writer: writer, reader: reader, set: setRoles}
-}
-
 // NewAbortable creates an abortable register named name with initial value
 // init. Without options it is MWMR with the strongest adversary: every
 // contended operation aborts and aborted writes take no effect.
 func NewAbortable[T any](k *sim.Kernel, name string, init T, opts ...AbOption) *Abortable[T] {
-	r := &Abortable[T]{
+	cfg := prim.ApplyAbOptions(opts...)
+	return &Abortable[T]{
 		k:        k,
 		name:     name,
 		val:      init,
-		abort:    AlwaysAbort(),
-		effect:   NoEffect(),
-		writer:   -1,
-		reader:   -1,
+		abort:    cfg.Abort,
+		effect:   cfg.Effect,
+		writer:   cfg.Writer,
+		reader:   cfg.Reader,
 		inFlight: make(map[int]*abOp[T]),
 	}
-	for _, o := range opts {
-		if o.set&setAbort != 0 {
-			r.abort = o.abort
-		}
-		if o.set&setEffect != 0 {
-			r.effect = o.effect
-		}
-		if o.set&setRoles != 0 {
-			r.writer, r.reader = o.writer, o.reader
-		}
-	}
-	return r
 }
 
 // NewAbortableSWSR creates a single-writer single-reader abortable register,

@@ -6,12 +6,7 @@ import (
 )
 
 // Stats counts the operations performed on one register.
-type Stats struct {
-	Reads       int64
-	Writes      int64
-	ReadAborts  int64
-	WriteAborts int64
-}
+type Stats = prim.Stats
 
 // Atomic is a multi-writer multi-reader atomic register simulated on the
 // kernel. Each operation takes two steps (invocation, response) and

@@ -11,83 +11,72 @@
 // the strongest adversary the specification allows (every contended
 // operation aborts; aborted writes take no effect): the paper's algorithms
 // must work against it, and tests sweep the weaker policies.
+//
+// The policy and option vocabulary itself is substrate-neutral and lives in
+// internal/prim (both the simulation and the real-time registers consume
+// it); this package re-exports it under its historical names and adds the
+// seeded probabilistic policies and the recording Tape.
 package register
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"tbwf/internal/prim"
+)
 
 // Op describes one register operation for policy decisions.
-type Op struct {
-	// Register is the register's name.
-	Register string
-	// Proc is the invoking process.
-	Proc int
-	// IsWrite distinguishes writes from reads.
-	IsWrite bool
-	// Step is the step at which the operation completes.
-	Step int64
-}
+type Op = prim.Op
 
 // AbortPolicy decides whether a contended operation on an abortable
-// register aborts. It is consulted only for operations that actually
-// overlapped another operation on the same register; non-contended
-// operations never abort.
-type AbortPolicy interface {
-	Abort(op Op) bool
-}
+// register aborts.
+type AbortPolicy = prim.AbortPolicy
 
-// EffectPolicy decides whether an aborted write takes effect. The paper:
-// "a write operation that aborts may or may not take effect and, since the
-// writer gets back ⊥ in either case, it does not know whether its write
-// operation succeeded or not."
-type EffectPolicy interface {
-	TakesEffect(op Op) bool
-}
+// EffectPolicy decides whether an aborted write takes effect.
+type EffectPolicy = prim.EffectPolicy
 
 // AbortPolicyFunc adapts a function to AbortPolicy.
-type AbortPolicyFunc func(op Op) bool
-
-// Abort implements AbortPolicy.
-func (f AbortPolicyFunc) Abort(op Op) bool { return f(op) }
+type AbortPolicyFunc = prim.AbortPolicyFunc
 
 // EffectPolicyFunc adapts a function to EffectPolicy.
-type EffectPolicyFunc func(op Op) bool
+type EffectPolicyFunc = prim.EffectPolicyFunc
 
-// TakesEffect implements EffectPolicy.
-func (f EffectPolicyFunc) TakesEffect(op Op) bool { return f(op) }
+// AbOption configures an abortable register on any substrate.
+type AbOption = prim.AbOption
 
 // AlwaysAbort aborts every contended operation: the strongest adversary and
 // the default.
-func AlwaysAbort() AbortPolicy {
-	return AbortPolicyFunc(func(Op) bool { return true })
-}
+func AlwaysAbort() AbortPolicy { return prim.AlwaysAbort() }
 
 // NeverAbort never aborts; the abortable register then behaves atomically.
 // Useful as a sanity baseline in tests.
-func NeverAbort() AbortPolicy {
-	return AbortPolicyFunc(func(Op) bool { return false })
-}
+func NeverAbort() AbortPolicy { return prim.NeverAbort() }
+
+// AbortWrites aborts only contended writes; contended reads succeed.
+// An ablation policy for tests.
+func AbortWrites() AbortPolicy { return prim.AbortWrites() }
+
+// NoEffect makes aborted writes never take effect (default).
+func NoEffect() EffectPolicy { return prim.NoEffect() }
+
+// AlwaysEffect makes aborted writes always take effect.
+func AlwaysEffect() EffectPolicy { return prim.AlwaysEffect() }
+
+// WithAbortPolicy overrides the abort policy (default AlwaysAbort).
+func WithAbortPolicy(p AbortPolicy) AbOption { return prim.WithAbortPolicy(p) }
+
+// WithEffectPolicy overrides the effect policy for aborted writes
+// (default NoEffect).
+func WithEffectPolicy(p EffectPolicy) AbOption { return prim.WithEffectPolicy(p) }
+
+// WithRoles restricts the register to one writer and one reader process
+// (single-writer single-reader), as in Section 6.
+func WithRoles(writer, reader int) AbOption { return prim.WithRoles(writer, reader) }
 
 // ProbAbort aborts each contended operation independently with probability
 // p, using a deterministic seeded source.
 func ProbAbort(p float64, seed int64) AbortPolicy {
 	rng := rand.New(rand.NewSource(seed))
 	return AbortPolicyFunc(func(Op) bool { return rng.Float64() < p })
-}
-
-// AbortWrites aborts only contended writes; contended reads succeed.
-// An ablation policy for tests.
-func AbortWrites() AbortPolicy {
-	return AbortPolicyFunc(func(op Op) bool { return op.IsWrite })
-}
-
-// NoEffect makes aborted writes never take effect (default).
-func NoEffect() EffectPolicy {
-	return EffectPolicyFunc(func(Op) bool { return false })
-}
-
-// AlwaysEffect makes aborted writes always take effect.
-func AlwaysEffect() EffectPolicy {
-	return EffectPolicyFunc(func(Op) bool { return true })
 }
 
 // ProbEffect makes each aborted write take effect with probability p, using

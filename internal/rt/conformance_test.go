@@ -1,0 +1,38 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tbwf/internal/prim/primtest"
+)
+
+// The real-time runtime passes the prim conformance suite. Tasks are real
+// goroutines paced by gates, so the harness polls the done condition in
+// wall-clock time; CI runs this package under -race, which makes the suite
+// double as a data-race check on the runtime's registers and gates.
+func TestRuntimeSubstrateConformance(t *testing.T) {
+	primtest.Run(t, func(t *testing.T) *primtest.Harness {
+		r := New(3, nil)
+		t.Cleanup(func() {
+			if err := r.Stop(); err != nil {
+				t.Errorf("runtime stop: %v", err)
+			}
+		})
+		return &primtest.Harness{
+			Sub: r,
+			Run: func(done func() bool) error {
+				deadline := time.Now().Add(20 * time.Second)
+				for !done() {
+					if time.Now().After(deadline) {
+						return fmt.Errorf("runtime did not reach the done condition in 20s")
+					}
+					time.Sleep(time.Millisecond)
+				}
+				return nil
+			},
+			Crash: r.Crash,
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 )
@@ -19,7 +20,7 @@ func TestLiveGracefulDegradation(t *testing.T) {
 	// the sleep doubling — unbounded gaps, hence untimely.
 	r.SetProfile(0, GrowingGaps(200, 2*time.Millisecond, 2))
 
-	st, err := BuildTBWF[int64, objtype.CounterOp, int64](r, objtype.Counter{})
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](r, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

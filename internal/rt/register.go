@@ -3,6 +3,7 @@ package rt
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"tbwf/internal/prim"
 )
@@ -10,19 +11,35 @@ import (
 // Atomic is a linearizable register on the real-time substrate: a plain
 // mutex-protected value. Multi-writer, multi-reader.
 type Atomic[T any] struct {
-	mu  sync.RWMutex
-	val T
+	mu   sync.RWMutex
+	name string
+	val  T
+
+	reads, writes atomic.Int64 // counted outside the lock: reads stay shared
 }
 
 var _ prim.Register[int] = (*Atomic[int])(nil)
 
-// NewAtomic creates an atomic register with initial value init.
-func NewAtomic[T any](init T) *Atomic[T] {
-	return &Atomic[T]{val: init}
+// NewAtomic creates an unnamed atomic register with initial value init.
+func NewAtomic[T any](init T) *Atomic[T] { return NewNamedAtomic("", init) }
+
+// NewNamedAtomic creates an atomic register named name, so telemetry and
+// traces can attribute its operations on both substrates.
+func NewNamedAtomic[T any](name string, init T) *Atomic[T] {
+	return &Atomic[T]{name: name, val: init}
+}
+
+// Name returns the register's name ("" for unnamed registers).
+func (r *Atomic[T]) Name() string { return r.name }
+
+// Stats returns a snapshot of the register's operation counters.
+func (r *Atomic[T]) Stats() prim.Stats {
+	return prim.Stats{Reads: r.reads.Load(), Writes: r.writes.Load()}
 }
 
 // Read returns the register's value.
 func (r *Atomic[T]) Read() T {
+	r.reads.Add(1)
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return r.val
@@ -30,6 +47,7 @@ func (r *Atomic[T]) Read() T {
 
 // Write replaces the register's value.
 func (r *Atomic[T]) Write(v T) {
+	r.writes.Add(1)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.val = v
@@ -37,15 +55,26 @@ func (r *Atomic[T]) Write(v T) {
 
 // Abortable is an abortable register on the real-time substrate with true
 // concurrency detection: every operation registers itself as in flight,
-// briefly yields (so overlap is genuinely possible), and aborts if any
-// other operation on the register was in flight at any point during its
-// window — the strongest adversary allowed by the specification, matching
-// the simulation substrate's default. Aborted writes take no effect.
+// briefly yields (so overlap is genuinely possible), and is *contended* if
+// any other operation on the register was in flight at any point during
+// its window. Whether a contended operation aborts is the AbortPolicy's
+// call, and whether an aborted write takes effect is the EffectPolicy's —
+// the defaults (every contended operation aborts, aborted writes take no
+// effect) are the strongest adversary allowed by the specification,
+// matching the simulation substrate's default.
+//
+// Policy decisions see Proc = -1 (the runtime cannot attribute an
+// operation to a process) and Step = the register's own operation
+// sequence number. SWSR roles from WithRoles are recorded for telemetry
+// but not enforced, for the same reason.
 type Abortable[T any] struct {
 	mu       sync.Mutex
+	name     string
+	cfg      prim.AbConfig
 	val      T
 	nextOp   int64
 	inFlight map[int64]*rtOp
+	stats    prim.Stats
 }
 
 var _ prim.AbortableRegister[int] = (*Abortable[int])(nil)
@@ -54,14 +83,42 @@ type rtOp struct {
 	contended bool
 }
 
-// NewAbortable creates an abortable register with initial value init.
-func NewAbortable[T any](init T) *Abortable[T] {
-	return &Abortable[T]{val: init, inFlight: make(map[int64]*rtOp)}
+// NewAbortable creates an unnamed abortable register with initial value
+// init and the default (strongest-adversary) policies.
+func NewAbortable[T any](init T) *Abortable[T] { return NewNamedAbortable("", init) }
+
+// NewNamedAbortable creates an abortable register named name, configured
+// by the same options vocabulary as the simulation substrate's registers.
+func NewNamedAbortable[T any](name string, init T, opts ...prim.AbOption) *Abortable[T] {
+	return &Abortable[T]{
+		name:     name,
+		cfg:      prim.ApplyAbOptions(opts...),
+		val:      init,
+		inFlight: make(map[int64]*rtOp),
+	}
 }
 
-func (r *Abortable[T]) begin() (int64, *rtOp) {
+// Name returns the register's name ("" for unnamed registers).
+func (r *Abortable[T]) Name() string { return r.name }
+
+// Roles returns the recorded SWSR roles (-1, -1 when unrestricted).
+func (r *Abortable[T]) Roles() (writer, reader int) { return r.cfg.Writer, r.cfg.Reader }
+
+// Stats returns a snapshot of the register's operation counters.
+func (r *Abortable[T]) Stats() prim.Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.stats
+}
+
+func (r *Abortable[T]) begin(isWrite bool) (int64, *rtOp) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if isWrite {
+		r.stats.Writes++
+	} else {
+		r.stats.Reads++
+	}
 	op := &rtOp{}
 	if len(r.inFlight) > 0 {
 		op.contended = true
@@ -76,16 +133,18 @@ func (r *Abortable[T]) begin() (int64, *rtOp) {
 }
 
 // Read returns the register's value, or ok=false if the read overlapped
-// another operation. The completion check and the value read happen under
-// one lock acquisition, which is the read's linearization point.
+// another operation and the abort policy aborted it. The completion check
+// and the value read happen under one lock acquisition, which is the
+// read's linearization point.
 func (r *Abortable[T]) Read() (T, bool) {
-	id, _ := r.begin()
+	id, _ := r.begin(false)
 	runtime.Gosched() // give the operation a real window
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	op := r.inFlight[id]
 	delete(r.inFlight, id)
-	if op.contended {
+	if op.contended && r.cfg.Abort.Abort(prim.Op{Register: r.name, Proc: -1, IsWrite: false, Step: id}) {
+		r.stats.ReadAborts++
 		var zero T
 		return zero, false
 	}
@@ -93,16 +152,24 @@ func (r *Abortable[T]) Read() (T, bool) {
 }
 
 // Write stores v, or reports false if the write overlapped another
-// operation, in which case it took no effect.
+// operation and the abort policy aborted it; an aborted write takes
+// effect iff the effect policy says so.
 func (r *Abortable[T]) Write(v T) bool {
-	id, _ := r.begin()
+	id, _ := r.begin(true)
 	runtime.Gosched()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	op := r.inFlight[id]
 	delete(r.inFlight, id)
 	if op.contended {
-		return false
+		pop := prim.Op{Register: r.name, Proc: -1, IsWrite: true, Step: id}
+		if r.cfg.Abort.Abort(pop) {
+			r.stats.WriteAborts++
+			if r.cfg.Effect.TakesEffect(pop) {
+				r.val = v
+			}
+			return false
+		}
 	}
 	r.val = v
 	return true

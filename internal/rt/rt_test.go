@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 )
@@ -93,7 +94,7 @@ func TestCrashStopsTasks(t *testing.T) {
 func TestTBWFStackLive(t *testing.T) {
 	const n, opsEach = 3, 5
 	r := New(n, Steady(0))
-	st, err := BuildTBWF[int64, objtype.CounterOp, int64](r, objtype.Counter{})
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](r, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

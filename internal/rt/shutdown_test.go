@@ -5,18 +5,19 @@ import (
 	"testing"
 	"time"
 
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 )
 
-// Stopping a full BuildTBWF deployment must tear down every goroutine the
+// Stopping a full deploy.Build deployment must tear down every goroutine the
 // runtime spawned (monitors, Ω∆ tasks, clients), and a second Stop must be
 // a harmless no-op.
 func TestStopTearsDownDeployment(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	r := New(3, nil)
-	stack, err := BuildTBWF[int64, objtype.CounterOp, int64](r, objtype.Counter{})
+	stack, err := deploy.Build[int64, objtype.CounterOp, int64](r, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,25 @@
+package rt
+
+import "tbwf/internal/prim"
+
+// The runtime is a full prim.Substrate: together with the simulation
+// kernel's adapter (register.Substrate / deploy.Sim) this lets the single
+// composition root in internal/deploy wire the paper's stacks — including
+// the abortable-register Ω∆ of Theorem 15 — on live goroutines.
+var _ prim.Substrate = (*Runtime)(nil)
+
+// SubstrateName identifies the substrate for telemetry.
+func (r *Runtime) SubstrateName() string { return "rt" }
+
+// NewRegisterAny creates a named atomic register. Deployment code goes
+// through the typed adapters (prim.NewRegister, register.SubstrateAtomic).
+func (r *Runtime) NewRegisterAny(name string, init any) prim.Register[any] {
+	return NewNamedAtomic(name, init)
+}
+
+// NewAbortableAny creates a named abortable register honoring the shared
+// option vocabulary (abort/effect policies; roles are recorded, not
+// enforced).
+func (r *Runtime) NewAbortableAny(name string, init any, opts ...prim.AbOption) prim.AbortableRegister[any] {
+	return NewNamedAbortable(name, init, opts...)
+}

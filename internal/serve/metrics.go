@@ -95,6 +95,7 @@ type Injection struct {
 type MetricsReport struct {
 	Object    string           `json:"object"`
 	N         int              `json:"n"`
+	Omega     string           `json:"omega"`
 	UptimeMS  int64            `json:"uptime_ms"`
 	Processes []ProcessMetrics `json:"processes"`
 	Leader    LeaderMetrics    `json:"leader"`
@@ -170,8 +171,10 @@ type FaultMetrics struct {
 
 // sample runs the low-rate sampler: leader churn at cfg.SampleEvery,
 // trajectory snapshots at cfg.TrajectoryEvery. It owns prev between
-// iterations; everything it reads is a lock-free or Var-guarded tap.
-func (s *Server) sample(dep *omega.Deployment) {
+// iterations; everything it reads is a lock-free or Var-guarded tap. On
+// an abortable-Ω∆ deployment the fault matrix is nil and the fault
+// trajectory records empty vectors.
+func (s *Server) sample() {
 	defer close(s.samplerDone)
 	tick := time.NewTicker(s.cfg.SampleEvery)
 	defer tick.Stop()
@@ -179,14 +182,14 @@ func (s *Server) sample(dep *omega.Deployment) {
 	if trajEvery < 1 {
 		trajEvery = 1
 	}
-	prev := dep.Leaders()
+	prev := s.backend.Leaders()
 	for i := 0; ; i++ {
 		select {
 		case <-s.stopping:
 			return
 		case <-tick.C:
 		}
-		cur := dep.Leaders()
+		cur := s.backend.Leaders()
 		for p := range cur {
 			if cur[p] != prev[p] {
 				s.metrics.leaderChanges.Inc()
@@ -199,7 +202,7 @@ func (s *Server) sample(dep *omega.Deployment) {
 				vec[p] = int64(l)
 			}
 			s.metrics.leaderHist.Append(vec)
-			s.metrics.faultTraj.Append(columnSums(dep.FaultMatrix()))
+			s.metrics.faultTraj.Append(columnSums(s.backend.FaultMatrix()))
 		}
 	}
 }
@@ -218,27 +221,27 @@ func columnSums(m [][]int64) []int64 {
 // report assembles the full metrics document.
 func (s *Server) report() MetricsReport {
 	n := s.cfg.N
-	dep := s.backend.deployment()
 	now := time.Now()
 	rep := MetricsReport{
 		Object:     s.cfg.Object,
 		N:          n,
+		Omega:      s.backend.OmegaKind().String(),
 		UptimeMS:   now.Sub(s.metrics.start).Milliseconds(),
 		Processes:  make([]ProcessMetrics, n),
-		QASlots:    s.backend.slots(),
+		QASlots:    s.backend.Slots(),
 		Injections: s.metrics.injectionList(),
 	}
 	for p := 0; p < n; p++ {
 		ps := s.rt.ProcStats(p)
-		cs := s.backend.clientStats(p)
-		qs := s.backend.qaStats(p)
+		cs := s.backend.ClientStats(p)
+		qs := s.backend.QAStats(p)
 		pm := ProcessMetrics{
 			P:               p,
 			Steps:           ps.Steps,
 			MaxGapUS:        float64(ps.MaxGap) / 1e3,
 			AvgGapUS:        float64(ps.AvgGap) / 1e3,
 			SinceLastStepUS: float64(ps.SinceLastStep) / 1e3,
-			QueueDepth:      s.backend.queueDepth(p),
+			QueueDepth:      s.backend.QueueDepth(p),
 			Served:          s.metrics.served[p].Load(),
 			Rejected:        s.metrics.rejected[p].Load(),
 			Client: ClientMetrics{
@@ -263,7 +266,7 @@ func (s *Server) report() MetricsReport {
 		}
 		rep.Processes[p] = pm
 	}
-	leaders := dep.Leaders()
+	leaders := s.backend.Leaders()
 	agreed := leaders[0]
 	for _, l := range leaders {
 		if l != agreed {
@@ -278,7 +281,8 @@ func (s *Server) report() MetricsReport {
 		History:    s.metrics.leaderHist.Samples(),
 	}
 	rep.Faults = FaultMetrics{
-		Matrix:     dep.FaultMatrix(),
+		// Matrix is nil on an abortable-Ω∆ deployment (no monitors).
+		Matrix:     s.backend.FaultMatrix(),
 		Trajectory: s.metrics.faultTraj.Samples(),
 	}
 	return rep

@@ -4,14 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"tbwf/internal/core"
+	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
-	"tbwf/internal/omega"
 	"tbwf/internal/prim"
 	"tbwf/internal/qa"
-	"tbwf/internal/rt"
 )
 
 // WireOp is the object-agnostic JSON encoding of one operation. Kind
@@ -37,131 +37,263 @@ var ErrQueueFull = errors.New("serve: replica queue full")
 // errNoReadOp marks objects without a read-only operation.
 var errNoReadOp = errors.New("serve: object has no read-only operation")
 
-// pending is one in-flight request: filled in by the replica worker.
-type pending struct {
-	replica int
-	kind    string
-	start   time.Time
-	done    chan result
+// Pending is one in-flight request. Create with NewPending, Submit it,
+// then either block on Done (the HTTP path) or Poll from a cooperative
+// task (the simulation path — sim tasks must never block on channels).
+type Pending struct {
+	// Kind is the wire operation kind, for per-kind telemetry.
+	Kind string
+	// Tag is caller correlation data, carried through untouched (the
+	// fuzzer's serve targets stamp submit-order sequence numbers here).
+	Tag any
+
+	start time.Time
+	done  chan Result
 }
 
-type result struct {
-	resp    any
-	latency time.Duration
+// NewPending prepares an in-flight request slot for one operation.
+func NewPending(kind string) *Pending {
+	return &Pending{Kind: kind, start: time.Now(), done: make(chan Result, 1)}
 }
 
-// backend is the object-type-erased face of a deployed TBWF stack; the
-// generic tbwfBackend implements it for each sequential type.
-type backend interface {
-	// start spawns the per-replica worker tasks on the runtime.
-	start()
-	// submit decodes op and enqueues it for replica p; ErrQueueFull means
+// Done exposes the completion channel; exactly one Result arrives.
+func (pd *Pending) Done() <-chan Result { return pd.done }
+
+// Poll returns the result without blocking; ok is false while the
+// operation is still in flight.
+func (pd *Pending) Poll() (Result, bool) {
+	select {
+	case r := <-pd.done:
+		return r, true
+	default:
+		return Result{}, false
+	}
+}
+
+// Result is one completed operation.
+type Result struct {
+	// Resp is the wire-encoded response (what /v1/invoke returns).
+	Resp any
+	// Raw is the typed response R of the object's sequential type — the
+	// fuzzer's linearizability oracle consumes this.
+	Raw any
+	// Latency is submit-to-completion wall time (meaningful on the live
+	// substrate; on the simulation kernel it reflects host time, not
+	// simulated steps).
+	Latency time.Duration
+}
+
+// Hooks observe backend events. Both are optional and are called from
+// substrate tasks (Served) or the submitter (Rejected), so they must not
+// block.
+type Hooks struct {
+	// Served fires after replica p completes pd, before the result is
+	// delivered.
+	Served func(p int, pd *Pending, lat time.Duration)
+	// Rejected fires when replica p's queue backpressures a submission.
+	Rejected func(p int)
+}
+
+// Backend is the object-type-erased face of a deployed TBWF stack on any
+// substrate; the generic tbwfBackend implements it for each sequential
+// type.
+type Backend interface {
+	// Start spawns the per-replica worker tasks on the substrate.
+	Start()
+	// Submit decodes op and enqueues it for replica p; ErrQueueFull means
 	// backpressure, other errors are bad requests. On success the result
-	// arrives on pd.done.
-	submit(p int, op WireOp, pd *pending) error
-	// readOp returns the object's canonical read-only operation, or
-	// errNoReadOp.
-	readOp() (WireOp, error)
-	// kinds lists the operation kinds the object accepts.
-	kinds() []string
-	queueDepth(p int) int
-	clientStats(p int) core.Stats
-	qaStats(p int) qa.HandleStats
-	slots() int64
-	deployment() *omega.Deployment
+	// arrives on pd.Done.
+	Submit(p int, op WireOp, pd *Pending) error
+	// ReadOp returns the object's canonical read-only operation, if any.
+	ReadOp() (WireOp, error)
+	// Kinds lists the operation kinds the object accepts.
+	Kinds() []string
+	QueueDepth(p int) int
+	ClientStats(p int) core.Stats
+	QAStats(p int) qa.HandleStats
+	Slots() int64
+	// Leaders is each process's current Ω∆ leader output (telemetry tap).
+	Leaders() []int
+	// FaultMatrix is the monitors' fault counters, nil on abortable Ω∆.
+	FaultMatrix() [][]int64
+	// OmegaKind reports which Ω∆ implementation the stack runs on.
+	OmegaKind() deploy.OmegaKind
 }
 
-// tbwfBackend adapts one rt.TBWFStack to the wire protocol: a bounded
-// request queue and a single worker task per replica (a process's
-// operations must all flow through its one client, from its own task).
-type tbwfBackend[S, O, R any] struct {
-	srv    *Server
-	stack  *rt.TBWFStack[S, O, R]
-	decode func(WireOp) (O, error)
-	encode func(R) any
-	read   *WireOp // nil: no read-only op
-	kindsL []string
-	queues []chan queued[O]
+// BackendConfig sizes a backend deployment.
+type BackendConfig struct {
+	// Object names the deployed type: one of Objects().
+	Object string
+	// QueueDepth bounds each replica's request queue (default 64).
+	QueueDepth int
+	// SnapshotComponents sizes the snapshot object (default: the
+	// substrate's process count).
+	SnapshotComponents int
+	// Build configures the TBWF stack (Ω∆ kind, register options).
+	Build deploy.BuildConfig
+}
+
+// NewBackend deploys the named object's TBWF stack on the substrate and
+// returns its wire-protocol face. Call Start to spawn the replica
+// workers.
+func NewBackend(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error) {
+	build, ok := objectBuilders[cfg.Object]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown object %q (have %v)", cfg.Object, Objects())
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.SnapshotComponents <= 0 {
+		cfg.SnapshotComponents = sub.N()
+	}
+	return build(sub, cfg, hooks)
+}
+
+// ring is a mutex-guarded bounded FIFO. It replaces a Go channel so that
+// simulation-kernel tasks can poll it without ever blocking outside the
+// kernel's own scheduling (the cardinal sim rule), and so that submission
+// order is exactly pop order on both substrates.
+type ring[O any] struct {
+	mu    sync.Mutex
+	buf   []queued[O]
+	head  int
+	count int
+}
+
+func newRing[O any](capacity int) *ring[O] { return &ring[O]{buf: make([]queued[O], capacity)} }
+
+func (r *ring[O]) push(it queued[O]) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = it
+	r.count++
+	return true
+}
+
+func (r *ring[O]) pop() (queued[O], bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == 0 {
+		return queued[O]{}, false
+	}
+	it := r.buf[r.head]
+	r.buf[r.head] = queued[O]{}
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	return it, true
+}
+
+func (r *ring[O]) depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
 }
 
 type queued[O any] struct {
 	op O
-	pd *pending
+	pd *Pending
 }
 
-func newBackend[S, O, R any](srv *Server, typ qa.Type[S, O, R],
+// tbwfBackend adapts one deploy.Stack to the wire protocol: a bounded
+// request queue and a single worker task per replica (a process's
+// operations must all flow through its one client, from its own task).
+// The worker polls its ring and spends a substrate step when the ring is
+// empty — the paper's model has no idle wait, a process either takes
+// protocol steps or it is untimely, and the poll loop makes the worker's
+// timeliness directly observable by Ω∆ on both substrates.
+type tbwfBackend[S, O, R any] struct {
+	sub    prim.Substrate
+	hooks  Hooks
+	stack  *deploy.Stack[S, O, R]
+	decode func(WireOp) (O, error)
+	encode func(R) any
+	read   *WireOp // nil: no read-only op
+	kindsL []string
+	queues []*ring[O]
+}
+
+func newBackend[S, O, R any](sub prim.Substrate, cfg BackendConfig, hooks Hooks, typ qa.Type[S, O, R],
 	decode func(WireOp) (O, error), encode func(R) any, read *WireOp, kinds []string) (*tbwfBackend[S, O, R], error) {
-	stack, err := rt.BuildTBWF[S, O, R](srv.rt, typ)
+	stack, err := deploy.Build[S, O, R](sub, typ, cfg.Build)
 	if err != nil {
 		return nil, err
 	}
 	b := &tbwfBackend[S, O, R]{
-		srv:    srv,
+		sub:    sub,
+		hooks:  hooks,
 		stack:  stack,
 		decode: decode,
 		encode: encode,
 		read:   read,
 		kindsL: kinds,
-		queues: make([]chan queued[O], srv.cfg.N),
+		queues: make([]*ring[O], sub.N()),
 	}
 	for p := range b.queues {
-		b.queues[p] = make(chan queued[O], srv.cfg.QueueDepth)
+		b.queues[p] = newRing[O](cfg.QueueDepth)
 	}
 	return b, nil
 }
 
-func (b *tbwfBackend[S, O, R]) start() {
-	for p := 0; p < b.srv.cfg.N; p++ {
+func (b *tbwfBackend[S, O, R]) Start() {
+	for p := 0; p < b.sub.N(); p++ {
 		p := p
 		q := b.queues[p]
 		client := b.stack.Clients[p]
-		b.srv.rt.Spawn(p, fmt.Sprintf("serve-worker[%d]", p), func(pp prim.Proc) {
+		b.sub.Spawn(p, fmt.Sprintf("serve-worker[%d]", p), func(pp prim.Proc) {
 			for {
-				select {
-				case item := <-q:
-					r := client.Invoke(pp, item.op)
-					lat := time.Since(item.pd.start)
-					b.srv.metrics.recordServed(p, item.pd.kind, lat)
-					item.pd.done <- result{resp: b.encode(r), latency: lat}
-				case <-b.srv.rt.Stopping():
-					return
+				item, ok := q.pop()
+				if !ok {
+					pp.Step() // unwinds via prim.ExitTask on stop/crash/budget
+					continue
 				}
+				r := client.Invoke(pp, item.op)
+				lat := time.Since(item.pd.start)
+				if b.hooks.Served != nil {
+					b.hooks.Served(p, item.pd, lat)
+				}
+				item.pd.done <- Result{Resp: b.encode(r), Raw: r, Latency: lat}
 			}
 		})
 	}
 }
 
-func (b *tbwfBackend[S, O, R]) submit(p int, op WireOp, pd *pending) error {
+func (b *tbwfBackend[S, O, R]) Submit(p int, op WireOp, pd *Pending) error {
 	decoded, err := b.decode(op)
 	if err != nil {
 		return err
 	}
-	select {
-	case b.queues[p] <- queued[O]{op: decoded, pd: pd}:
-		return nil
-	default:
-		b.srv.metrics.recordRejected(p)
+	if !b.queues[p].push(queued[O]{op: decoded, pd: pd}) {
+		if b.hooks.Rejected != nil {
+			b.hooks.Rejected(p)
+		}
 		return ErrQueueFull
 	}
+	return nil
 }
 
-func (b *tbwfBackend[S, O, R]) readOp() (WireOp, error) {
+func (b *tbwfBackend[S, O, R]) ReadOp() (WireOp, error) {
 	if b.read == nil {
 		return WireOp{}, errNoReadOp
 	}
 	return *b.read, nil
 }
 
-func (b *tbwfBackend[S, O, R]) kinds() []string      { return b.kindsL }
-func (b *tbwfBackend[S, O, R]) queueDepth(p int) int { return len(b.queues[p]) }
-func (b *tbwfBackend[S, O, R]) clientStats(p int) core.Stats {
+func (b *tbwfBackend[S, O, R]) Kinds() []string      { return b.kindsL }
+func (b *tbwfBackend[S, O, R]) QueueDepth(p int) int { return b.queues[p].depth() }
+func (b *tbwfBackend[S, O, R]) ClientStats(p int) core.Stats {
 	return b.stack.Clients[p].Stats()
 }
-func (b *tbwfBackend[S, O, R]) qaStats(p int) qa.HandleStats {
+func (b *tbwfBackend[S, O, R]) QAStats(p int) qa.HandleStats {
 	return b.stack.Object.Handle(p).Stats()
 }
-func (b *tbwfBackend[S, O, R]) slots() int64                  { return b.stack.Object.Slots() }
-func (b *tbwfBackend[S, O, R]) deployment() *omega.Deployment { return b.stack.Omega }
+func (b *tbwfBackend[S, O, R]) Slots() int64                { return b.stack.Object.Slots() }
+func (b *tbwfBackend[S, O, R]) Leaders() []int              { return b.stack.Leaders() }
+func (b *tbwfBackend[S, O, R]) FaultMatrix() [][]int64      { return b.stack.FaultMatrix() }
+func (b *tbwfBackend[S, O, R]) OmegaKind() deploy.OmegaKind { return b.stack.Kind }
 
 // Objects returns the deployable object names, sorted.
 func Objects() []string {
@@ -173,16 +305,16 @@ func Objects() []string {
 	return names
 }
 
-var objectBuilders = map[string]func(srv *Server) (backend, error){
+var objectBuilders = map[string]func(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error){
 	"counter":  buildCounter,
 	"register": buildRegister,
 	"snapshot": buildSnapshot,
 	"jobqueue": buildJobQueue,
 }
 
-func buildCounter(srv *Server) (backend, error) {
+func buildCounter(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error) {
 	readOp := WireOp{Kind: "read"}
-	return newBackend[int64, objtype.CounterOp, int64](srv, objtype.Counter{},
+	return newBackend[int64, objtype.CounterOp, int64](sub, cfg, hooks, objtype.Counter{},
 		func(op WireOp) (objtype.CounterOp, error) {
 			switch op.Kind {
 			case "add":
@@ -196,9 +328,9 @@ func buildCounter(srv *Server) (backend, error) {
 		&readOp, []string{"add", "read"})
 }
 
-func buildRegister(srv *Server) (backend, error) {
+func buildRegister(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error) {
 	readOp := WireOp{Kind: "read"}
-	return newBackend[int64, objtype.RegOp, objtype.RegResp](srv, objtype.Register{},
+	return newBackend[int64, objtype.RegOp, objtype.RegResp](sub, cfg, hooks, objtype.Register{},
 		func(op WireOp) (objtype.RegOp, error) {
 			switch op.Kind {
 			case "read":
@@ -216,13 +348,10 @@ func buildRegister(srv *Server) (backend, error) {
 		&readOp, []string{"read", "write", "cas"})
 }
 
-func buildSnapshot(srv *Server) (backend, error) {
-	m := srv.cfg.SnapshotComponents
-	if m <= 0 {
-		m = srv.cfg.N
-	}
+func buildSnapshot(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error) {
+	m := cfg.SnapshotComponents
 	readOp := WireOp{Kind: "scan"}
-	return newBackend[[]int64, objtype.SnapOp, objtype.SnapResp](srv, objtype.Snapshot{Components: m},
+	return newBackend[[]int64, objtype.SnapOp, objtype.SnapResp](sub, cfg, hooks, objtype.Snapshot{Components: m},
 		func(op WireOp) (objtype.SnapOp, error) {
 			switch op.Kind {
 			case "update":
@@ -244,8 +373,8 @@ func buildSnapshot(srv *Server) (backend, error) {
 		&readOp, []string{"update", "scan"})
 }
 
-func buildJobQueue(srv *Server) (backend, error) {
-	return newBackend[[]int64, objtype.QueueOp, objtype.QueueResp](srv, objtype.Queue{},
+func buildJobQueue(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error) {
+	return newBackend[[]int64, objtype.QueueOp, objtype.QueueResp](sub, cfg, hooks, objtype.Queue{},
 		func(op WireOp) (objtype.QueueOp, error) {
 			switch op.Kind {
 			case "enq":

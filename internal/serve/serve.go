@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tbwf/internal/deploy"
 	"tbwf/internal/rt"
 )
 
@@ -43,6 +44,11 @@ type Config struct {
 	N int
 	// Object names the deployed type: one of Objects().
 	Object string
+	// Omega selects the Ω∆ implementation: "atomic" (default, Figure 3
+	// from atomic registers) or "abortable" (Figures 4–6, Theorem 15's
+	// abortable-registers-only construction) — the first time the live
+	// service can run the abortable Ω∆.
+	Omega string
 	// QueueDepth bounds each replica's request queue (default 64).
 	QueueDepth int
 	// SnapshotComponents sizes the snapshot object (default N).
@@ -60,7 +66,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	rt      *rt.Runtime
-	backend backend
+	backend Backend
 	metrics *metrics
 	mux     *http.ServeMux
 
@@ -76,9 +82,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("serve: n = %d, need at least 2 replicas", cfg.N)
 	}
-	build, ok := objectBuilders[cfg.Object]
-	if !ok {
-		return nil, fmt.Errorf("serve: unknown object %q (have %v)", cfg.Object, Objects())
+	omegaKind, err := deploy.ParseOmegaKind(cfg.Omega)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
@@ -101,14 +107,24 @@ func New(cfg Config) (*Server, error) {
 	for p, prof := range cfg.Pacing {
 		s.rt.SetProfile(p, prof)
 	}
-	b, err := build(s)
+	// The hooks close over s; s.metrics is installed before Start spawns
+	// the workers, so no event can fire while it is still nil.
+	b, err := NewBackend(s.rt, BackendConfig{
+		Object:             cfg.Object,
+		QueueDepth:         cfg.QueueDepth,
+		SnapshotComponents: cfg.SnapshotComponents,
+		Build:              deploy.BuildConfig{Kind: omegaKind},
+	}, Hooks{
+		Served:   func(p int, pd *Pending, lat time.Duration) { s.metrics.recordServed(p, pd.Kind, lat) },
+		Rejected: func(p int) { s.metrics.recordRejected(p) },
+	})
 	if err != nil {
 		return nil, err
 	}
 	s.backend = b
-	s.metrics = newMetrics(cfg.N, b.kinds())
-	b.start()
-	go s.sample(b.deployment())
+	s.metrics = newMetrics(cfg.N, b.Kinds())
+	b.Start()
+	go s.sample()
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/invoke", s.handleInvoke)
@@ -176,8 +192,8 @@ func (s *Server) pickReplica(req *int) (int, error) {
 // dispatch enqueues op on replica p and waits for its completion, the
 // client's disconnect, or shutdown.
 func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p int, op WireOp) {
-	pd := &pending{replica: p, kind: op.Kind, start: time.Now(), done: make(chan result, 1)}
-	if err := s.backend.submit(p, op, pd); err != nil {
+	pd := NewPending(op.Kind)
+	if err := s.backend.Submit(p, op, pd); err != nil {
 		if err == ErrQueueFull {
 			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusServiceUnavailable, "replica %d backpressured: %v", p, err)
@@ -187,12 +203,12 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p int, op Wire
 		return
 	}
 	select {
-	case res := <-pd.done:
+	case res := <-pd.Done():
 		writeJSON(w, http.StatusOK, invokeResponse{
 			OK:        true,
 			Replica:   p,
-			Resp:      res.resp,
-			LatencyUS: float64(res.latency) / 1e3,
+			Resp:      res.Resp,
+			LatencyUS: float64(res.Latency) / 1e3,
 		})
 	case <-r.Context().Done():
 		// Client gone; the worker will still complete the operation (it is
@@ -225,7 +241,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	op, err := s.backend.readOp()
+	op, err := s.backend.ReadOp()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "object %s: %v", s.cfg.Object, err)
 		return
@@ -251,6 +267,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 type statsReport struct {
 	Object    string   `json:"object"`
 	N         int      `json:"n"`
+	Omega     string   `json:"omega"`
 	UptimeMS  int64    `json:"uptime_ms"`
 	Kinds     []string `json:"kinds"`
 	Served    []int64  `json:"served"`
@@ -263,14 +280,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep := statsReport{
 		Object:   s.cfg.Object,
 		N:        s.cfg.N,
+		Omega:    s.backend.OmegaKind().String(),
 		UptimeMS: time.Since(s.metrics.start).Milliseconds(),
-		Kinds:    s.backend.kinds(),
+		Kinds:    s.backend.Kinds(),
 	}
 	for p := 0; p < s.cfg.N; p++ {
 		rep.Served = append(rep.Served, s.metrics.served[p].Load())
 		rep.Rejected = append(rep.Rejected, s.metrics.rejected[p].Load())
-		rep.Queued = append(rep.Queued, s.backend.queueDepth(p))
-		rep.Completed = append(rep.Completed, s.backend.clientStats(p).Completed)
+		rep.Queued = append(rep.Queued, s.backend.QueueDepth(p))
+		rep.Completed = append(rep.Completed, s.backend.ClientStats(p).Completed)
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

@@ -72,6 +72,9 @@ func TestNewRejectsBadConfig(t *testing.T) {
 	if _, err := New(Config{N: 3, Object: "philosopher"}); err == nil {
 		t.Error("unknown object accepted")
 	}
+	if _, err := New(Config{N: 3, Object: "counter", Omega: "quantum"}); err == nil {
+		t.Error("unknown omega kind accepted")
+	}
 	short, err := ParsePacing("", 2)
 	if err != nil {
 		t.Fatal(err)
@@ -161,6 +164,39 @@ func TestInvokeReadStatsCounter(t *testing.T) {
 	}
 	if served != 4 || stats.Object != "counter" || stats.N != 2 {
 		t.Fatalf("stats: %+v", stats)
+	}
+	if stats.Omega != "atomic-registers" {
+		t.Fatalf("stats omega = %q, want atomic-registers", stats.Omega)
+	}
+}
+
+// The service must run on the abortable-register Ω∆ too (Theorem 15 live):
+// operations complete, /v1/stats reports the kind, and the metrics report
+// has no fault matrix (Figures 4–6 have no monitors).
+func TestAbortableOmegaServes(t *testing.T) {
+	s, ts := startServer(t, Config{N: 2, Object: "counter", Omega: "abortable"})
+	for i := 0; i < 3; i++ {
+		code, out := postJSON(t, ts.URL+"/v1/invoke", map[string]any{
+			"replica": -1, "op": map[string]any{"kind": "add", "delta": 1},
+		})
+		if code != http.StatusOK || out["ok"] != true {
+			t.Fatalf("invoke %d: %d %v", i, code, out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsReport
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Omega != "abortable-registers" {
+		t.Fatalf("stats omega = %q, want abortable-registers", stats.Omega)
+	}
+	if rep := s.report(); len(rep.Faults.Matrix) != 0 {
+		t.Fatalf("abortable Ω∆ reported a fault matrix: %v", rep.Faults.Matrix)
 	}
 }
 
@@ -352,8 +388,8 @@ func TestBackpressure(t *testing.T) {
 
 	full := 0
 	for i := 0; i < 30; i++ {
-		pd := &pending{replica: 0, kind: "add", start: time.Now(), done: make(chan result, 1)}
-		if err := s.backend.submit(0, WireOp{Kind: "add", Delta: 1}, pd); err == ErrQueueFull {
+		pd := NewPending("add")
+		if err := s.backend.Submit(0, WireOp{Kind: "add", Delta: 1}, pd); err == ErrQueueFull {
 			full++
 		}
 	}
