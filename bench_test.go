@@ -14,6 +14,7 @@ import (
 	"tbwf/internal/baseline"
 	"tbwf/internal/consensus"
 	"tbwf/internal/deploy"
+	"tbwf/internal/elector"
 	"tbwf/internal/exp"
 	"tbwf/internal/monitor"
 	"tbwf/internal/objtype"
@@ -524,17 +525,18 @@ func BenchmarkFullTableQuick(b *testing.B) {
 }
 
 // BenchmarkDeployBuild measures the composition root itself: the cost of
-// wiring a full TBWF counter stack (Ω∆, qa object, clients) on a fresh
-// simulation kernel, for both Ω∆ kinds. Build cost is off the hot path but
-// bounds how cheaply the fuzzer can stand up a deployment per seed.
+// wiring a full TBWF counter stack (elector, qa object, clients) on a fresh
+// simulation kernel, for every registered elector. Build cost is off the
+// hot path but bounds how cheaply the fuzzer can stand up a deployment per
+// seed.
 func BenchmarkDeployBuild(b *testing.B) {
-	for _, kind := range []deploy.OmegaKind{deploy.OmegaRegisters, deploy.OmegaAbortable} {
-		b.Run(kind.String(), func(b *testing.B) {
+	for _, builder := range []elector.Builder{elector.Atomic, elector.Abortable, elector.Nerio, elector.Reputation} {
+		b.Run(builder.FlagName(), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				k := sim.New(4, sim.WithScheduleTrace(false))
 				if _, err := deploy.Build[int64, objtype.CounterOp, int64](
-					deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{Kind: kind}); err != nil {
+					deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{Elector: builder}); err != nil {
 					b.Fatal(err)
 				}
 				k.Shutdown()

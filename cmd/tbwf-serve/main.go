@@ -7,7 +7,9 @@
 //	tbwf-serve -n 6 -object jobqueue
 //	tbwf-serve -pace '*:steady:10us;2:growing:400:2ms:1.5'
 //	tbwf-serve -addr 127.0.0.1:9090 -queue-depth 128
-//	tbwf-serve -omega abortable            # Theorem 15's Ω∆ from abortable registers
+//	tbwf-serve -elector abortable          # Theorem 15's Ω∆ from abortable registers
+//	tbwf-serve -elector nerio              # epoch/lease elector (bake-off)
+//	tbwf-serve -omega abortable            # legacy alias for -elector
 //
 // The pacing spec assigns each process's initial step profile; the
 // /v1/fault endpoint retunes a live process afterwards. SIGINT/SIGTERM
@@ -24,6 +26,7 @@ import (
 	"strings"
 	"syscall"
 
+	"tbwf/internal/elector"
 	"tbwf/internal/serve"
 )
 
@@ -46,7 +49,9 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	pace := fs.String("pace", "",
 		"initial pacing, e.g. '*:steady:10us;2:growing:400:2ms:1.5' (empty: full speed)")
 	queueDepth := fs.Int("queue-depth", 64, "per-replica bounded request queue depth")
-	omegaKind := fs.String("omega", "atomic", "omega implementation: atomic | abortable")
+	electorFlag := fs.String("elector", "",
+		fmt.Sprintf("omega implementation: %s (default atomic)", strings.Join(elector.Names(), " | ")))
+	omegaKind := fs.String("omega", "", "legacy alias for -elector")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,6 +63,7 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	srv, err := serve.New(serve.Config{
 		N:          *n,
 		Object:     *object,
+		Elector:    *electorFlag,
 		Omega:      *omegaKind,
 		QueueDepth: *queueDepth,
 		Pacing:     pacing,

@@ -16,6 +16,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-pace", "banana"},
 		{"-pace", "9:steady"}, // target out of range for -n 4
 		{"-omega", "quantum"},
+		{"-elector", "quantum"},
+		{"-elector", "nerio", "-omega", "abortable"}, // conflicting spellings
 		{"-badflag"},
 	}
 	for _, args := range cases {
@@ -93,6 +95,46 @@ func TestRunServesAndStops(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not stop")
+	}
+}
+
+// -elector selects the imported electors on the live runtime, and the
+// stats document names the choice.
+func TestElectorFlagServes(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "2", "-object", "counter",
+			"-elector", "reputation", "-pace", "*:steady"}, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Omega   string `json:"omega"`
+		Elector string `json:"elector"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Elector != "reputation" || stats.Omega != "reputation-penalty" {
+		t.Fatalf("stats elector = %q / omega = %q", stats.Elector, stats.Omega)
 	}
 }
 

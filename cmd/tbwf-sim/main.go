@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	tbwf-sim -n 4 -steps 3000000 -untimely 1 -omega atomic
-//	tbwf-sim -n 3 -omega abortable -wanted 5
+//	tbwf-sim -n 4 -steps 3000000 -untimely 1 -elector atomic
+//	tbwf-sim -n 3 -elector abortable -wanted 5
+//	tbwf-sim -n 3 -elector nerio
+//	tbwf-sim -n 3 -omega abortable         # legacy alias for -elector
 //	tbwf-sim -n 3 -crash 1@500000
 package main
 
@@ -19,6 +21,7 @@ import (
 
 	"tbwf/internal/core"
 	"tbwf/internal/deploy"
+	"tbwf/internal/elector"
 	"tbwf/internal/objtype"
 	"tbwf/internal/omega"
 	"tbwf/internal/prim"
@@ -37,7 +40,9 @@ func run(args []string) error {
 	n := fs.Int("n", 4, "number of processes")
 	steps := fs.Int64("steps", 3_000_000, "step budget")
 	untimely := fs.Int("untimely", 0, "how many low-id processes are untimely (growing gaps)")
-	omegaKind := fs.String("omega", "atomic", "omega implementation: atomic | abortable")
+	electorFlag := fs.String("elector", "",
+		fmt.Sprintf("omega implementation: %s (default atomic)", strings.Join(elector.Names(), " | ")))
+	omegaKind := fs.String("omega", "", "legacy alias for -elector")
 	wanted := fs.Int64("wanted", 0, "ops per process (0 = hammer without target)")
 	crash := fs.String("crash", "", "crash spec proc@step (e.g. 1@500000)")
 	seed := fs.Int64("seed", 0, "random schedule seed (0 = round-robin base)")
@@ -79,13 +84,13 @@ func run(args []string) error {
 		k.CrashAt(proc, at)
 	}
 
-	kind, err := deploy.ParseOmegaKind(*omegaKind)
+	builder, err := elector.Resolve(*electorFlag, *omegaKind)
 	if err != nil {
 		return err
 	}
 
 	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{},
-		deploy.BuildConfig{Kind: kind, NonCanonical: *nonCanonical})
+		deploy.BuildConfig{Elector: builder, NonCanonical: *nonCanonical})
 	if err != nil {
 		return err
 	}
@@ -126,7 +131,7 @@ func run(args []string) error {
 	if s, ok := base.(sim.Seeded); ok {
 		schedNote = fmt.Sprintf(", schedule seed %d", s.Seed())
 	}
-	fmt.Printf("ran %d steps (%s Ω∆%s)%s\n\n", res.Steps, kind, schedNote, idleNote(res))
+	fmt.Printf("ran %d steps (%s Ω∆%s)%s\n\n", res.Steps, st.Elector.Name(), schedNote, idleNote(res))
 	fmt.Print(rep)
 	fmt.Printf("\nleaders at end: %v (stabilized at step %d, %d changes)\n",
 		obs.Leaders(), obs.StabilizedAt(), obs.Changes())

@@ -1,5 +1,5 @@
 // Package deploy is the single composition root for TBWF object stacks:
-// one generic Build that wires Ω∆ (either implementation), the
+// one generic Build that wires Ω∆ (any registered elector), the
 // query-abortable object, and the per-process clients on *any*
 // prim.Substrate — the deterministic simulation kernel (via Sim) or the
 // live real-time runtime (rt.Runtime is itself a Substrate).
@@ -11,14 +11,19 @@
 // hot. Before this package, internal/core (sim) and internal/rt (live)
 // each had their own divergent builder; both now delegate here or are
 // gone.
+//
+// Which Ω∆ implementation backs the stack is an open extension point, not
+// an enum: BuildConfig carries an elector.Builder, and the stack exposes
+// only the elector.Elector telemetry surface. deploy itself contains no
+// elector-specific code.
 package deploy
 
 import (
 	"fmt"
 
 	"tbwf/internal/core"
+	"tbwf/internal/elector"
 	"tbwf/internal/omega"
-	"tbwf/internal/omegaab"
 	"tbwf/internal/prim"
 	"tbwf/internal/qa"
 	"tbwf/internal/register"
@@ -30,54 +35,16 @@ import (
 // deploy.Build(deploy.Sim(k), ...) is the sim composition root.
 func Sim(k *sim.Kernel) prim.Substrate { return register.Substrate(k) }
 
-// OmegaKind selects which Ω∆ implementation a TBWF stack runs on.
-type OmegaKind int
-
-const (
-	// OmegaRegisters is the Figure 3 implementation from activity
-	// monitors and atomic registers (Section 5).
-	OmegaRegisters OmegaKind = iota + 1
-	// OmegaAbortable is the Figure 4–6 implementation from abortable
-	// registers only (Section 6). Together with the qa construction it
-	// realizes Theorem 15: a TBWF object of any type from abortable
-	// registers alone.
-	OmegaAbortable
-)
-
-// String names the kind.
-func (k OmegaKind) String() string {
-	switch k {
-	case OmegaRegisters:
-		return "atomic-registers"
-	case OmegaAbortable:
-		return "abortable-registers"
-	default:
-		return fmt.Sprintf("OmegaKind(%d)", int(k))
-	}
-}
-
-// ParseOmegaKind maps the user-facing flag vocabulary ("atomic",
-// "abortable"; "" defaults to atomic) to an OmegaKind, with an error that
-// lists the accepted values.
-func ParseOmegaKind(s string) (OmegaKind, error) {
-	switch s {
-	case "", "atomic":
-		return OmegaRegisters, nil
-	case "abortable":
-		return OmegaAbortable, nil
-	default:
-		return 0, fmt.Errorf("unknown omega kind %q (accepted values: atomic, abortable)", s)
-	}
-}
-
 // BuildConfig configures a TBWF stack.
 type BuildConfig struct {
-	// Kind selects the Ω∆ implementation; default OmegaRegisters.
-	Kind OmegaKind
+	// Elector builds the stack's Ω∆ implementation; nil defaults to
+	// elector.Atomic (the paper's Figure 3 construction).
+	Elector elector.Builder
 	// NonCanonical disables the Figure 7 line 2 wait (experiment E7 only).
 	NonCanonical bool
 	// RegisterOptions apply to every abortable register in the stack
-	// (the qa object's, and Ω∆'s when Kind is OmegaAbortable).
+	// (the qa object's, and Ω∆'s when the elector uses abortable
+	// registers).
 	RegisterOptions []register.AbOption
 }
 
@@ -86,49 +53,33 @@ type BuildConfig struct {
 // process. Client *tasks* are not spawned — the caller drives
 // Clients[p].Invoke from its own workload tasks.
 type Stack[S, O, R any] struct {
-	Kind OmegaKind
+	// Elector is the deployed Ω∆ implementation; telemetry layers tap
+	// leader outputs and fault counters through it.
+	Elector elector.Elector
 	// Instances[p] is process p's Ω∆ endpoint.
 	Instances []*omega.Instance
 	// Object is the shared query-abortable object.
 	Object *qa.SharedObject[S, O, R]
 	// Clients[p] is process p's TBWF endpoint.
 	Clients []*core.Client[S, O, R]
-	// Omega is the full atomic-register Ω∆ deployment (monitors
-	// included), non-nil iff Kind is OmegaRegisters; telemetry layers tap
-	// leader outputs and fault counters through it.
-	Omega *omega.Deployment
-	// OmegaAb is the abortable-register Ω∆ system, non-nil iff Kind is
-	// OmegaAbortable.
-	OmegaAb *omegaab.System
 }
 
 // Build wires a TBWF object of the given sequential type for every
 // process of the substrate.
 func Build[S, O, R any](sub prim.Substrate, typ qa.Type[S, O, R], cfg BuildConfig) (*Stack[S, O, R], error) {
-	if cfg.Kind == 0 {
-		cfg.Kind = OmegaRegisters
+	builder := cfg.Elector
+	if builder == nil {
+		builder = elector.Atomic
 	}
 	n := sub.N()
-	st := &Stack[S, O, R]{Kind: cfg.Kind}
-	switch cfg.Kind {
-	case OmegaRegisters:
-		dep, err := omega.BuildWith(n, sub, func(name string, init int64) prim.Register[int64] {
-			return register.SubstrateAtomic(sub, name, init)
-		}, omega.BuildOptions{})
-		if err != nil {
-			return nil, fmt.Errorf("deploy: build Ω∆ (registers): %w", err)
-		}
-		st.Instances = dep.Instances
-		st.Omega = dep
-	case OmegaAbortable:
-		sys, err := omegaab.Build(sub, cfg.RegisterOptions...)
-		if err != nil {
-			return nil, fmt.Errorf("deploy: build Ω∆ (abortable): %w", err)
-		}
-		st.Instances = sys.Instances
-		st.OmegaAb = sys
-	default:
-		return nil, fmt.Errorf("deploy: unknown omega kind %d", int(cfg.Kind))
+	el, err := builder.Build(sub, elector.Config{RegisterOptions: cfg.RegisterOptions})
+	if err != nil {
+		return nil, fmt.Errorf("deploy: build elector %s: %w", builder.FlagName(), err)
+	}
+	st := &Stack[S, O, R]{Elector: el, Instances: el.Instances()}
+	if len(st.Instances) != n {
+		return nil, fmt.Errorf("deploy: elector %s deployed %d endpoints on an n=%d substrate",
+			el.Name(), len(st.Instances), n)
 	}
 
 	obj, err := qa.New(typ, n, qa.SubstrateFactories[O](sub, cfg.RegisterOptions...), 0)
@@ -164,22 +115,13 @@ func (st *Stack[S, O, R]) CompletedOps() []int64 {
 }
 
 // Leaders returns the current leader output of every process — a
-// telemetry tap; it consumes no process steps. It works for either Ω∆
-// kind.
-func (st *Stack[S, O, R]) Leaders() []int {
-	out := make([]int, len(st.Instances))
-	for p := range out {
-		out[p] = st.Instances[p].Leader.Get()
-	}
-	return out
-}
+// telemetry tap; it consumes no process steps. It works for every
+// elector.
+func (st *Stack[S, O, R]) Leaders() []int { return st.Elector.Leaders() }
 
-// FaultMatrix returns the activity monitors' fault-counter matrix, or nil
-// when the stack's Ω∆ runs on abortable registers (Figures 4–6 have no
-// fault counters).
-func (st *Stack[S, O, R]) FaultMatrix() [][]int64 {
-	if st.Omega == nil {
-		return nil
-	}
-	return st.Omega.FaultMatrix()
+// FaultMatrix returns the elector's per-pair fault/penalty matrix, or
+// ok=false when the elector maintains none (the Figure 4–6 construction
+// has no fault counters).
+func (st *Stack[S, O, R]) FaultMatrix() ([][]int64, bool) {
+	return st.Elector.FaultMatrix()
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"tbwf/internal/core"
+	"tbwf/internal/elector"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -59,7 +60,7 @@ func checkDistinctResponses(t *testing.T, resps [][]int64) {
 func TestAllTimelyIsWaitFree(t *testing.T) {
 	const n = 4
 	k := sim.New(n)
-	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters})
+	st := buildCounterStack(t, k, BuildConfig{})
 	wanted := []int64{10, 10, 10, 10}
 	resps := spawnCounterClients(k, st, wanted)
 	if _, err := k.Run(3_000_000); err != nil {
@@ -93,7 +94,7 @@ func TestTimelyClientsUnhinderedByUntimelyOnes(t *testing.T) {
 		0: sim.GrowingGaps(500, 1000, 1.5),
 		1: sim.GrowingGaps(500, 1500, 1.5),
 	})))
-	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters})
+	st := buildCounterStack(t, k, BuildConfig{})
 	wanted := []int64{1000, 1000, 8, 8} // untimely ones want more than they can get
 	resps := spawnCounterClients(k, st, wanted)
 	if _, err := k.Run(6_000_000); err != nil {
@@ -138,7 +139,7 @@ func TestSoloSuffixCompletes(t *testing.T) {
 	const n = 3
 	// After step 200k, only process 2 is scheduled.
 	k := sim.New(n, sim.WithSchedule(sim.SoloAfter(sim.RoundRobin(), 2, 200_000)))
-	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters})
+	st := buildCounterStack(t, k, BuildConfig{})
 	wanted := []int64{0, 0, 5}
 	spawnCounterClients(k, st, wanted)
 	if _, err := k.Run(2_000_000); err != nil {
@@ -156,7 +157,7 @@ func TestSoloSuffixCompletes(t *testing.T) {
 func TestAbortableStackAllTimely(t *testing.T) {
 	const n = 3
 	k := sim.New(n)
-	st := buildCounterStack(t, k, BuildConfig{Kind: OmegaAbortable})
+	st := buildCounterStack(t, k, BuildConfig{Elector: elector.Abortable})
 	wanted := []int64{5, 5, 5}
 	resps := spawnCounterClients(k, st, wanted)
 	if _, err := k.Run(20_000_000); err != nil {
@@ -177,7 +178,7 @@ func TestCanonicalUsePreventsMonopolization(t *testing.T) {
 	run := func(nonCanonical bool) []int64 {
 		const n = 3
 		k := sim.New(n)
-		st := buildCounterStack(t, k, BuildConfig{Kind: OmegaRegisters, NonCanonical: nonCanonical})
+		st := buildCounterStack(t, k, BuildConfig{NonCanonical: nonCanonical})
 		// Everyone wants effectively unbounded ops; the question is how
 		// completions are distributed at the end of the budget.
 		wanted := []int64{1 << 30, 1 << 30, 1 << 30}
@@ -221,8 +222,14 @@ func TestClientWiringValidation(t *testing.T) {
 	}
 }
 
-func TestOmegaKindString(t *testing.T) {
-	if OmegaRegisters.String() != "atomic-registers" || OmegaAbortable.String() != "abortable-registers" {
-		t.Error("OmegaKind.String mismatch")
+func TestDefaultElectorIsAtomic(t *testing.T) {
+	k := sim.New(2)
+	defer k.Shutdown()
+	st := buildCounterStack(t, k, BuildConfig{})
+	if got := st.Elector.Name(); got != "atomic-registers" {
+		t.Errorf("default elector %q, want atomic-registers", got)
+	}
+	if _, ok := st.FaultMatrix(); !ok {
+		t.Error("atomic elector reports no fault matrix")
 	}
 }

@@ -1,0 +1,87 @@
+package deploy
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/elector"
+	"tbwf/internal/elector/electortest"
+	"tbwf/internal/omega"
+	"tbwf/internal/sim"
+)
+
+// Every registered elector passes the elector conformance suite on the
+// simulation substrate. The harness pumps the kernel in slices; elector
+// tasks loop forever, so an idle kernel means the deployment wedged.
+func TestElectorConformanceSim(t *testing.T) {
+	for _, name := range elector.Names() {
+		builder, err := elector.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			electortest.Run(t, builder, func(t *testing.T) *electortest.Harness {
+				k := sim.New(3)
+				return &electortest.Harness{
+					Sub: Sim(k),
+					Run: func(done func() bool) error {
+						for i := 0; i < 100; i++ {
+							res, err := k.Run(100_000)
+							if err != nil {
+								return err
+							}
+							if done() {
+								return nil
+							}
+							if res.Idle {
+								return fmt.Errorf("kernel idle at step %d with the elector unsettled", res.Steps)
+							}
+						}
+						return fmt.Errorf("step budget exhausted at %d with the elector unsettled", k.Step())
+					},
+				}
+			})
+		})
+	}
+}
+
+// Every registered elector satisfies Definition 5 on a deterministic
+// round-robin run with process 0 a permanent non-candidate: the recorded
+// leader outputs, classified against the kernel's schedule, pass
+// Recorder.CheckDefinition5 over the run's second half. This is the
+// deterministic companion of the explore elector-* fuzz targets (which
+// sweep adversarial schedules over the same scenario).
+func TestElectorDefinition5Sim(t *testing.T) {
+	const budget = 400_000
+	for _, name := range elector.Names() {
+		builder, err := elector.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			k := sim.New(3)
+			el, err := builder.Build(Sim(k), elector.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := omega.NewRecorder(el.Instances())
+			obs := omega.NewObserver(el.Instances())
+			k.AfterStep(rec.Sample)
+			k.AfterStep(obs.Sample)
+			for _, inst := range el.Instances()[1:] {
+				inst.Candidate.Set(true)
+			}
+			if _, err := k.Run(budget); err != nil {
+				t.Fatal(err)
+			}
+			const half = budget / 2
+			if at := obs.StabilizedAt(); at > half {
+				t.Fatalf("%s still settling at step %d (window from %d)", el.Name(), at, half)
+			}
+			rep := sim.Analyze(k.Trace().Schedule(), k.N())
+			if viols := rec.CheckDefinition5(rep, 64, half, k.Crashed); len(viols) > 0 {
+				t.Fatalf("%s violates Definition 5: %v", el.Name(), viols)
+			}
+		})
+	}
+}

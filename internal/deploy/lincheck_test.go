@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"tbwf/internal/elector"
 	"tbwf/internal/lincheck"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
@@ -72,7 +73,7 @@ func TestTBWFRegisterHistoryLinearizes(t *testing.T) {
 func TestTBWFAbortableStackHistoryLinearizes(t *testing.T) {
 	const n, opsEach = 3, 4
 	k := sim.New(n)
-	st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
+	st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{Elector: elector.Abortable})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"tbwf/internal/elector"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/sim"
@@ -89,7 +90,7 @@ func TestCrashInjectionAbortableStack(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			t.Parallel()
 			k := sim.New(n)
-			st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{Kind: OmegaAbortable})
+			st, err := Build[int64, objtype.CounterOp, int64](Sim(k), objtype.Counter{}, BuildConfig{Elector: elector.Abortable})
 			if err != nil {
 				t.Fatal(err)
 			}

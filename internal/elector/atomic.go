@@ -1,0 +1,53 @@
+package elector
+
+import (
+	"fmt"
+
+	"tbwf/internal/omega"
+	"tbwf/internal/prim"
+	"tbwf/internal/register"
+)
+
+// Atomic is the paper's Figure 2 + Figure 3 construction: Ω∆ from activity
+// monitors and atomic registers (Section 5). Its fault matrix is the
+// monitors' faultCntr_p[q] counters.
+var Atomic = NewBuilder("atomic", buildAtomic)
+
+func init() {
+	// "atomic-registers" is the construction's telemetry name; keeping it
+	// as a parse alias lets stored configs round-trip through Parse.
+	Register(Atomic, "atomic-registers")
+}
+
+// atomicElector wraps the omega.Deployment behind the Elector contract.
+type atomicElector struct {
+	dep *omega.Deployment
+}
+
+func buildAtomic(sub prim.Substrate, cfg Config) (Elector, error) {
+	dep, err := omega.BuildWith(sub.N(), sub, func(name string, init int64) prim.Register[int64] {
+		return register.SubstrateAtomic(sub, name, init)
+	}, omega.BuildOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("elector: build Ω∆ (registers): %w", err)
+	}
+	return &atomicElector{dep: dep}, nil
+}
+
+func (e *atomicElector) Name() string                 { return "atomic-registers" }
+func (e *atomicElector) Instances() []*omega.Instance { return e.dep.Instances }
+func (e *atomicElector) Leaders() []int               { return e.dep.Leaders() }
+func (e *atomicElector) FaultMatrix() ([][]int64, bool) {
+	return e.dep.FaultMatrix(), true
+}
+
+// Deployment exposes the underlying omega.Deployment when the elector is
+// the atomic-registers construction — for tests and experiments that Peek
+// at monitor internals. ok is false for every other implementation.
+func Deployment(e Elector) (*omega.Deployment, bool) {
+	a, ok := e.(*atomicElector)
+	if !ok {
+		return nil, false
+	}
+	return a.dep, true
+}

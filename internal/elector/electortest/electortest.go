@@ -1,0 +1,204 @@
+// Package electortest is a conformance suite for elector.Builder
+// implementations. Every elector behind the pluggable seam — the paper's
+// two constructions and the imported competitors alike — must present the
+// same contract on any substrate: n per-process endpoints with correct
+// telemetry shape, agreement on a self-electing candidate leader when all
+// processes compete, ? at non-candidates, and recovery to a new leader
+// when the incumbent withdraws its candidacy.
+//
+// A substrate test package builds a Harness around a fresh substrate and
+// calls Run once per builder; like prim/primtest, the suite never imports
+// a substrate itself, so it sits below both and cannot create an import
+// cycle. The deterministic Definition 5 check (Recorder.CheckDefinition5
+// over a recorded run) lives with the simulation-side tests, since only
+// the kernel exposes a schedule to classify timeliness against; this suite
+// covers the substrate-independent contract.
+package electortest
+
+import (
+	"testing"
+
+	"tbwf/internal/elector"
+	"tbwf/internal/omega"
+	"tbwf/internal/prim"
+)
+
+// Harness adapts one substrate instance to the suite.
+//
+// Run must drive the substrate until done() reports true and then return
+// nil, or return an error if the substrate stalls (budget exhausted,
+// timeout). It may be called several times in sequence: later calls
+// continue the same run. On the simulation kernel that means pumping
+// Kernel.Run; on the real-time runtime, polling done while the goroutines
+// free-run.
+type Harness struct {
+	// Sub is the substrate under test, with at least three processes and
+	// no tasks spawned yet.
+	Sub prim.Substrate
+	// Run drives spawned tasks until done() is true.
+	Run func(done func() bool) error
+}
+
+// Run exercises the elector contract for one builder. mk must return a
+// fresh Harness — a new substrate with no tasks — on every call, since
+// each subtest deploys its own elector.
+func Run(t *testing.T, builder elector.Builder, mk func(t *testing.T) *Harness) {
+	t.Run("TelemetryShape", func(t *testing.T) { testTelemetryShape(t, builder, mk(t)) })
+	t.Run("ElectsAmongCandidates", func(t *testing.T) { testElects(t, builder, mk(t)) })
+	t.Run("NonCandidateOutputsNoLeader", func(t *testing.T) { testNonCandidate(t, builder, mk(t)) })
+	t.Run("WithdrawalRecovers", func(t *testing.T) { testWithdrawal(t, builder, mk(t)) })
+}
+
+// agreedLeader reports whether the elector's current outputs form a stable-
+// looking consensus under the given candidacy pattern: every non-candidate
+// outputs ?, every candidate outputs the same ℓ, and ℓ is itself a
+// candidate (hence, by the agreement, self-electing).
+func agreedLeader(el elector.Elector, candidate []bool) (int, bool) {
+	leaders := el.Leaders()
+	ell := omega.NoLeader
+	for p, l := range leaders {
+		if !candidate[p] {
+			if l != omega.NoLeader {
+				return omega.NoLeader, false
+			}
+			continue
+		}
+		if ell == omega.NoLeader {
+			ell = l
+		} else if l != ell {
+			return omega.NoLeader, false
+		}
+	}
+	if ell == omega.NoLeader || ell < 0 || ell >= len(leaders) || !candidate[ell] {
+		return omega.NoLeader, false
+	}
+	return ell, true
+}
+
+// The deployed elector exposes n endpoints with the right process IDs, a
+// length-n leader vector, and — when supported — an n×n fault matrix.
+func testTelemetryShape(t *testing.T, builder elector.Builder, h *Harness) {
+	el, err := builder.Build(h.Sub, elector.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Name() == "" {
+		t.Error("elector reports an empty Name")
+	}
+	n := h.Sub.N()
+	insts := el.Instances()
+	if len(insts) != n {
+		t.Fatalf("%d instances for %d processes", len(insts), n)
+	}
+	for p, inst := range insts {
+		if inst.Me != p {
+			t.Errorf("instance %d has Me=%d", p, inst.Me)
+		}
+	}
+	if got := len(el.Leaders()); got != n {
+		t.Errorf("leader vector has length %d, want %d", got, n)
+	}
+	if m, ok := el.FaultMatrix(); ok {
+		if len(m) != n {
+			t.Fatalf("fault matrix has %d rows, want %d", len(m), n)
+		}
+		for p, row := range m {
+			if len(row) != n {
+				t.Errorf("fault matrix row %d has %d columns, want %d", p, len(row), n)
+			}
+		}
+	}
+}
+
+// With every process a candidate, the elector eventually agrees on one
+// self-electing leader.
+func testElects(t *testing.T, builder elector.Builder, h *Harness) {
+	el, err := builder.Build(h.Sub, elector.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidate := make([]bool, h.Sub.N())
+	for p, inst := range el.Instances() {
+		candidate[p] = true
+		inst.Candidate.Set(true)
+	}
+	done := func() bool { _, ok := agreedLeader(el, candidate); return ok }
+	if err := h.Run(done); err != nil {
+		t.Fatalf("%s never agreed on a leader: %v (leaders %v)", el.Name(), err, el.Leaders())
+	}
+}
+
+// A permanent non-candidate outputs ? and is never elected: the candidates
+// must agree on a leader among themselves (the Definition 5 Ncandidate
+// obligations, substrate-independent reading).
+func testNonCandidate(t *testing.T, builder elector.Builder, h *Harness) {
+	el, err := builder.Build(h.Sub, elector.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidate := make([]bool, h.Sub.N())
+	for p, inst := range el.Instances() {
+		if p == 0 {
+			continue // process 0 stays an Ncandidate
+		}
+		candidate[p] = true
+		inst.Candidate.Set(true)
+	}
+	var ell int
+	done := func() bool {
+		l, ok := agreedLeader(el, candidate)
+		if ok {
+			ell = l
+		}
+		return ok
+	}
+	if err := h.Run(done); err != nil {
+		t.Fatalf("%s never agreed around the non-candidate: %v (leaders %v)", el.Name(), err, el.Leaders())
+	}
+	if ell == 0 {
+		t.Fatalf("%s elected the non-candidate process 0", el.Name())
+	}
+}
+
+// When the incumbent withdraws its candidacy, the remaining candidates
+// recover: they agree on a new leader and the withdrawn process returns
+// to ?.
+func testWithdrawal(t *testing.T, builder elector.Builder, h *Harness) {
+	el, err := builder.Build(h.Sub, elector.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidate := make([]bool, h.Sub.N())
+	for p, inst := range el.Instances() {
+		candidate[p] = true
+		inst.Candidate.Set(true)
+	}
+	var first int
+	agreeFirst := func() bool {
+		l, ok := agreedLeader(el, candidate)
+		if ok {
+			first = l
+		}
+		return ok
+	}
+	if err := h.Run(agreeFirst); err != nil {
+		t.Fatalf("%s never agreed on an initial leader: %v (leaders %v)", el.Name(), err, el.Leaders())
+	}
+
+	candidate[first] = false
+	el.Instances()[first].Candidate.Set(false)
+	var second int
+	agreeSecond := func() bool {
+		l, ok := agreedLeader(el, candidate)
+		if ok {
+			second = l
+		}
+		return ok
+	}
+	if err := h.Run(agreeSecond); err != nil {
+		t.Fatalf("%s never recovered from leader %d withdrawing: %v (leaders %v)", el.Name(), first, err, el.Leaders())
+	}
+	if second == first {
+		t.Fatalf("%s re-elected the withdrawn leader %d", el.Name(), first)
+	}
+}

@@ -63,7 +63,7 @@ func E1Degradation(cfg E1Config) (*Table, error) {
 			u := cfg.N - k // untimely count, at ids 0..u-1
 			kern := sim.New(cfg.N, sim.WithSchedule(
 				sim.Restrict(sim.RoundRobin(), untimelyGrowing(u))))
-			st, err := buildCounterStack(kern, deploy.BuildConfig{Kind: deploy.OmegaRegisters})
+			st, err := buildCounterStack(kern, deploy.BuildConfig{})
 			if err != nil {
 				return err
 			}

@@ -130,7 +130,7 @@ func E7Canonical(cfg E7Config) (*Table, error) {
 		}
 		scs = append(scs, Scenario{Name: name, Run: func(res *Result) error {
 			k := sim.New(cfg.N)
-			st, err := buildCounterStack(k, deploy.BuildConfig{Kind: deploy.OmegaRegisters, NonCanonical: nonCanonical})
+			st, err := buildCounterStack(k, deploy.BuildConfig{NonCanonical: nonCanonical})
 			if err != nil {
 				return err
 			}

@@ -106,6 +106,14 @@ func All() []Experiment {
 			cfg.Parallel = o.Parallel
 			return E10AbortableComm(cfg)
 		}},
+		{ID: "B1", Name: "elector-bakeoff", Run: func(o Options) (*Table, error) {
+			cfg := B1Config{}
+			if o.Quick {
+				cfg = B1Config{N: 3, Steps: 600_000}
+			}
+			cfg.Parallel = o.Parallel
+			return B1ElectorBakeoff(cfg)
+		}},
 		{ID: "A1", Name: "ablate-dual-heartbeat", Run: func(o Options) (*Table, error) {
 			cfg := A1Config{}
 			if o.Quick {

@@ -276,8 +276,11 @@ func TestA3Shape(t *testing.T) {
 
 // The registry must resolve ids and names and reject junk.
 func TestRegistry(t *testing.T) {
-	if len(All()) != 13 {
-		t.Fatalf("want 13 experiments, got %d", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("want 14 experiments, got %d", len(All()))
+	}
+	if _, err := ByID("B1"); err != nil {
+		t.Error(err)
 	}
 	if _, err := ByID("E1"); err != nil {
 		t.Error(err)

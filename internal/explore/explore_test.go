@@ -144,7 +144,8 @@ func TestAblationTeeth(t *testing.T) {
 	}
 	// Seed counts are sized from measured failure rates at budget 200000
 	// (heartbeat-single 18/32, churn 12/32, messenger 6/32, misreport 32/32,
-	// nogate 27/32): enough seeds that each ablation reliably fires.
+	// nogate 27/32, nerio-nodepose 18/32, reputation-nopenalty 12/32):
+	// enough seeds that each ablation reliably fires.
 	cases := []struct {
 		ablated, control string
 		budget           int64
@@ -155,6 +156,10 @@ func TestAblationTeeth(t *testing.T) {
 		{"messenger-nobackoff", "messenger-backoff", 200_000, 32}, // A3
 		{"qa-counter-misreport", "qa-counter", 200_000, 4},        // lincheck self-test
 		{"monitor-nogate", "monitor-pair", 200_000, 8},            // Def 9 Property 5b
+		// Bake-off negative controls: each non-Ω∆-correct elector must be
+		// caught by the seam-level oracles its sound counterpart passes.
+		{"elector-nerio-nodepose", "elector-nerio", 200_000, 16},
+		{"elector-reputation-nopenalty", "elector-reputation-churn", 200_000, 16},
 	}
 	for _, tc := range cases {
 		tc := tc

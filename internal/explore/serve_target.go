@@ -117,7 +117,6 @@ func buildServe(k *sim.Kernel, env *Env, object string) (Check, error) {
 		Object:     object,
 		QueueDepth: serveQueueDepth,
 		Build: deploy.BuildConfig{
-			Kind:            deploy.OmegaRegisters,
 			RegisterOptions: tapedRegisterOptions(env),
 		},
 	}, serve.Hooks{

@@ -6,6 +6,7 @@ import (
 
 	"tbwf/internal/core"
 	"tbwf/internal/deploy"
+	"tbwf/internal/elector"
 	"tbwf/internal/lincheck"
 	"tbwf/internal/monitor"
 	"tbwf/internal/objtype"
@@ -122,7 +123,7 @@ func Targets() []Target {
 			Steps:     600_000,
 			CrashProc: -1,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
-				return buildStack(k, env, deploy.OmegaRegisters, atomicStackMinSteps)
+				return buildStack(k, env, elector.Atomic, atomicStackMinSteps)
 			},
 		},
 		{
@@ -132,7 +133,7 @@ func Targets() []Target {
 			Steps:     2_500_000,
 			CrashProc: -1,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
-				return buildStack(k, env, deploy.OmegaAbortable, abortableStackMinSteps)
+				return buildStack(k, env, elector.Abortable, abortableStackMinSteps)
 			},
 		},
 		{
@@ -163,6 +164,83 @@ func Targets() []Target {
 			CrashProc: -1,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildOmegaChurn(k, env, true)
+			},
+		},
+		{
+			Name:      "elector-atomic",
+			Desc:      "bake-off: Figure 3 elector through the pluggable seam, process 0 non-candidate; Definition 5 oracle",
+			N:         3,
+			Steps:     400_000,
+			NoCrashes: true, // a late crash legitimately destabilizes the check window
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorDef5(k, env, elector.Atomic)
+			},
+		},
+		{
+			Name:      "elector-abortable",
+			Desc:      "bake-off: Figure 6 elector through the pluggable seam (default abort policy), process 0 non-candidate; Definition 5 oracle",
+			N:         3,
+			Steps:     800_000,
+			NoCrashes: true,
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorDef5(k, env, elector.Abortable)
+			},
+		},
+		{
+			Name:      "elector-nerio",
+			Desc:      "bake-off: Nerio epoch/lease elector, process 0 non-candidate; Definition 5 oracle",
+			N:         3,
+			Steps:     400_000,
+			NoCrashes: true,
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorDef5(k, env, elector.Nerio)
+			},
+		},
+		{
+			Name:      "elector-nerio-nodepose",
+			Desc:      "ablated: Nerio without deposition; the epoch freezes on the non-candidate and Definition 5 must fail",
+			N:         3,
+			Steps:     400_000,
+			Ablated:   true,
+			NoCrashes: true,
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorDef5(k, env, elector.NewNerio(elector.NerioOptions{NoDepose: true}))
+			},
+		},
+		{
+			Name:      "elector-reputation",
+			Desc:      "bake-off: reputation-penalty elector, process 0 non-candidate; Definition 5 oracle",
+			N:         3,
+			Steps:     400_000,
+			NoCrashes: true,
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorDef5(k, env, elector.Reputation)
+			},
+		},
+		{
+			Name:      "elector-reputation-churn",
+			Desc:      "bake-off: reputation-penalty elector under perpetual candidacy churn; leadership-stability oracle",
+			N:         3,
+			Steps:     400_000,
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorChurn(k, env, elector.Reputation)
+			},
+		},
+		{
+			Name:      "elector-reputation-nopenalty",
+			Desc:      "ablated: reputation without penalties; churn steals leadership forever and the stability oracle must fail",
+			N:         3,
+			Steps:     400_000,
+			Ablated:   true,
+			CrashProc: -1,
+			Build: func(k *sim.Kernel, env *Env) (Check, error) {
+				return buildElectorChurn(k, env, elector.NewReputation(elector.ReputationOptions{NoPenalty: true}))
 			},
 		},
 		{
@@ -380,9 +458,9 @@ func buildQACounter(k *sim.Kernel, env *Env, corrupt bool) (Check, error) {
 // buildStack wires the full TBWF counter stack with hammer clients and two
 // oracles: TBWF progress (every timely process completes its quota) and log
 // accounting (completed operations never exceed allocated log slots).
-func buildStack(k *sim.Kernel, env *Env, kind deploy.OmegaKind, minSteps int64) (Check, error) {
+func buildStack(k *sim.Kernel, env *Env, builder elector.Builder, minSteps int64) (Check, error) {
 	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{}, deploy.BuildConfig{
-		Kind:            kind,
+		Elector:         builder,
 		RegisterOptions: tapedRegisterOptions(env),
 	})
 	if err != nil {
@@ -412,7 +490,7 @@ func buildStack(k *sim.Kernel, env *Env, kind deploy.OmegaKind, minSteps int64) 
 		const oracle = "tbwf-progress"
 		if res.Steps < minSteps {
 			verdicts = append(verdicts, vacuousf(oracle,
-				"budget %d below the %d the %s stack needs to stabilize", res.Steps, minSteps, kind))
+				"budget %d below the %d the %s stack needs to stabilize", res.Steps, minSteps, st.Elector.Name()))
 			return verdicts
 		}
 		rep := sim.Analyze(k.Trace().Schedule(), k.N())
@@ -525,6 +603,105 @@ func buildOmegaChurn(k *sim.Kernel, env *Env, ablate bool) (Check, error) {
 				second, churnTolerance)}
 		}
 		return []Verdict{okf(oracle, "%d leader changes in the 2nd half despite churn every %d steps", second, period)}
+	}
+	return check, nil
+}
+
+// buildElectorDef5 deploys one pluggable elector through the elector seam
+// — the same Builder contract the composition root consumes — with process
+// 0 a permanent *non*-candidate and the rest permanent candidates, and
+// checks Definition 5 over the run's second half. This is the bake-off's
+// conformance oracle: the paper's two constructions and the two imported
+// competitors (nerio, reputation) all face the same check, and the ablated
+// variants (NoDepose, NoPenalty) are the negative controls proving it has
+// teeth. The premises mirror buildOmegaDef5: every process suffix-timely,
+// leader outputs stabilized before the window.
+func buildElectorDef5(k *sim.Kernel, env *Env, builder elector.Builder) (Check, error) {
+	el, err := builder.Build(deploy.Sim(k), elector.Config{})
+	if err != nil {
+		return nil, err
+	}
+	insts := el.Instances()
+	rec := omega.NewRecorder(insts)
+	obs := omega.NewObserver(insts)
+	k.AfterStep(rec.Sample)
+	k.AfterStep(obs.Sample)
+	for _, inst := range insts[1:] { // process 0 stays an Ncandidate
+		inst.Candidate.Set(true)
+	}
+	half := env.Steps / 2
+	check := func(k *sim.Kernel, res sim.RunResult) []Verdict {
+		const oracle = "elector-def5"
+		suffix := suffixReport(k, half)
+		if !allTimely(suffix, allProcs(k.N()), def5TimelyBound) {
+			return []Verdict{vacuousf(oracle,
+				"not all processes are suffix-timely within %d (bounds %v)", def5TimelyBound, suffix.Bound)}
+		}
+		if obs.StabilizedAt() > half {
+			return []Verdict{vacuousf(oracle,
+				"%s leader outputs still settling (last change at step %d, window from %d)", el.Name(), obs.StabilizedAt(), half)}
+		}
+		rep := sim.Analyze(k.Trace().Schedule(), k.N())
+		if viols := rec.CheckDefinition5(rep, def5TimelyBound, half, k.Crashed); len(viols) > 0 {
+			return []Verdict{failf(oracle, "%s: %s", el.Name(), strings.Join(viols, "; "))}
+		}
+		return []Verdict{okf(oracle,
+			"%s satisfies Definition 5 over the final %d steps (stabilized at %d)", el.Name(), half, obs.StabilizedAt())}
+	}
+	return check, nil
+}
+
+// buildElectorChurn runs one pluggable elector through the A2 scenario —
+// process 0 toggling candidacy forever — and asserts leadership at the two
+// permanent candidates stops reacting to the churn. The sound reputation
+// elector passes because its self-punishment rule prices re-entries; the
+// NoPenalty ablation leaves every score at 0, so the lowest-id process
+// steals leadership on every re-entry and the oracle fails.
+func buildElectorChurn(k *sim.Kernel, env *Env, builder elector.Builder) (Check, error) {
+	el, err := builder.Build(deploy.Sim(k), elector.Config{})
+	if err != nil {
+		return nil, err
+	}
+	insts := el.Instances()
+	obs := omega.NewObserver(insts[1:]) // the permanent candidates
+	k.AfterStep(obs.Sample)
+	for _, inst := range insts {
+		inst.Candidate.Set(true)
+	}
+	period := env.Steps / 30
+	if period < 2_000 {
+		period = 2_000
+	}
+	half := env.Steps / 2
+	var firstHalf int64
+	k.AfterStep(func(step int64) {
+		if step%period == 0 {
+			inst := insts[0]
+			inst.Candidate.Set(!inst.Candidate.Get())
+		}
+		if step == half {
+			firstHalf = obs.Changes()
+		}
+	})
+	check := func(k *sim.Kernel, res sim.RunResult) []Verdict {
+		const oracle = "elector-churn-stability"
+		if res.Steps < churnMinSteps {
+			return []Verdict{vacuousf(oracle,
+				"budget %d below the %d the %s elector needs to adapt", res.Steps, churnMinSteps, el.Name())}
+		}
+		suffix := suffixReport(k, half)
+		if !allTimely(suffix, allProcs(k.N()), def5TimelyBound) {
+			return []Verdict{vacuousf(oracle,
+				"not all processes are suffix-timely within %d (bounds %v)", def5TimelyBound, suffix.Bound)}
+		}
+		second := obs.Changes() - firstHalf
+		if second > churnTolerance {
+			return []Verdict{failf(oracle,
+				"%s: %d leader changes at the permanent candidates in the 2nd half (tolerance %d): churn keeps stealing leadership",
+				el.Name(), second, churnTolerance)}
+		}
+		return []Verdict{okf(oracle,
+			"%s: %d leader changes in the 2nd half despite churn every %d steps", el.Name(), second, period)}
 	}
 	return check, nil
 }

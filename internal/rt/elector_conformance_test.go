@@ -1,0 +1,47 @@
+package rt
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"tbwf/internal/elector"
+	"tbwf/internal/elector/electortest"
+)
+
+// Every registered elector passes the elector conformance suite on the
+// real-time runtime. Tasks are goroutines paced by gates, so the harness
+// polls the done condition in wall-clock time; CI runs this package under
+// -race, which makes the suite double as a data-race check on each
+// elector's registers and telemetry taps.
+func TestElectorConformanceRuntime(t *testing.T) {
+	for _, name := range elector.Names() {
+		builder, err := elector.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			electortest.Run(t, builder, func(t *testing.T) *electortest.Harness {
+				r := New(3, nil)
+				t.Cleanup(func() {
+					if err := r.Stop(); err != nil {
+						t.Errorf("runtime stop: %v", err)
+					}
+				})
+				return &electortest.Harness{
+					Sub: r,
+					Run: func(done func() bool) error {
+						deadline := time.Now().Add(30 * time.Second)
+						for !done() {
+							if time.Now().After(deadline) {
+								return fmt.Errorf("runtime did not reach the done condition in 30s")
+							}
+							time.Sleep(time.Millisecond)
+						}
+						return nil
+					},
+				}
+			})
+		})
+	}
+}

@@ -80,6 +80,9 @@ func TestRunAgainstLiveServer(t *testing.T) {
 	if rep.Object != "counter" || rep.N != 3 || rep.Clients != 3 {
 		t.Fatalf("report header: %+v", rep)
 	}
+	if rep.Elector != "atomic" || rep.Omega != "atomic-registers" {
+		t.Fatalf("report elector = %q / omega = %q, want atomic / atomic-registers", rep.Elector, rep.Omega)
+	}
 	if rep.TotalOps == 0 {
 		t.Fatal("no operations completed")
 	}

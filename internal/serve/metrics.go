@@ -93,9 +93,12 @@ type Injection struct {
 // telemetry (leader identity and churn from Ω∆, step-gap estimates, abort
 // counts, monitor fault-counter trajectories), and the injection history.
 type MetricsReport struct {
-	Object    string           `json:"object"`
-	N         int              `json:"n"`
+	Object string `json:"object"`
+	N      int    `json:"n"`
+	// Omega is the elector's implementation name (historical key);
+	// Elector its canonical flag name.
 	Omega     string           `json:"omega"`
+	Elector   string           `json:"elector"`
 	UptimeMS  int64            `json:"uptime_ms"`
 	Processes []ProcessMetrics `json:"processes"`
 	Leader    LeaderMetrics    `json:"leader"`
@@ -159,21 +162,25 @@ type LeaderMetrics struct {
 	History []telemetry.Sample `json:"history"`
 }
 
-// FaultMetrics reports the activity monitors' suspicion state.
+// FaultMetrics reports the elector's per-pair fault/penalty state.
 type FaultMetrics struct {
-	// Matrix[p][q] is faultCntr_p[q] now.
-	Matrix [][]int64 `json:"matrix"`
-	// Trajectory samples, for each process q, the total suspicions of q
-	// summed over all monitoring processes — the degradation signature of
-	// an untimely process is its column climbing.
-	Trajectory []telemetry.Sample `json:"trajectory"`
+	// Supported is false when the elector maintains no fault matrix (the
+	// abortable-registers Ω∆); Matrix and Trajectory are then absent
+	// rather than nil-meaning-something.
+	Supported bool `json:"supported"`
+	// Matrix[p][q] is the elector's fault counter of p against q now
+	// (suspicions, penalties, or depositions, per the implementation).
+	Matrix [][]int64 `json:"matrix,omitempty"`
+	// Trajectory samples, for each process q, the total faults charged to
+	// q summed over all processes — the degradation signature of an
+	// untimely process is its column climbing.
+	Trajectory []telemetry.Sample `json:"trajectory,omitempty"`
 }
 
 // sample runs the low-rate sampler: leader churn at cfg.SampleEvery,
 // trajectory snapshots at cfg.TrajectoryEvery. It owns prev between
-// iterations; everything it reads is a lock-free or Var-guarded tap. On
-// an abortable-Ω∆ deployment the fault matrix is nil and the fault
-// trajectory records empty vectors.
+// iterations; everything it reads is a lock-free or Var-guarded tap. When
+// the elector maintains no fault matrix the fault trajectory stays empty.
 func (s *Server) sample() {
 	defer close(s.samplerDone)
 	tick := time.NewTicker(s.cfg.SampleEvery)
@@ -202,7 +209,9 @@ func (s *Server) sample() {
 				vec[p] = int64(l)
 			}
 			s.metrics.leaderHist.Append(vec)
-			s.metrics.faultTraj.Append(columnSums(s.backend.FaultMatrix()))
+			if m, ok := s.backend.FaultMatrix(); ok {
+				s.metrics.faultTraj.Append(columnSums(m))
+			}
 		}
 	}
 }
@@ -225,7 +234,8 @@ func (s *Server) report() MetricsReport {
 	rep := MetricsReport{
 		Object:     s.cfg.Object,
 		N:          n,
-		Omega:      s.backend.OmegaKind().String(),
+		Omega:      s.backend.ElectorName(),
+		Elector:    s.electorFlag,
 		UptimeMS:   now.Sub(s.metrics.start).Milliseconds(),
 		Processes:  make([]ProcessMetrics, n),
 		QASlots:    s.backend.Slots(),
@@ -280,10 +290,14 @@ func (s *Server) report() MetricsReport {
 		Changes:    s.metrics.leaderChanges.Load(),
 		History:    s.metrics.leaderHist.Samples(),
 	}
-	rep.Faults = FaultMetrics{
-		// Matrix is nil on an abortable-Ω∆ deployment (no monitors).
-		Matrix:     s.backend.FaultMatrix(),
-		Trajectory: s.metrics.faultTraj.Samples(),
+	if m, ok := s.backend.FaultMatrix(); ok {
+		rep.Faults = FaultMetrics{
+			Supported:  true,
+			Matrix:     m,
+			Trajectory: s.metrics.faultTraj.Samples(),
+		}
+	} else {
+		rep.Faults = FaultMetrics{Supported: false}
 	}
 	return rep
 }

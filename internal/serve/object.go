@@ -114,10 +114,12 @@ type Backend interface {
 	Slots() int64
 	// Leaders is each process's current Ω∆ leader output (telemetry tap).
 	Leaders() []int
-	// FaultMatrix is the monitors' fault counters, nil on abortable Ω∆.
-	FaultMatrix() [][]int64
-	// OmegaKind reports which Ω∆ implementation the stack runs on.
-	OmegaKind() deploy.OmegaKind
+	// FaultMatrix is the elector's per-pair fault/penalty matrix; ok is
+	// false when the elector maintains none (e.g. abortable-registers Ω∆).
+	FaultMatrix() (matrix [][]int64, ok bool)
+	// ElectorName reports which Ω∆ implementation the stack runs on
+	// ("atomic-registers", "abortable-registers", "nerio-lease", ...).
+	ElectorName() string
 }
 
 // BackendConfig sizes a backend deployment.
@@ -129,7 +131,7 @@ type BackendConfig struct {
 	// SnapshotComponents sizes the snapshot object (default: the
 	// substrate's process count).
 	SnapshotComponents int
-	// Build configures the TBWF stack (Ω∆ kind, register options).
+	// Build configures the TBWF stack (elector, register options).
 	Build deploy.BuildConfig
 }
 
@@ -290,10 +292,12 @@ func (b *tbwfBackend[S, O, R]) ClientStats(p int) core.Stats {
 func (b *tbwfBackend[S, O, R]) QAStats(p int) qa.HandleStats {
 	return b.stack.Object.Handle(p).Stats()
 }
-func (b *tbwfBackend[S, O, R]) Slots() int64                { return b.stack.Object.Slots() }
-func (b *tbwfBackend[S, O, R]) Leaders() []int              { return b.stack.Leaders() }
-func (b *tbwfBackend[S, O, R]) FaultMatrix() [][]int64      { return b.stack.FaultMatrix() }
-func (b *tbwfBackend[S, O, R]) OmegaKind() deploy.OmegaKind { return b.stack.Kind }
+func (b *tbwfBackend[S, O, R]) Slots() int64   { return b.stack.Object.Slots() }
+func (b *tbwfBackend[S, O, R]) Leaders() []int { return b.stack.Leaders() }
+func (b *tbwfBackend[S, O, R]) FaultMatrix() ([][]int64, bool) {
+	return b.stack.FaultMatrix()
+}
+func (b *tbwfBackend[S, O, R]) ElectorName() string { return b.stack.Elector.Name() }
 
 // Objects returns the deployable object names, sorted.
 func Objects() []string {

@@ -35,8 +35,10 @@ import (
 	"time"
 
 	"tbwf/internal/deploy"
+	"tbwf/internal/elector"
 	"tbwf/internal/rt"
 )
+
 
 // Config sizes a server.
 type Config struct {
@@ -44,10 +46,14 @@ type Config struct {
 	N int
 	// Object names the deployed type: one of Objects().
 	Object string
-	// Omega selects the Ω∆ implementation: "atomic" (default, Figure 3
-	// from atomic registers) or "abortable" (Figures 4–6, Theorem 15's
-	// abortable-registers-only construction) — the first time the live
-	// service can run the abortable Ω∆.
+	// Elector selects the Ω∆ implementation by flag name: "atomic"
+	// (default, Figure 3 from atomic registers), "abortable" (Figures 4–6,
+	// Theorem 15's abortable-registers-only construction), "nerio"
+	// (epoch/lease) or "reputation" (penalty scores) — any name
+	// elector.Parse accepts.
+	Elector string
+	// Omega is the legacy alias for Elector (the old -omega flag
+	// vocabulary). Setting both to different electors is an error.
 	Omega string
 	// QueueDepth bounds each replica's request queue (default 64).
 	QueueDepth int
@@ -64,11 +70,14 @@ type Config struct {
 // New, serve via any http.Server (it implements http.Handler), stop with
 // Stop.
 type Server struct {
-	cfg     Config
-	rt      *rt.Runtime
-	backend Backend
-	metrics *metrics
-	mux     *http.ServeMux
+	cfg Config
+	// electorFlag is the resolved elector's canonical flag name, surfaced
+	// in /v1/stats and /v1/metrics next to the implementation name.
+	electorFlag string
+	rt          *rt.Runtime
+	backend     Backend
+	metrics     *metrics
+	mux         *http.ServeMux
 
 	rr          atomic.Int64 // round-robin replica cursor
 	stopping    chan struct{}
@@ -82,7 +91,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("serve: n = %d, need at least 2 replicas", cfg.N)
 	}
-	omegaKind, err := deploy.ParseOmegaKind(cfg.Omega)
+	builder, err := elector.Resolve(cfg.Elector, cfg.Omega)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
@@ -100,6 +109,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{
 		cfg:         cfg,
+		electorFlag: builder.FlagName(),
 		rt:          rt.New(cfg.N, nil),
 		stopping:    make(chan struct{}),
 		samplerDone: make(chan struct{}),
@@ -113,7 +123,7 @@ func New(cfg Config) (*Server, error) {
 		Object:             cfg.Object,
 		QueueDepth:         cfg.QueueDepth,
 		SnapshotComponents: cfg.SnapshotComponents,
-		Build:              deploy.BuildConfig{Kind: omegaKind},
+		Build:              deploy.BuildConfig{Elector: builder},
 	}, Hooks{
 		Served:   func(p int, pd *Pending, lat time.Duration) { s.metrics.recordServed(p, pd.Kind, lat) },
 		Rejected: func(p int) { s.metrics.recordRejected(p) },
@@ -263,11 +273,14 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	s.dispatch(w, r, p, op)
 }
 
-// statsReport is the light /v1/stats document.
+// statsReport is the light /v1/stats document. Omega carries the
+// elector's implementation name (kept under the historical key for
+// consumers of the old document); Elector its canonical flag name.
 type statsReport struct {
 	Object    string   `json:"object"`
 	N         int      `json:"n"`
 	Omega     string   `json:"omega"`
+	Elector   string   `json:"elector"`
 	UptimeMS  int64    `json:"uptime_ms"`
 	Kinds     []string `json:"kinds"`
 	Served    []int64  `json:"served"`
@@ -280,7 +293,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep := statsReport{
 		Object:   s.cfg.Object,
 		N:        s.cfg.N,
-		Omega:    s.backend.OmegaKind().String(),
+		Omega:    s.backend.ElectorName(),
+		Elector:  s.electorFlag,
 		UptimeMS: time.Since(s.metrics.start).Milliseconds(),
 		Kinds:    s.backend.Kinds(),
 	}

@@ -168,6 +168,9 @@ func TestInvokeReadStatsCounter(t *testing.T) {
 	if stats.Omega != "atomic-registers" {
 		t.Fatalf("stats omega = %q, want atomic-registers", stats.Omega)
 	}
+	if stats.Elector != "atomic" {
+		t.Fatalf("stats elector = %q, want atomic", stats.Elector)
+	}
 }
 
 // The service must run on the abortable-register Ω∆ too (Theorem 15 live):
@@ -195,8 +198,92 @@ func TestAbortableOmegaServes(t *testing.T) {
 	if stats.Omega != "abortable-registers" {
 		t.Fatalf("stats omega = %q, want abortable-registers", stats.Omega)
 	}
-	if rep := s.report(); len(rep.Faults.Matrix) != 0 {
-		t.Fatalf("abortable Ω∆ reported a fault matrix: %v", rep.Faults.Matrix)
+	if stats.Elector != "abortable" {
+		t.Fatalf("stats elector = %q, want abortable", stats.Elector)
+	}
+	// The fault block must say "not supported" explicitly — never a nil
+	// matrix masquerading as "no faults yet" — and carry no trajectory.
+	rep := s.report()
+	if rep.Faults.Supported {
+		t.Fatalf("abortable Ω∆ claims fault-matrix support: %+v", rep.Faults)
+	}
+	if len(rep.Faults.Matrix) != 0 || len(rep.Faults.Trajectory) != 0 {
+		t.Fatalf("unsupported fault block carries data: %+v", rep.Faults)
+	}
+	// And the rendered /v1/metrics document says so too.
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	faults, ok := doc["faults"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics document has no faults block: %v", doc)
+	}
+	if faults["supported"] != false {
+		t.Fatalf("metrics faults.supported = %v, want false", faults["supported"])
+	}
+	if _, present := faults["matrix"]; present {
+		t.Fatalf("unsupported faults block renders a matrix: %v", faults)
+	}
+}
+
+// The two imported electors serve live traffic through the same seam:
+// operations complete, the stats and metrics documents name the elector,
+// and both maintain a real fault/penalty matrix.
+func TestImportedElectorsServe(t *testing.T) {
+	for _, name := range []string{"nerio", "reputation"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, ts := startServer(t, Config{N: 2, Object: "counter", Elector: name})
+			for i := 0; i < 3; i++ {
+				code, out := postJSON(t, ts.URL+"/v1/invoke", map[string]any{
+					"replica": -1, "op": map[string]any{"kind": "add", "delta": 1},
+				})
+				if code != http.StatusOK || out["ok"] != true {
+					t.Fatalf("invoke %d: %d %v", i, code, out)
+				}
+			}
+			resp, err := http.Get(ts.URL + "/v1/stats")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var stats statsReport
+			if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if stats.Elector != name {
+				t.Fatalf("stats elector = %q, want %q", stats.Elector, name)
+			}
+			rep := s.report()
+			if rep.Elector != name {
+				t.Fatalf("metrics elector = %q, want %q", rep.Elector, name)
+			}
+			if !rep.Faults.Supported || len(rep.Faults.Matrix) != 2 {
+				t.Fatalf("%s fault block: %+v", name, rep.Faults)
+			}
+		})
+	}
+}
+
+// Config.Elector and the legacy Config.Omega arbitrate exactly like the
+// CLI flags: agreement is fine, conflict is a construction error.
+func TestElectorOmegaConfigArbitration(t *testing.T) {
+	s, err := New(Config{N: 2, Object: "counter", Elector: "nerio", Omega: "nerio-lease"})
+	if err != nil {
+		t.Fatalf("agreeing spellings rejected: %v", err)
+	}
+	s.Stop()
+	if _, err := New(Config{N: 2, Object: "counter", Elector: "nerio", Omega: "abortable"}); err == nil {
+		t.Fatal("conflicting elector/omega accepted")
+	}
+	if _, err := New(Config{N: 2, Object: "counter", Elector: "warp"}); err == nil {
+		t.Fatal("unknown elector accepted")
 	}
 }
 
@@ -367,8 +454,11 @@ func TestMetricsShape(t *testing.T) {
 	if len(rep.Leader.PerProcess) != 3 {
 		t.Fatalf("leader vector: %+v", rep.Leader)
 	}
-	if len(rep.Faults.Matrix) != 3 {
+	if !rep.Faults.Supported || len(rep.Faults.Matrix) != 3 {
 		t.Fatalf("fault matrix: %+v", rep.Faults)
+	}
+	if rep.Elector != "atomic" {
+		t.Fatalf("metrics elector = %q, want atomic", rep.Elector)
 	}
 	if len(rep.Faults.Trajectory) == 0 || len(rep.Leader.History) == 0 {
 		t.Fatalf("sampler produced no trajectories")
