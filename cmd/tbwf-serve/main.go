@@ -10,10 +10,15 @@
 //	tbwf-serve -elector abortable          # Theorem 15's Ω∆ from abortable registers
 //	tbwf-serve -elector nerio              # epoch/lease elector (bake-off)
 //	tbwf-serve -omega abortable            # legacy alias for -elector
+//	tbwf-serve -n 3 -substrate net         # ABD quorum registers over loopback TCP
+//	tbwf-serve -n 3 -substrate net \
+//	  -net-peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -net-node 0
+//	                                       # one replica per OS process (run 3x)
 //
 // The pacing spec assigns each process's initial step profile; the
-// /v1/fault endpoint retunes a live process afterwards. SIGINT/SIGTERM
-// shut the service down cleanly.
+// /v1/fault endpoint retunes a live process afterwards (and /v1/netfault
+// severs replica links on the net substrate). SIGINT/SIGTERM shut the
+// service down cleanly.
 package main
 
 import (
@@ -52,8 +57,31 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	electorFlag := fs.String("elector", "",
 		fmt.Sprintf("omega implementation: %s (default atomic)", strings.Join(elector.Names(), " | ")))
 	omegaKind := fs.String("omega", "", "legacy alias for -elector")
+	substrate := fs.String("substrate", "rt",
+		"execution substrate: rt | net (net = ABD quorum registers over TCP)")
+	netPeers := fs.String("net-peers", "",
+		"comma-separated replica node addresses (net substrate; empty: in-process loopback nodes)")
+	netNode := fs.Int("net-node", 0, "this process's replica index (net substrate, with -net-peers)")
+	netListen := fs.String("net-listen", "",
+		"replica node listen address (net substrate, with -net-peers; default: its -net-peers entry)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *substrate {
+	case "rt", "net":
+	default:
+		return fmt.Errorf("unknown substrate %q (accepted values: rt, net)", *substrate)
+	}
+	var peers []string
+	if *netPeers != "" {
+		for _, p := range strings.Split(*netPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+	}
+	if *substrate != "net" && (len(peers) > 0 || *netListen != "") {
+		return fmt.Errorf("-net-peers/-net-listen need -substrate net")
 	}
 
 	pacing, err := serve.ParsePacing(*pace, *n)
@@ -67,6 +95,12 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		Omega:      *omegaKind,
 		QueueDepth: *queueDepth,
 		Pacing:     pacing,
+		Substrate:  *substrate,
+		Net: serve.NetOptions{
+			Peers:  peers,
+			Node:   *netNode,
+			Listen: *netListen,
+		},
 	})
 	if err != nil {
 		return err
@@ -80,8 +114,8 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	fmt.Fprintf(os.Stderr, "tbwf-serve: %s with %d replicas on http://%s\n",
-		*object, *n, ln.Addr())
+	fmt.Fprintf(os.Stderr, "tbwf-serve: %s with %d replicas on http://%s (substrate %s)\n",
+		*object, *n, ln.Addr(), *substrate)
 
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)

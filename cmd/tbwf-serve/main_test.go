@@ -19,11 +19,84 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-elector", "quantum"},
 		{"-elector", "nerio", "-omega", "abortable"}, // conflicting spellings
 		{"-badflag"},
+		{"-substrate", "sim"},                     // the kernel is not a live substrate
+		{"-net-peers", "127.0.0.1:1,127.0.0.1:2"}, // net options without -substrate net
+		{"-net-listen", "127.0.0.1:0"},
+		{"-n", "3", "-substrate", "net", "-net-peers", "127.0.0.1:1"}, // short peer list
+		{"-n", "3", "-substrate", "net", "-net-peers", "a,b,c", "-net-node", "5"},
 	}
 	for _, args := range cases {
 		if err := run(args, nil, nil); err == nil {
 			t.Errorf("run(%v) accepted", args)
 		}
+	}
+}
+
+// A bad -substrate value must name the accepted vocabulary in the error.
+func TestSubstrateFlagValidation(t *testing.T) {
+	err := run([]string{"-substrate", "sim"}, nil, nil)
+	if err == nil {
+		t.Fatal("run accepted -substrate sim")
+	}
+	for _, want := range []string{"sim", "rt", "net"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// -substrate net serves the object over loopback quorum registers and the
+// stats document names the substrate.
+func TestNetSubstrateServes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quorum-register serve needs elector stabilization over TCP; skipped in -short mode")
+	}
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "3", "-object", "counter",
+			"-substrate", "net"}, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	resp, err := http.Post("http://"+addr+"/v1/invoke", "application/json",
+		strings.NewReader(`{"op":{"kind":"add","delta":2}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv struct {
+		OK bool `json:"ok"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil || !inv.OK {
+		t.Fatalf("invoke: ok=%v err=%v", inv.OK, err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Substrate string `json:"substrate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Substrate != "net" {
+		t.Fatalf("stats substrate = %q, want net", stats.Substrate)
 	}
 }
 

@@ -10,6 +10,8 @@
 //	tbwf-sim -n 3 -elector nerio
 //	tbwf-sim -n 3 -omega abortable         # legacy alias for -elector
 //	tbwf-sim -n 3 -crash 1@500000
+//	tbwf-sim -n 3 -substrate net -steps 20000000
+//	                                       # ABD quorum registers on the fabric
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"tbwf/internal/core"
 	"tbwf/internal/deploy"
 	"tbwf/internal/elector"
+	"tbwf/internal/net"
 	"tbwf/internal/objtype"
 	"tbwf/internal/omega"
 	"tbwf/internal/prim"
@@ -48,8 +51,15 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 0, "random schedule seed (0 = round-robin base)")
 	nonCanonical := fs.Bool("non-canonical", false, "skip the canonical wait (demonstrates monopolization)")
 	stats := fs.Bool("stats", false, "print kernel execution statistics")
+	substrate := fs.String("substrate", "sim",
+		"execution substrate: sim | net (net = ABD quorum registers on the message fabric)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *substrate {
+	case "sim", "net":
+	default:
+		return fmt.Errorf("unknown substrate %q (accepted values: sim, net)", *substrate)
 	}
 	if *n < 2 {
 		return fmt.Errorf("need at least 2 processes")
@@ -89,7 +99,24 @@ func run(args []string) error {
 		return err
 	}
 
-	st, err := deploy.Build[int64, objtype.CounterOp, int64](deploy.Sim(k), objtype.Counter{},
+	sub := deploy.Sim(k)
+	var fab *net.Fabric
+	var netSub *net.Substrate
+	if *substrate == "net" {
+		// Every register becomes a majority-quorum ABD round over the
+		// deterministic fabric; the fabric shares the -seed so the whole
+		// run (schedule and network) replays from one number.
+		fseed := *seed
+		if fseed == 0 {
+			fseed = 1
+		}
+		netSub, fab, err = net.NewFabric(k, net.FabricConfig{Seed: fseed, MinDelay: 1, MaxDelay: 3}, net.Config{})
+		if err != nil {
+			return err
+		}
+		sub = netSub
+	}
+	st, err := deploy.Build[int64, objtype.CounterOp, int64](sub, objtype.Counter{},
 		deploy.BuildConfig{Elector: builder, NonCanonical: *nonCanonical})
 	if err != nil {
 		return err
@@ -131,11 +158,20 @@ func run(args []string) error {
 	if s, ok := base.(sim.Seeded); ok {
 		schedNote = fmt.Sprintf(", schedule seed %d", s.Seed())
 	}
-	fmt.Printf("ran %d steps (%s Ω∆%s)%s\n\n", res.Steps, st.Elector.Name(), schedNote, idleNote(res))
+	fmt.Printf("ran %d steps (%s substrate, %s Ω∆%s)%s\n\n",
+		res.Steps, *substrate, st.Elector.Name(), schedNote, idleNote(res))
 	fmt.Print(rep)
 	fmt.Printf("\nleaders at end: %v (stabilized at step %d, %d changes)\n",
 		obs.Leaders(), obs.StabilizedAt(), obs.Changes())
-	fmt.Printf("register ops: %d (%d aborted)\n", k.Metrics().TotalOps(), k.Metrics().TotalAborts())
+	if fab != nil {
+		// Kernel metrics only see shared-memory registers; on the net
+		// substrate the interesting counters live on the fabric.
+		rq, wq := netSub.Quorums()
+		fmt.Printf("quorum registers: read %d / write %d of %d nodes, %d messages dropped\n",
+			rq, wq, *n, fab.Dropped())
+	} else {
+		fmt.Printf("register ops: %d (%d aborted)\n", k.Metrics().TotalOps(), k.Metrics().TotalAborts())
+	}
 	if *wanted > 0 {
 		fmt.Printf("TBWF verdict: %v\n", rep.TBWFHolds())
 	}

@@ -1,0 +1,98 @@
+package deploy
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/elector"
+	"tbwf/internal/net"
+	"tbwf/internal/objtype"
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// runNetStack builds a TBWF stack of one sequential type on a fabric-
+// backed net substrate with the given elector, runs ops operations per
+// process, and fails the test if any client falls short. It is the
+// acceptance check that deploy.Build assembles the full stack on the
+// message-passing substrate with zero algorithm-code changes.
+func runNetStack[S, O, R any](t *testing.T, typ interface {
+	Init() S
+	Apply(S, O) (S, R)
+}, eb elector.Builder, mkOp func(p int, i int64) O) {
+	t.Helper()
+	const n, ops = 3, 2
+	k := sim.New(n)
+	sub, _, err := net.NewFabric(k, net.FabricConfig{Seed: 11, MaxDelay: 2}, net.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Build[S, O, R](sub, typ, BuildConfig{Elector: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < n; p++ {
+		p := p
+		sub.Spawn(p, fmt.Sprintf("client[%d]", p), func(pp prim.Proc) {
+			for i := int64(0); i < ops; i++ {
+				st.Clients[p].Invoke(pp, mkOp(p, i))
+			}
+		})
+	}
+	if _, err := k.Run(8_000_000); err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	for p, c := range st.CompletedOps() {
+		if c != ops {
+			t.Errorf("process %d completed %d/%d ops", p, c, ops)
+		}
+	}
+}
+
+// Every object type assembles and settles on the net substrate with the
+// default elector, and the counter assembles with every registered
+// elector: both axes of the deploy matrix, third substrate.
+func TestNetSubstrateAssemblesAllStacks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-step fabric deployments skipped in -short mode")
+	}
+	t.Run("counter", func(t *testing.T) {
+		t.Parallel()
+		runNetStack[int64, objtype.CounterOp, int64](t, objtype.Counter{}, nil,
+			func(p int, i int64) objtype.CounterOp { return objtype.CounterOp{Delta: 1} })
+	})
+	t.Run("register", func(t *testing.T) {
+		t.Parallel()
+		runNetStack[int64, objtype.RegOp, objtype.RegResp](t, objtype.Register{}, nil,
+			func(p int, i int64) objtype.RegOp {
+				return objtype.RegOp{Kind: objtype.RegWrite, New: int64(p*10) + i}
+			})
+	})
+	t.Run("jobqueue", func(t *testing.T) {
+		t.Parallel()
+		runNetStack[[]int64, objtype.QueueOp, objtype.QueueResp](t, objtype.Queue{}, nil,
+			func(p int, i int64) objtype.QueueOp {
+				return objtype.QueueOp{Enq: i%2 == 0, V: int64(p*10) + i}
+			})
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		t.Parallel()
+		runNetStack[[]int64, objtype.SnapOp, objtype.SnapResp](t, objtype.Snapshot{Components: 3}, nil,
+			func(p int, i int64) objtype.SnapOp {
+				return objtype.SnapOp{Update: i%2 == 0, Index: p, V: i}
+			})
+	})
+	for _, name := range elector.Names() {
+		name := name
+		t.Run("elector-"+name, func(t *testing.T) {
+			t.Parallel()
+			eb, err := elector.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runNetStack[int64, objtype.CounterOp, int64](t, objtype.Counter{}, eb,
+				func(p int, i int64) objtype.CounterOp { return objtype.CounterOp{Delta: 1} })
+		})
+	}
+}

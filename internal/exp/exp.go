@@ -138,6 +138,22 @@ func All() []Experiment {
 			cfg.Parallel = o.Parallel
 			return A3ReaderBackoff(cfg)
 		}},
+		{ID: "N1", Name: "net-register", Run: func(o Options) (*Table, error) {
+			cfg := N1Config{}
+			if o.Quick {
+				cfg = N1Config{OpsEach: 10, Steps: 2_000_000, Delays: []int64{1, 2}}
+			}
+			cfg.Parallel = o.Parallel
+			return N1NetRegister(cfg)
+		}},
+		{ID: "N2", Name: "net-delay-sweep", Run: func(o Options) (*Table, error) {
+			cfg := N2Config{}
+			if o.Quick {
+				cfg = N2Config{Steps: 1_500_000, Delays: []int64{1, 8}}
+			}
+			cfg.Parallel = o.Parallel
+			return N2NetDelaySweep(cfg)
+		}},
 	}
 }
 

@@ -276,10 +276,13 @@ func TestA3Shape(t *testing.T) {
 
 // The registry must resolve ids and names and reject junk.
 func TestRegistry(t *testing.T) {
-	if len(All()) != 14 {
-		t.Fatalf("want 14 experiments, got %d", len(All()))
+	if len(All()) != 16 {
+		t.Fatalf("want 16 experiments, got %d", len(All()))
 	}
 	if _, err := ByID("B1"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("net-delay-sweep"); err != nil {
 		t.Error(err)
 	}
 	if _, err := ByID("E1"); err != nil {

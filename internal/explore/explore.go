@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"tbwf/internal/exp"
+	"tbwf/internal/net"
 	"tbwf/internal/register"
 	"tbwf/internal/sim"
 )
@@ -90,6 +91,10 @@ type Plan struct {
 	// per decision, in draw order), replayed verbatim before fresh seeded
 	// draws take over.
 	Tape string `json:"tape,omitempty"`
+	// Partitions is the network partition/heal schedule for net/* targets
+	// (applied by the target's fabric at the listed kernel steps); empty
+	// for shared-memory targets.
+	Partitions []net.PartitionEvent `json:"partitions,omitempty"`
 }
 
 // Env is what a target's Build receives: the deterministic context of one
@@ -102,7 +107,10 @@ type Env struct {
 	// Tape is the policy coin-flip tape; wire it into abortable registers
 	// via register.TapedAbort / register.TapedEffect.
 	Tape *register.Tape
-	rng  *rand.Rand
+	// Partitions is the plan's partition/heal schedule; net/* targets pass
+	// it to their fabric.
+	Partitions []net.PartitionEvent
+	rng        *rand.Rand
 }
 
 // Rand is the target-local derivation stream: deterministic in the seed
@@ -166,10 +174,11 @@ func Execute(p Plan) (*Outcome, error) {
 		steps = tgt.Steps
 	}
 	env := &Env{
-		Seed:  p.Seed,
-		Steps: steps,
-		Tape:  register.ReplayTape(mix(p.Seed, streamTape), p.Tape),
-		rng:   rand.New(rand.NewSource(mix(p.Seed, streamTarget))),
+		Seed:       p.Seed,
+		Steps:      steps,
+		Tape:       register.ReplayTape(mix(p.Seed, streamTape), p.Tape),
+		Partitions: p.Partitions,
+		rng:        rand.New(rand.NewSource(mix(p.Seed, streamTarget))),
 	}
 
 	base := newPlanSchedule(p, steps)

@@ -160,6 +160,10 @@ func TestAblationTeeth(t *testing.T) {
 		// caught by the seam-level oracles its sound counterpart passes.
 		{"elector-nerio-nodepose", "elector-nerio", 200_000, 16},
 		{"elector-reputation-nopenalty", "elector-reputation-churn", 200_000, 16},
+		// Quorum intersection: read quorum 1 on the ABD substrate lets
+		// clients read replicas the write quorum never touched (measured
+		// 4/32 at budget 300000); the majority-quorum control stays green.
+		{"net/partition-rq1", "net/partition", 300_000, 32},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,0 +1,94 @@
+package explore
+
+import (
+	"testing"
+)
+
+// TestNetPartitionReplaysByteExactly extends the recording/replay loop to
+// the fabric targets: a run whose network suffered a mid-run
+// majority-preserving partition replays byte-exactly from its pinned plan
+// and from its encoded JSON artifact — the partition schedule travels in
+// the plan, so the fabric re-injects the same cut and heal.
+func TestNetPartitionReplaysByteExactly(t *testing.T) {
+	tgt, err := TargetByName("net/partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(tgt, 1, 0)
+	if len(p.Partitions) == 0 {
+		t.Fatal("net/partition plan has no partition schedule")
+	}
+	orig, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig.Idle {
+		t.Fatalf("net/partition seed 1 should settle within %d steps", p.Steps)
+	}
+	if orig.Failed() {
+		t.Fatalf("net/partition seed 1 failed: %v", orig.Verdicts)
+	}
+
+	// Pin the executed schedule and tape, keep the partition schedule, and
+	// switch the strategy: the run settles inside the prefix, so the (now
+	// different) generator must never influence it.
+	pinned := p
+	pinned.Prefix = orig.Schedule
+	pinned.Tape = orig.Tape
+	pinned.Strategy = StrategyPattern
+	rep, err := Execute(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceHash != orig.TraceHash {
+		t.Fatalf("pinned replay hash %s, want %s", rep.TraceHash, orig.TraceHash)
+	}
+	if !verdictsEqual(rep.Verdicts, orig.Verdicts) {
+		t.Fatalf("pinned replay verdicts %v, want %v", rep.Verdicts, orig.Verdicts)
+	}
+
+	// The JSON artifact round trip carries the partition schedule and
+	// replays exactly.
+	enc, err := NewArtifact(p, orig).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeArtifact(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Plan.Partitions) != len(p.Partitions) {
+		t.Fatalf("artifact lost the partition schedule: %v", dec.Plan.Partitions)
+	}
+	res, err := Replay(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact() {
+		t.Fatalf("artifact replay diverged: hash=%v verdicts=%v", res.HashMatch, res.VerdictsMatch)
+	}
+}
+
+// TestNetReorderTargetRuns sanity-checks the reordering target: a seeded
+// run executes without infrastructure errors and produces a verdict from
+// the net-def5 oracle (ok or vacuous; the non-ablated elector must not
+// fail under duplication and jitter).
+func TestNetReorderTargetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M-step elector run skipped in -short mode")
+	}
+	tgt, err := TargetByName("net/reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Execute(NewPlan(tgt, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("net/reorder seed 1 failed: %v", out.Verdicts)
+	}
+	if len(out.Verdicts) != 1 || out.Verdicts[0].Oracle != "net-def5" {
+		t.Fatalf("unexpected verdicts: %v", out.Verdicts)
+	}
+}

@@ -3,6 +3,7 @@ package explore
 import (
 	"math/rand"
 
+	"tbwf/internal/net"
 	"tbwf/internal/sim"
 )
 
@@ -186,6 +187,24 @@ func NewPlan(tgt Target, seed, budget int64) Plan {
 	}
 	if !tgt.NoCrashes && rng.Float64() < 0.25 {
 		p.Crashes = append(p.Crashes, Crash{Proc: rng.Intn(tgt.N), Step: rng.Int63n(steps)})
+	}
+	if tgt.Partitions {
+		// A majority-preserving cut in the second quarter — one process is
+		// isolated from the rest — healed within a quarter, so quorum
+		// operations stall, retransmit, and must still linearize.
+		iso := rng.Intn(tgt.N)
+		rest := make([]int, 0, tgt.N-1)
+		for q := 0; q < tgt.N; q++ {
+			if q != iso {
+				rest = append(rest, q)
+			}
+		}
+		cut := steps/4 + rng.Int63n(maxInt64(steps/4, 1))
+		heal := cut + 1 + rng.Int63n(maxInt64(steps/4, 1))
+		p.Partitions = []net.PartitionEvent{
+			{Step: cut, Groups: [][]int{rest, {iso}}},
+			{Step: heal},
+		}
 	}
 	return p
 }

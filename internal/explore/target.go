@@ -48,6 +48,10 @@ type Target struct {
 	// Strategies restricts plan generation to these strategies; nil means
 	// all of them.
 	Strategies []Strategy
+	// Partitions marks net/* targets: the plan generator adds a seeded
+	// majority-preserving partition/heal schedule to every plan, which the
+	// target's fabric applies mid-run.
+	Partitions bool
 	// Avail optionally restricts per-process availability (layered over the
 	// plan's schedule via sim.Restrict), for targets whose property needs a
 	// structurally slow process.
@@ -321,6 +325,7 @@ func Targets() []Target {
 			Build:     buildSelftestPanic,
 		},
 	}
+	ts = append(ts, netTargets()...)
 	return append(ts, serveTargets()...)
 }
 

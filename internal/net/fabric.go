@@ -1,0 +1,229 @@
+package net
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tbwf/internal/sim"
+)
+
+// FabricConfig shapes the deterministic in-process network.
+type FabricConfig struct {
+	// Seed drives every random draw (delays, drops, duplicates). The same
+	// seed and kernel schedule reproduce the same run byte-for-byte.
+	Seed int64
+	// MinDelay and MaxDelay bound per-message delivery delay in kernel
+	// steps (uniform draw, inclusive). Zero values default to [1, 3].
+	MinDelay, MaxDelay int64
+	// DropProb and DupProb are per-message loss/duplication probabilities.
+	DropProb, DupProb float64
+	// RetransmitEvery is how many parked steps an operation waits before
+	// resending to non-responding nodes (default 64). Retransmission is
+	// what lets operations survive drops and heal after partitions.
+	RetransmitEvery int64
+	// Partitions is a schedule of partition events applied at their kernel
+	// steps, in order. An event with no groups heals the network.
+	Partitions []PartitionEvent
+}
+
+// PartitionEvent cuts the network into groups at a kernel step. Messages
+// cross the cut in neither direction; a process listed in no group is a
+// singleton (isolated). Groups cover both roles of a process index — its
+// clients and its replica node — since a partition separates machines,
+// not roles. Empty Groups heals all cuts.
+type PartitionEvent struct {
+	Step   int64   `json:"step"`
+	Groups [][]int `json:"groups,omitempty"`
+}
+
+// envelope is one in-flight message. seq breaks delivery ties so heap
+// order — and therefore the whole run — is deterministic.
+type envelope struct {
+	at  int64
+	seq uint64
+	src int // sending process (link-fault endpoint)
+	dst int // receiving process
+	req *Request
+	rep *Reply
+}
+
+type envHeap []*envelope
+
+func (h envHeap) Len() int { return len(h) }
+func (h envHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h envHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *envHeap) Push(x any)   { *h = append(*h, x.(*envelope)) }
+func (h *envHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Fabric is the deterministic in-process transport: messages travel as
+// envelopes through a delay heap drained by a kernel AfterStep hook, so
+// delivery interleaves with the schedule the fuzzer controls. All
+// randomness comes from one seeded source drawn in deterministic order.
+type Fabric struct {
+	k     *sim.Kernel
+	e     *engine
+	nodes []*Node
+	rng   *rand.Rand
+	cfg   FabricConfig
+
+	heap    envHeap
+	seq     uint64
+	group   []int // group[p] = partition group of process p; -1 isolated
+	cut     bool
+	events  []PartitionEvent
+	dropped int64
+}
+
+// NewFabric builds a net substrate whose transport is a deterministic
+// fabric driven by k's scheduler. The kernel must not have run yet (the
+// fabric registers an AfterStep hook). One replica node per process.
+func NewFabric(k *sim.Kernel, fcfg FabricConfig, cfg Config) (*Substrate, *Fabric, error) {
+	if fcfg.MinDelay == 0 && fcfg.MaxDelay == 0 {
+		fcfg.MinDelay, fcfg.MaxDelay = 1, 3
+	}
+	if fcfg.MinDelay < 0 || fcfg.MaxDelay < fcfg.MinDelay {
+		return nil, nil, fmt.Errorf("net: delay range [%d,%d] invalid", fcfg.MinDelay, fcfg.MaxDelay)
+	}
+	if fcfg.RetransmitEvery <= 0 {
+		fcfg.RetransmitEvery = 64
+	}
+	f := &Fabric{
+		k:      k,
+		rng:    rand.New(rand.NewSource(fcfg.Seed)),
+		cfg:    fcfg,
+		events: append([]PartitionEvent(nil), fcfg.Partitions...),
+	}
+	sort.SliceStable(f.events, func(i, j int) bool { return f.events[i].Step < f.events[j].Step })
+	// The substrate's host is the raw kernel held behind hostSub, so the
+	// SimKernel capability is not forwarded and internal/register's typed
+	// fast paths cannot bypass the quorum protocol.
+	sub, err := newSubstrate(k, f, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.e = sub.e
+	f.nodes = make([]*Node, k.N())
+	for i := range f.nodes {
+		f.nodes[i] = NewNode(i)
+	}
+	k.AfterStep(f.afterStep)
+	return sub, f, nil
+}
+
+// Nodes exposes the replica nodes, for tests and telemetry.
+func (f *Fabric) Nodes() []*Node { return f.nodes }
+
+// Dropped returns how many messages faults have discarded.
+func (f *Fabric) Dropped() int64 { return f.dropped }
+
+// SetPartition cuts the network into groups immediately (see
+// PartitionEvent for semantics). Call with no groups to heal.
+func (f *Fabric) SetPartition(groups ...[]int) {
+	if len(groups) == 0 {
+		f.cut = false
+		f.group = nil
+		return
+	}
+	f.cut = true
+	f.group = make([]int, f.k.N())
+	for i := range f.group {
+		f.group[i] = -1
+	}
+	for g, ps := range groups {
+		for _, p := range ps {
+			if p >= 0 && p < len(f.group) {
+				f.group[p] = g
+			}
+		}
+	}
+}
+
+// blocked reports whether the partition severs the src→dst link.
+func (f *Fabric) blocked(src, dst int) bool {
+	if !f.cut || src == dst {
+		return false
+	}
+	if src < 0 || src >= len(f.group) || dst < 0 || dst >= len(f.group) {
+		return true
+	}
+	return f.group[src] < 0 || f.group[dst] < 0 || f.group[src] != f.group[dst]
+}
+
+// post enqueues one message after drawing its fate (drop, duplicate,
+// delay) from the seeded source. Draws happen in a fixed order per
+// message so the stream stays aligned across replays.
+func (f *Fabric) post(src, dst int, req *Request, rep *Reply) {
+	drop := f.cfg.DropProb > 0 && f.rng.Float64() < f.cfg.DropProb
+	dup := f.cfg.DupProb > 0 && f.rng.Float64() < f.cfg.DupProb
+	copies := 1
+	if drop {
+		copies = 0
+		f.dropped++
+	} else if dup {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		delay := f.cfg.MinDelay
+		if f.cfg.MaxDelay > f.cfg.MinDelay {
+			delay += f.rng.Int63n(f.cfg.MaxDelay - f.cfg.MinDelay + 1)
+		}
+		f.seq++
+		heap.Push(&f.heap, &envelope{
+			at: f.k.Step() + delay, seq: f.seq,
+			src: src, dst: dst, req: req, rep: rep,
+		})
+	}
+}
+
+// send implements transport: requests enter the fabric from the calling
+// task's process.
+func (f *Fabric) send(req Request) {
+	r := req
+	r.Src = f.k.CurrentProc()
+	f.post(r.Src, r.To, &r, nil)
+}
+
+// park implements transport: the operation yields one kernel step; every
+// RetransmitEvery parks it resends to nodes that have not replied.
+func (f *Fabric) park(p *pending) bool {
+	f.k.OpStep()
+	p.parks++
+	return p.parks%f.cfg.RetransmitEvery == 0
+}
+
+// afterStep applies due partition events and delivers due messages. The
+// partition check happens at delivery, not at send: a message in flight
+// when the cut lands is lost, exactly like a real network.
+func (f *Fabric) afterStep(step int64) {
+	for len(f.events) > 0 && f.events[0].Step <= step {
+		f.SetPartition(f.events[0].Groups...)
+		f.events = f.events[1:]
+	}
+	for len(f.heap) > 0 && f.heap[0].at <= step {
+		env := heap.Pop(&f.heap).(*envelope)
+		if f.blocked(env.src, env.dst) {
+			f.dropped++
+			continue
+		}
+		if env.req != nil {
+			rep := f.nodes[env.dst].Handle(*env.req)
+			f.post(env.dst, env.req.Src, nil, &rep)
+			continue
+		}
+		f.e.onReply(*env.rep)
+	}
+}

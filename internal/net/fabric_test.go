@@ -1,0 +1,209 @@
+package net
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// Two runs from the same fabric seed execute the same messages: same drop
+// count, same per-node handled counts, same values read. This is the
+// property the explore plans (and their replay artifacts) stand on.
+func TestFabricDeterministic(t *testing.T) {
+	run := func() (vals [3]int64, dropped int64, handled [3]int64) {
+		k := sim.New(3)
+		sub, fab, err := NewFabric(k, FabricConfig{
+			Seed:     99,
+			MinDelay: 1,
+			MaxDelay: 4,
+			DropProb: 0.2,
+			DupProb:  0.1,
+		}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := prim.NewRegister[int64](sub, "d", 0)
+		var done [3]atomic.Bool
+		for p := 0; p < 3; p++ {
+			p := p
+			sub.Spawn(p, "worker", func(proc prim.Proc) {
+				for i := 0; i < 8; i++ {
+					reg.Write(int64(p*100 + i))
+					vals[p] = reg.Read()
+				}
+				done[p].Store(true)
+			})
+		}
+		if _, err := k.Run(200_000); err != nil {
+			t.Fatal(err)
+		}
+		for p := range done {
+			if !done[p].Load() {
+				t.Fatalf("worker %d did not finish", p)
+			}
+		}
+		k.Shutdown()
+		for i, nd := range fab.Nodes() {
+			handled[i] = nd.Handled()
+		}
+		return vals, fab.Dropped(), handled
+	}
+	v1, d1, h1 := run()
+	v2, d2, h2 := run()
+	if v1 != v2 || d1 != d2 || h1 != h2 {
+		t.Fatalf("same seed diverged: vals %v vs %v, dropped %d vs %d, handled %v vs %v",
+			v1, v2, d1, d2, h1, h2)
+	}
+	if d1 == 0 {
+		t.Fatal("expected drops at DropProb 0.2")
+	}
+}
+
+// A partition event stalls a minority-side client's quorum operation (its
+// messages to the majority are cut), and the heal event lets the pending
+// operation finish through retransmission.
+func TestFabricPartitionStallsUntilHeal(t *testing.T) {
+	const cut, heal = 100, 6_000
+	k := sim.New(3)
+	sub, fab, err := NewFabric(k, FabricConfig{
+		Seed:            7,
+		RetransmitEvery: 16,
+		Partitions: []PartitionEvent{
+			{Step: cut, Groups: [][]int{{0, 1}, {2}}},
+			{Step: heal},
+		},
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := prim.NewRegister[int64](sub, "r", 0)
+	var wroteAt atomic.Int64
+	wroteAt.Store(-1)
+	sub.Spawn(2, "isolated", func(proc prim.Proc) {
+		for k.Step() < cut+10 {
+			proc.Step()
+		}
+		reg.Write(42) // needs a majority: must stall until the heal
+		wroteAt.Store(k.Step())
+	})
+	if _, err := k.Run(50_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if at := wroteAt.Load(); at < heal {
+		t.Fatalf("isolated client's write finished at step %d, inside the partition window [%d, %d)", at, cut, heal)
+	}
+	if fab.Dropped() == 0 {
+		t.Fatal("partition dropped no messages")
+	}
+}
+
+// Configuration validation: quorum sizes must fit the process count, and
+// Restrict needs a valid process.
+func TestFabricConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int
+		cfg  Config
+	}{
+		{"read quorum too large", 3, Config{ReadQuorum: 4}},
+		{"write quorum too small", 3, Config{WriteQuorum: -1}},
+		{"restrict out of range", 3, Config{Restrict: true, Only: 5}},
+		{"single process", 1, Config{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.New(tc.n)
+			defer k.Shutdown()
+			if _, _, err := NewFabric(k, FabricConfig{Seed: 1}, tc.cfg); err == nil {
+				t.Fatalf("NewFabric accepted %+v on n=%d", tc.cfg, tc.n)
+			}
+		})
+	}
+}
+
+// The quorum engine cannot attribute a conflicting operation to a process,
+// and the documented prim.Op contract for that case is Proc == -1 — never
+// a fabricated id. Seed the replicas with disagreeing timestamps directly
+// and watch every policy consultation.
+func TestAbortPolicySeesProcMinusOne(t *testing.T) {
+	k := sim.New(3)
+	sub, fab, err := NewFabric(k, FabricConfig{Seed: 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three replicas, three different histories for register "r": any read
+	// quorum of two disagrees.
+	for i, nd := range fab.Nodes() {
+		nd.Handle(Request{Op: uint64(i + 1), Phase: phaseWrite, Reg: "r", To: i,
+			TS: Timestamp{C: int64(i + 1), Tag: int64(i + 1)}, Val: int64(i * 10)})
+	}
+	var ops []prim.Op
+	capture := prim.AbortPolicyFunc(func(op prim.Op) bool {
+		ops = append(ops, op)
+		return true
+	})
+	reg := prim.NewAbortable[int64](sub, "r", 0, prim.WithAbortPolicy(capture))
+	var done atomic.Bool
+	sub.Spawn(0, "prober", func(proc prim.Proc) {
+		if _, ok := reg.Read(); ok {
+			t.Error("disagreeing quorum read did not abort under AlwaysAbort-style policy")
+		}
+		done.Store(true)
+	})
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if !done.Load() {
+		t.Fatal("prober did not finish")
+	}
+	if len(ops) == 0 {
+		t.Fatal("abort policy was never consulted")
+	}
+	for _, op := range ops {
+		if op.Proc != -1 {
+			t.Fatalf("policy op fabricated a process id: %+v", op)
+		}
+		if op.Register != "r" {
+			t.Fatalf("policy op names register %q, want r", op.Register)
+		}
+	}
+}
+
+// The substrate must not forward the simulation kernel's identity to
+// register.SubstrateAtomic's fast-path probe: every register op has to go
+// through the quorum engine, or the fabric's faults would silently stop
+// applying to "net" registers on a sim host.
+func TestNoSimFastPathBypass(t *testing.T) {
+	k := sim.New(3)
+	sub, fab, err := NewFabric(k, FabricConfig{Seed: 5}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := prim.NewRegister[int64](sub, "fp", 0)
+	var done atomic.Bool
+	sub.Spawn(0, "writer", func(proc prim.Proc) {
+		reg.Write(7)
+		if got := reg.Read(); got != 7 {
+			t.Errorf("read %d after write 7", got)
+		}
+		done.Store(true)
+	})
+	if _, err := k.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	if !done.Load() {
+		t.Fatal("writer did not finish")
+	}
+	var handled int64
+	for _, nd := range fab.Nodes() {
+		handled += nd.Handled()
+	}
+	if handled == 0 {
+		t.Fatal("register ops bypassed the quorum engine: no replica handled a message")
+	}
+}

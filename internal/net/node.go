@@ -1,0 +1,73 @@
+package net
+
+import "sync"
+
+// Node is one ABD replica: a passive store mapping register names to the
+// highest-timestamped (value, timestamp) pair it has been asked to hold.
+// Handle is a pure request→reply state machine, so the same Node serves
+// both transports: the fabric invokes it synchronously at message
+// delivery, the TCP node server from its connection goroutines (hence the
+// mutex — uncontended on the single-threaded fabric).
+//
+// Nodes are deliberately crash-free: the fault model puts crashes at the
+// client processes (kernel crash injection, partition events that isolate
+// a client) while the replica set plays the always-on majority that ABD
+// assumes. A register survives any minority of nodes being unreachable.
+type Node struct {
+	mu   sync.Mutex
+	id   int
+	regs map[string]*slot
+
+	// Handled counts processed requests, for telemetry and tests.
+	handled int64
+}
+
+// slot is one register's replica state. A zero timestamp means "never
+// written": the client substitutes the register's initial value, which it
+// knows and every node would only have to agree on.
+type slot struct {
+	ts  Timestamp
+	val any
+}
+
+// NewNode creates replica node id.
+func NewNode(id int) *Node {
+	return &Node{id: id, regs: make(map[string]*slot)}
+}
+
+// ID returns the node's replica index.
+func (nd *Node) ID() int { return nd.id }
+
+// Handled returns the number of requests the node has processed.
+func (nd *Node) Handled() int64 {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.handled
+}
+
+// Handle processes one request and produces its reply. Write-phase
+// requests are idempotent (the node only moves forward in timestamp
+// order), so duplicated or retransmitted messages are harmless.
+func (nd *Node) Handle(req Request) Reply {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.handled++
+	s := nd.regs[req.Reg]
+	if s == nil {
+		s = &slot{}
+		nd.regs[req.Reg] = s
+	}
+	rep := Reply{Op: req.Op, Phase: req.Phase, Node: nd.id, Src: req.Src}
+	switch req.Phase {
+	case phaseWrite:
+		// Reply with the *prior* timestamp: a prior newer than the writer's
+		// basis is the protocol's contention signal.
+		rep.TS, rep.Has = s.ts, !s.ts.IsZero()
+		if s.ts.Less(req.TS) {
+			s.ts, s.val = req.TS, req.Val
+		}
+	default: // phaseRead
+		rep.TS, rep.Val, rep.Has = s.ts, s.val, !s.ts.IsZero()
+	}
+	return rep
+}

@@ -1,0 +1,226 @@
+package net
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"tbwf/internal/elector"
+	"tbwf/internal/elector/electortest"
+	"tbwf/internal/prim"
+	"tbwf/internal/prim/primtest"
+	"tbwf/internal/rt"
+)
+
+// Frames survive the length-prefixed gob round trip, including an untyped
+// nil value (a register that was never written).
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Request{Op: 9, Phase: phaseWrite, Reg: "qa[0].D", To: 2, Src: -1, Client: 1,
+		TS: Timestamp{C: 3, Tag: 513}, Val: int64(77)}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out Request
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Op != in.Op || out.Phase != in.Phase || out.Reg != in.Reg || out.TS != in.TS || out.Val != in.Val {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	buf.Reset()
+	rep := Reply{Op: 9, Phase: phaseRead, Node: 2, TS: Timestamp{}, Val: nil, Has: false}
+	if err := writeFrame(&buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	var got Reply
+	if err := readFrame(&buf, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != nil || got.Has {
+		t.Fatalf("nil value round trip: got %+v", got)
+	}
+}
+
+// tcpFixture is a single-OS-process loopback deploy: an rt runtime hosts
+// the tasks of all three processes, and three replica nodes listen on
+// loopback TCP sockets.
+type tcpFixture struct {
+	rt  *rt.Runtime
+	sub *Substrate
+	tr  *TCP
+}
+
+func newTCPFixture(t *testing.T, cfg Config) *tcpFixture {
+	t.Helper()
+	r := rt.New(3, nil)
+	peers := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		srv, err := ListenNode("127.0.0.1:0", NewNode(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		peers[i] = srv.Addr()
+	}
+	sub, tr, err := NewTCP(r, r.Stopping(), TCPConfig{
+		Peers:           peers,
+		RetransmitEvery: 5 * time.Millisecond,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := r.Stop(); err != nil {
+			t.Errorf("runtime stop: %v", err)
+		}
+	})
+	return &tcpFixture{rt: r, sub: sub, tr: tr}
+}
+
+func pollDone(timeout time.Duration) func(done func() bool) error {
+	return func(done func() bool) error {
+		deadline := time.Now().Add(timeout)
+		for !done() {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("done condition not reached in %v", timeout)
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	}
+}
+
+// The TCP-backed net substrate passes the prim conformance suite. CI runs
+// this package under -race, which makes the suite double as a data-race
+// check on the engine, the per-peer outboxes, and the node servers.
+func TestTCPSubstrateConformance(t *testing.T) {
+	primtest.Run(t, func(t *testing.T) *primtest.Harness {
+		f := newTCPFixture(t, Config{})
+		return &primtest.Harness{
+			Sub:   f.sub,
+			Run:   pollDone(20 * time.Second),
+			Crash: f.rt.Crash,
+		}
+	})
+}
+
+// The Figure 3 elector passes the elector conformance suite over real TCP
+// sockets — same algorithm code, third substrate. One elector keeps the
+// wall-clock cost bounded; the full bake-off matrix runs on the
+// deterministic fabric (TestElectorConformanceFabric).
+func TestTCPElectorConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("elector over TCP loopback needs wall-clock seconds; skipped in -short mode")
+	}
+	electortest.Run(t, elector.Atomic, func(t *testing.T) *electortest.Harness {
+		f := newTCPFixture(t, Config{})
+		return &electortest.Harness{
+			Sub: f.sub,
+			Run: pollDone(60 * time.Second),
+		}
+	})
+}
+
+// Block severs links at the transport: with a majority of replicas still
+// reachable operations keep completing, and once too few remain the next
+// operation stalls until the link is restored — the live partition-
+// injection hook the serve layer exposes.
+func TestTCPBlockPartitionsAndRecovers(t *testing.T) {
+	f := newTCPFixture(t, Config{})
+	reg := prim.NewRegister[int64](f.sub, "b", 0)
+	step := make(chan struct{})
+	vals := make(chan int64, 3)
+	f.sub.Spawn(0, "prober", func(p prim.Proc) {
+		for range step {
+			reg.Write(1)
+			vals <- reg.Read()
+		}
+	})
+	next := func() int64 {
+		t.Helper()
+		step <- struct{}{}
+		select {
+		case v := <-vals:
+			return v
+		case <-time.After(10 * time.Second):
+			t.Fatal("operation stalled")
+			return 0
+		}
+	}
+	if v := next(); v != 1 {
+		t.Fatalf("read %d, want 1", v)
+	}
+	f.tr.Block(2, true) // one replica down: majority remains
+	if v := next(); v != 1 {
+		t.Fatalf("read %d with one node blocked, want 1", v)
+	}
+	f.tr.Block(1, true) // two down: no quorum — must stall
+	stalled := make(chan struct{})
+	go func() {
+		step <- struct{}{}
+		<-vals
+		close(stalled)
+	}()
+	select {
+	case <-stalled:
+		t.Fatal("quorum operation completed with a majority of replicas blocked")
+	case <-time.After(200 * time.Millisecond):
+	}
+	f.tr.Block(1, false)
+	f.tr.Block(2, false)
+	select {
+	case <-stalled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("operation did not recover after the heal")
+	}
+	if f.tr.Dropped() == 0 {
+		t.Fatal("blocked links dropped no messages")
+	}
+	close(step)
+}
+
+// BenchmarkNetRegister measures quorum operation latency over TCP
+// loopback: what one ABD read (two quorum round trips) and one write
+// cost through real sockets. TCP register operations are driven directly
+// from the bench goroutine — the transport parks on channels, not on a
+// scheduler, so no task context is needed.
+func BenchmarkNetRegister(b *testing.B) {
+	r := rt.New(3, nil)
+	peers := make([]string, 3)
+	var servers []*NodeServer
+	for i := 0; i < 3; i++ {
+		srv, err := ListenNode("127.0.0.1:0", NewNode(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		servers = append(servers, srv)
+		peers[i] = srv.Addr()
+	}
+	defer func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}()
+	sub, _, err := NewTCP(r, r.Stopping(), TCPConfig{
+		Peers:           peers,
+		RetransmitEvery: 5 * time.Millisecond,
+	}, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Stop()
+	reg := prim.NewRegister[int64](sub, "bench", 0)
+	reg.Write(1)
+	b.Run("read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.Read()
+		}
+	})
+	b.Run("write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reg.Write(int64(i))
+		}
+	})
+}

@@ -1,0 +1,10 @@
+package omegaab
+
+import "tbwf/internal/prim"
+
+// Msg crosses MsgRegister[p,q] as `any` on type-erased substrates; a
+// serializing transport (the net substrate's TCP frames) needs its
+// concrete type registered up front.
+func init() {
+	prim.RegisterWireType(Msg{})
+}

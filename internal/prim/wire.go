@@ -1,0 +1,30 @@
+package prim
+
+import "sync"
+
+// The wire-type registry: substrates that serialize register values (the
+// net substrate's TCP transport encodes them with gob) need every
+// concrete type that crosses a register as `any`. Packages that define
+// such types register a zero value from init(); the transport drains the
+// registry once at startup. This keeps prim dependency-free while letting
+// the concrete-type knowledge live with the types themselves.
+
+var (
+	wireMu    sync.Mutex
+	wireTypes []any
+)
+
+// RegisterWireType records a concrete value type that may cross a
+// register on a serializing substrate. Safe to call from init().
+func RegisterWireType(v any) {
+	wireMu.Lock()
+	wireTypes = append(wireTypes, v)
+	wireMu.Unlock()
+}
+
+// WireTypes returns a snapshot of all registered wire types.
+func WireTypes() []any {
+	wireMu.Lock()
+	defer wireMu.Unlock()
+	return append([]any(nil), wireTypes...)
+}

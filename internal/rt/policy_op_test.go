@@ -1,0 +1,53 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+
+	"tbwf/internal/prim"
+)
+
+// The runtime cannot attribute a conflicting operation to a process (the
+// conflict is another goroutine's overlapping window), so the documented
+// prim.Op contract is Proc == -1 — the same contract the net substrate's
+// quorum engine follows. Regression test: hammer an abortable register
+// from two goroutines until the policy is consulted, and check every Op
+// it ever sees.
+func TestAbortPolicyOpProcIsMinusOne(t *testing.T) {
+	var (
+		mu  sync.Mutex
+		ops []prim.Op
+	)
+	capture := prim.AbortPolicyFunc(func(op prim.Op) bool {
+		mu.Lock()
+		ops = append(ops, op)
+		mu.Unlock()
+		return true
+	})
+	reg := NewNamedAbortable("contended", int64(0), prim.WithAbortPolicy(capture))
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				reg.Write(int64(i))
+				reg.Read()
+			}
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ops) == 0 {
+		t.Skip("no contention observed in 20000 overlapping operations")
+	}
+	for _, op := range ops {
+		if op.Proc != -1 {
+			t.Fatalf("policy op fabricated a process id: %+v", op)
+		}
+		if op.Register != "contended" {
+			t.Fatalf("policy op names register %q, want contended", op.Register)
+		}
+	}
+}

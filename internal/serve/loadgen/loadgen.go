@@ -66,6 +66,9 @@ type Config struct {
 type Report struct {
 	Object string `json:"object"`
 	N      int    `json:"n"`
+	// Substrate is the service's execution substrate ("rt" or "net"),
+	// echoed from /v1/stats so a saved report identifies what it measured.
+	Substrate string `json:"substrate"`
 	// Omega is the service's Ω∆ implementation name; Elector its canonical
 	// flag name — both echoed from /v1/stats so a saved report identifies
 	// which elector it measured.
@@ -188,11 +191,12 @@ func fillOp(kind string, client int, seq int64, snapIndexes int) serve.WireOp {
 }
 
 type serverInfo struct {
-	Object  string   `json:"object"`
-	N       int      `json:"n"`
-	Omega   string   `json:"omega"`
-	Elector string   `json:"elector"`
-	Kinds   []string `json:"kinds"`
+	Object    string   `json:"object"`
+	N         int      `json:"n"`
+	Substrate string   `json:"substrate"`
+	Omega     string   `json:"omega"`
+	Elector   string   `json:"elector"`
+	Kinds     []string `json:"kinds"`
 }
 
 // fetchInfo reads /v1/stats to learn the replica count and op kinds.
@@ -381,6 +385,7 @@ func Run(cfg Config) (*Report, error) {
 	rep := &Report{
 		Object:     info.Object,
 		N:          info.N,
+		Substrate:  info.Substrate,
 		Omega:      info.Omega,
 		Elector:    info.Elector,
 		Clients:    cfg.Clients,
@@ -426,7 +431,8 @@ func Run(cfg Config) (*Report, error) {
 // Format renders a short human-readable digest of the report.
 func Format(r *Report) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "object=%s n=%d elector=%s clients=%d mix=%s\n", r.Object, r.N, r.Elector, r.Clients, r.Mix)
+	fmt.Fprintf(&sb, "object=%s n=%d substrate=%s elector=%s clients=%d mix=%s\n",
+		r.Object, r.N, r.Substrate, r.Elector, r.Clients, r.Mix)
 	fmt.Fprintf(&sb, "ops=%d (%.0f/s) backpressure=%d timeouts=%d errors=%d in %dms\n",
 		r.TotalOps, r.OpsPerSec, r.Backpressure, r.Timeouts, r.Errors, r.DurationMS)
 	fmt.Fprintf(&sb, "overall  p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs\n",

@@ -95,6 +95,8 @@ type Injection struct {
 type MetricsReport struct {
 	Object string `json:"object"`
 	N      int    `json:"n"`
+	// Substrate names the execution substrate ("rt" or "net").
+	Substrate string `json:"substrate"`
 	// Omega is the elector's implementation name (historical key);
 	// Elector its canonical flag name.
 	Omega     string           `json:"omega"`
@@ -106,6 +108,19 @@ type MetricsReport struct {
 	// QASlots is the number of operation-log slots allocated so far.
 	QASlots    int64       `json:"qa_slots"`
 	Injections []Injection `json:"injections"`
+	// Net carries quorum/transport telemetry on the net substrate and is
+	// absent on rt.
+	Net *NetMetrics `json:"net,omitempty"`
+}
+
+// NetMetrics is the net substrate's slice of the report: the effective
+// quorum sizes and the transport's send/drop counters (drops count dead,
+// blocked, and backpressured peers; retransmission recovers them).
+type NetMetrics struct {
+	ReadQuorum  int   `json:"read_quorum"`
+	WriteQuorum int   `json:"write_quorum"`
+	Sent        int64 `json:"sent"`
+	Dropped     int64 `json:"dropped"`
 }
 
 // ProcessMetrics is one replica's slice of the report.
@@ -234,12 +249,22 @@ func (s *Server) report() MetricsReport {
 	rep := MetricsReport{
 		Object:     s.cfg.Object,
 		N:          n,
+		Substrate:  s.cfg.Substrate,
 		Omega:      s.backend.ElectorName(),
 		Elector:    s.electorFlag,
 		UptimeMS:   now.Sub(s.metrics.start).Milliseconds(),
 		Processes:  make([]ProcessMetrics, n),
 		QASlots:    s.backend.Slots(),
 		Injections: s.metrics.injectionList(),
+	}
+	if s.netSub != nil {
+		rq, wq := s.netSub.Quorums()
+		rep.Net = &NetMetrics{
+			ReadQuorum:  rq,
+			WriteQuorum: wq,
+			Sent:        s.tcp.Sent(),
+			Dropped:     s.tcp.Dropped(),
+		}
 	}
 	for p := 0; p < n; p++ {
 		ps := s.rt.ProcStats(p)

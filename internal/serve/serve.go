@@ -36,9 +36,10 @@ import (
 
 	"tbwf/internal/deploy"
 	"tbwf/internal/elector"
+	"tbwf/internal/net"
+	"tbwf/internal/prim"
 	"tbwf/internal/rt"
 )
-
 
 // Config sizes a server.
 type Config struct {
@@ -64,6 +65,30 @@ type Config struct {
 	// SampleEvery is the leader-churn sampling period (default 2ms);
 	// TrajectoryEvery the fault/leader trajectory period (default 100ms).
 	SampleEvery, TrajectoryEvery time.Duration
+	// Substrate selects the execution substrate: "rt" (default; the
+	// in-process shared-memory runtime) or "net" (ABD quorum registers
+	// over TCP, one replica node per process — see internal/net).
+	Substrate string
+	// Net configures the net substrate; ignored unless Substrate is "net".
+	Net NetOptions
+}
+
+// NetOptions shapes a net-substrate deploy.
+type NetOptions struct {
+	// Peers lists the N replica node addresses of a distributed deploy.
+	// Empty means loopback mode: the server hosts all N replica nodes
+	// in-process on ephemeral loopback ports.
+	Peers []string
+	// Node is this OS process's replica index in a distributed deploy
+	// (Peers set): the server hosts that one node, animates only that
+	// process's tasks, and serves only that replica.
+	Node int
+	// Listen is the node's listen address in a distributed deploy
+	// (default: the Node entry of Peers).
+	Listen string
+	// RetransmitEvery overrides the quorum retransmit interval (default
+	// 5ms in loopback mode, the transport's 50ms distributed).
+	RetransmitEvery time.Duration
 }
 
 // Server is a deployed TBWF object behind an HTTP handler. Create with
@@ -78,6 +103,15 @@ type Server struct {
 	backend     Backend
 	metrics     *metrics
 	mux         *http.ServeMux
+
+	// netSub/tcp/nodes are set when the stack runs on the net substrate:
+	// the quorum substrate, its transport (the /v1/netfault hook), and the
+	// replica node servers this OS process hosts. only is the single
+	// locally-served replica of a distributed deploy, -1 otherwise.
+	netSub *net.Substrate
+	tcp    *net.TCP
+	nodes  []*net.NodeServer
+	only   int
 
 	rr          atomic.Int64 // round-robin replica cursor
 	stopping    chan struct{}
@@ -107,19 +141,43 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Pacing != nil && len(cfg.Pacing) != cfg.N {
 		return nil, fmt.Errorf("serve: %d pacing profiles for %d processes", len(cfg.Pacing), cfg.N)
 	}
+	switch cfg.Substrate {
+	case "", "rt":
+		cfg.Substrate = "rt"
+	case "net":
+	default:
+		return nil, fmt.Errorf("serve: unknown substrate %q (want rt or net)", cfg.Substrate)
+	}
 	s := &Server{
 		cfg:         cfg,
 		electorFlag: builder.FlagName(),
 		rt:          rt.New(cfg.N, nil),
+		only:        -1,
 		stopping:    make(chan struct{}),
 		samplerDone: make(chan struct{}),
+	}
+	// fail unwinds a partially-built server: the sampler is not running
+	// yet, so Stop's samplerDone wait would hang — tear down by hand.
+	fail := func(err error) (*Server, error) {
+		s.rt.Stop()
+		for _, nd := range s.nodes {
+			nd.Close()
+		}
+		return nil, err
 	}
 	for p, prof := range cfg.Pacing {
 		s.rt.SetProfile(p, prof)
 	}
+	var sub prim.Substrate = s.rt
+	if cfg.Substrate == "net" {
+		var err error
+		if sub, err = s.buildNet(); err != nil {
+			return fail(err)
+		}
+	}
 	// The hooks close over s; s.metrics is installed before Start spawns
 	// the workers, so no event can fire while it is still nil.
-	b, err := NewBackend(s.rt, BackendConfig{
+	b, err := NewBackend(sub, BackendConfig{
 		Object:             cfg.Object,
 		QueueDepth:         cfg.QueueDepth,
 		SnapshotComponents: cfg.SnapshotComponents,
@@ -129,7 +187,7 @@ func New(cfg Config) (*Server, error) {
 		Rejected: func(p int) { s.metrics.recordRejected(p) },
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	s.backend = b
 	s.metrics = newMetrics(cfg.N, b.Kinds())
@@ -142,7 +200,61 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/fault", s.handleFault)
+	s.mux.HandleFunc("/v1/netfault", s.handleNetFault)
 	return s, nil
+}
+
+// buildNet assembles the net substrate: ABD quorum registers over TCP,
+// hosted on the server's runtime. With no peer list the server hosts all
+// N replica nodes in-process on loopback ports (a one-binary deploy whose
+// registers still go through real sockets); with one, this OS process
+// hosts node cfg.Net.Node, animates only that process's tasks, and serves
+// only that replica.
+func (s *Server) buildNet() (prim.Substrate, error) {
+	opts := s.cfg.Net
+	peers := opts.Peers
+	ncfg := net.Config{}
+	retransmit := opts.RetransmitEvery
+	if len(peers) == 0 {
+		for i := 0; i < s.cfg.N; i++ {
+			srv, err := net.ListenNode("127.0.0.1:0", net.NewNode(i))
+			if err != nil {
+				return nil, fmt.Errorf("serve: node %d: %w", i, err)
+			}
+			s.nodes = append(s.nodes, srv)
+			peers = append(peers, srv.Addr())
+		}
+		if retransmit <= 0 {
+			retransmit = 5 * time.Millisecond // loopback RTTs are microseconds
+		}
+	} else {
+		if len(peers) != s.cfg.N {
+			return nil, fmt.Errorf("serve: %d net peers for %d replicas", len(peers), s.cfg.N)
+		}
+		if opts.Node < 0 || opts.Node >= s.cfg.N {
+			return nil, fmt.Errorf("serve: net node %d out of range [0,%d)", opts.Node, s.cfg.N)
+		}
+		listen := opts.Listen
+		if listen == "" {
+			listen = peers[opts.Node]
+		}
+		srv, err := net.ListenNode(listen, net.NewNode(opts.Node))
+		if err != nil {
+			return nil, fmt.Errorf("serve: node %d: %w", opts.Node, err)
+		}
+		s.nodes = append(s.nodes, srv)
+		ncfg = net.Config{Restrict: true, Only: opts.Node}
+		s.only = opts.Node
+	}
+	sub, tcp, err := net.NewTCP(s.rt, s.rt.Stopping(), net.TCPConfig{
+		Peers:           peers,
+		RetransmitEvery: retransmit,
+	}, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	s.netSub, s.tcp = sub, tcp
+	return sub, nil
 }
 
 // N returns the replica count.
@@ -157,6 +269,9 @@ func (s *Server) Runtime() *rt.Runtime { return s.rt }
 func (s *Server) Stop() error {
 	s.stopOnce.Do(func() { close(s.stopping) })
 	err := s.rt.Stop()
+	for _, nd := range s.nodes {
+		nd.Close()
+	}
 	<-s.samplerDone
 	return err
 }
@@ -190,6 +305,14 @@ type invokeResponse struct {
 }
 
 func (s *Server) pickReplica(req *int) (int, error) {
+	if s.only >= 0 {
+		// Distributed net deploy: this process animates exactly one
+		// replica; its peers serve the others.
+		if req != nil && *req >= 0 && *req != s.only {
+			return 0, fmt.Errorf("replica %d is served by its own process (this process serves %d)", *req, s.only)
+		}
+		return s.only, nil
+	}
 	if req == nil || *req < 0 {
 		return int(s.rr.Add(1)-1) % s.cfg.N, nil
 	}
@@ -279,6 +402,7 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 type statsReport struct {
 	Object    string   `json:"object"`
 	N         int      `json:"n"`
+	Substrate string   `json:"substrate"`
 	Omega     string   `json:"omega"`
 	Elector   string   `json:"elector"`
 	UptimeMS  int64    `json:"uptime_ms"`
@@ -291,12 +415,13 @@ type statsReport struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rep := statsReport{
-		Object:   s.cfg.Object,
-		N:        s.cfg.N,
-		Omega:    s.backend.ElectorName(),
-		Elector:  s.electorFlag,
-		UptimeMS: time.Since(s.metrics.start).Milliseconds(),
-		Kinds:    s.backend.Kinds(),
+		Object:    s.cfg.Object,
+		N:         s.cfg.N,
+		Substrate: s.cfg.Substrate,
+		Omega:     s.backend.ElectorName(),
+		Elector:   s.electorFlag,
+		UptimeMS:  time.Since(s.metrics.start).Milliseconds(),
+		Kinds:     s.backend.Kinds(),
 	}
 	for p := 0; p < s.cfg.N; p++ {
 		rep.Served = append(rep.Served, s.metrics.served[p].Load())
@@ -343,4 +468,42 @@ func (s *Server) handleFault(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.recordInjection(inj)
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "injection": inj})
+}
+
+type netFaultRequest struct {
+	Node    int  `json:"node"`
+	Blocked bool `json:"blocked"`
+}
+
+// handleNetFault severs or restores this process's transport link to one
+// replica node — the network-fault analogue of /v1/fault's pacing retune.
+// Blocking a minority leaves the quorum registers (and so the service)
+// live; blocking a majority stalls operations until a heal. Only
+// meaningful on the net substrate.
+func (s *Server) handleNetFault(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.tcp == nil {
+		writeError(w, http.StatusBadRequest, "substrate %s has no network links (start with substrate net)", s.cfg.Substrate)
+		return
+	}
+	var req netFaultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Node < 0 || req.Node >= s.cfg.N {
+		writeError(w, http.StatusBadRequest, "node %d out of range [0,%d)", req.Node, s.cfg.N)
+		return
+	}
+	s.tcp.Block(req.Node, req.Blocked)
+	inj := Injection{
+		AtMS:    time.Since(s.metrics.start).Milliseconds(),
+		Process: req.Node,
+		Spec:    fmt.Sprintf("net-block=%v", req.Blocked),
+	}
+	s.metrics.recordInjection(inj)
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "node": req.Node, "blocked": req.Blocked})
 }
