@@ -6,6 +6,8 @@
 //	tbwf-load -addr http://127.0.0.1:8080 -clients 8 -duration 5s
 //	tbwf-load -mix 'add=9,read=1' -report report.json
 //	tbwf-load -inject-process 2 -inject-spec growing:400:2ms:1.5 -inject-after 2s
+//	tbwf-load -dist zipf:1.2 -keys 256 -clients 1000
+//	                                    # keyed load on /v1/kv/* (sharded server)
 //
 // Each client is pinned to replica (client mod n). With an injection the
 // report splits latency into the timely clients and those pinned to the
@@ -43,6 +45,9 @@ func run(args []string, stdout *os.File) error {
 	injAfter := fs.Duration("inject-after", 0, "injection delay (0: half the duration)")
 	timeout := fs.Duration("timeout", 15*time.Second, "per-request timeout (bounds the run's tail on degraded replicas)")
 	snapIndexes := fs.Int("snapshot-indexes", 1, "index range for snapshot update ops")
+	dist := fs.String("dist", "",
+		"keyed load on /v1/kv/*: key distribution, 'uniform' | 'zipf:θ' | 'hot:f' (empty: legacy unkeyed load)")
+	keys := fs.Int("keys", 64, "keyspace size for keyed load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -52,6 +57,24 @@ func run(args []string, stdout *os.File) error {
 	if *duration <= 0 {
 		return fmt.Errorf("-duration must be positive, got %v", *duration)
 	}
+	mixSet := false
+	fs.Visit(func(f *flag.Flag) { mixSet = mixSet || f.Name == "mix" })
+	if *dist != "" {
+		// Keyed runs validate the distribution up front, and the unkeyed
+		// default mix ("read" is not a KV kind) switches to a keyed default
+		// unless the user chose one explicitly.
+		if _, err := loadgen.ParseDist(*dist, *keys); err != nil {
+			return fmt.Errorf("-dist: %w", err)
+		}
+		if !mixSet {
+			*mix = "add=9,get=1"
+		}
+	} else if *keys != 64 {
+		return fmt.Errorf("-keys needs -dist (keyed load)")
+	}
+	if err := loadgen.ValidateMix(*mix); err != nil {
+		return fmt.Errorf("-mix: %w", err)
+	}
 
 	cfg := loadgen.Config{
 		BaseURL:         *addr,
@@ -60,6 +83,8 @@ func run(args []string, stdout *os.File) error {
 		Mix:             *mix,
 		Timeout:         *timeout,
 		SnapshotIndexes: *snapIndexes,
+		Dist:            *dist,
+		Keys:            *keys,
 	}
 	if *injProcess >= 0 {
 		after := *injAfter

@@ -79,3 +79,88 @@ func TestRunUnreachableServer(t *testing.T) {
 		t.Fatal("unreachable server accepted")
 	}
 }
+
+// Keyed flags are validated at flag time with clear errors.
+func TestKeyedFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-dist", "zipf:0"},
+		{"-dist", "zipf:-1"},
+		{"-dist", "zipf:x"},
+		{"-dist", "hot:1.5"},
+		{"-dist", "pareto"},
+		{"-dist", "uniform", "-keys", "0"},
+		{"-keys", "128"},  // -keys without -dist
+		{"-mix", "add=0"}, // mix rejected before any traffic
+		{"-mix", ""},
+	}
+	for _, args := range cases {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// A keyed run against a sharded server writes the per-shard breakdown,
+// and the default mix switches to the KV vocabulary (the unkeyed default
+// contains "read", which the keyed API does not serve).
+func TestKeyedRunWritesReport(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 2, Object: "counter", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	err = run([]string{
+		"-addr", ts.URL,
+		"-clients", "4",
+		"-duration", "300ms",
+		"-dist", "zipf:1.2",
+		"-keys", "32",
+		"-report", path,
+	}, os.Stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Distribution string `json:"distribution"`
+		Keys         int    `json:"keys"`
+		Shards       int    `json:"shards"`
+		Mix          string `json:"mix"`
+		TotalOps     int64  `json:"total_ops"`
+		Errors       int64  `json:"errors"`
+		PerShard     []struct {
+			Shard       int     `json:"shard"`
+			Ops         int64   `json:"ops"`
+			TimelyP99US float64 `json:"timely_p99_us"`
+		} `json:"per_shard"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Distribution != "zipf:1.2" || rep.Keys != 32 || rep.Shards != 4 {
+		t.Fatalf("keyed header: %+v", rep)
+	}
+	if rep.Mix != "add=9,get=1" {
+		t.Fatalf("default keyed mix = %q", rep.Mix)
+	}
+	if rep.TotalOps == 0 || rep.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d", rep.TotalOps, rep.Errors)
+	}
+	if len(rep.PerShard) != 4 {
+		t.Fatalf("%d per-shard entries", len(rep.PerShard))
+	}
+	var sum int64
+	for _, sl := range rep.PerShard {
+		sum += sl.Ops
+	}
+	if sum != rep.TotalOps {
+		t.Fatalf("per-shard sum %d != total %d", sum, rep.TotalOps)
+	}
+}

@@ -14,6 +14,9 @@
 //	tbwf-serve -n 3 -substrate net \
 //	  -net-peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 -net-node 0
 //	                                       # one replica per OS process (run 3x)
+//	tbwf-serve -shards 8                   # sharded keyspace on /v1/kv/*
+//	tbwf-serve -shards 8 -batch 32 -shard-elector atomic,nerio \
+//	  -admission rate=5000,burst=100,inflight=4096
 //
 // The pacing spec assigns each process's initial step profile; the
 // /v1/fault endpoint retunes a live process afterwards (and /v1/netfault
@@ -64,6 +67,14 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 	netNode := fs.Int("net-node", 0, "this process's replica index (net substrate, with -net-peers)")
 	netListen := fs.String("net-listen", "",
 		"replica node listen address (net substrate, with -net-peers; default: its -net-peers entry)")
+	shards := fs.Int("shards", 0,
+		"sharded keyspace: number of independent TBWF stacks behind /v1/kv/* (0: disabled)")
+	shardElector := fs.String("shard-elector", "",
+		"comma-separated elector list cycled across shards (empty: every shard uses -elector)")
+	batch := fs.Int("batch", 0,
+		"max keyed ops folded into one QA round per worker turn (default 16; 1 disables batching)")
+	admission := fs.String("admission", "",
+		"keyed admission policy, e.g. 'rate=5000,burst=100,inflight=4096' (empty: admit everything)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +112,10 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 			Node:   *netNode,
 			Listen: *netListen,
 		},
+		Shards:       *shards,
+		ShardElector: *shardElector,
+		MaxBatch:     *batch,
+		Admission:    *admission,
 	})
 	if err != nil {
 		return err

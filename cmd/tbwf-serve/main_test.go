@@ -232,3 +232,81 @@ func TestRunReportsBusyAddr(t *testing.T) {
 		t.Logf("got error %v (accepting any bind failure)", err)
 	}
 }
+
+// Shard flags are validated before anything is deployed.
+func TestShardFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-batch", "8"},             // batch without shards
+		{"-shard-elector", "nerio"}, // elector list without shards
+		{"-admission", "rate=100"},  // admission without shards
+		{"-shards", "-1"},
+		{"-shards", "2", "-shard-elector", "quantum"},
+		{"-shards", "2", "-admission", "rate=no"},
+		{"-shards", "2", "-admission", "burst=4"}, // burst without rate
+		{"-n", "3", "-shards", "2", "-substrate", "net"},
+	}
+	for _, args := range cases {
+		if err := run(args, nil, nil); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+// A sharded serve answers the keyed API and reports its shard count.
+func TestShardedServe(t *testing.T) {
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-n", "2", "-shards", "2",
+			"-batch", "4", "-shard-elector", "atomic,nerio"}, ready, stop)
+	}()
+	addr := <-ready
+	base := "http://" + addr
+
+	body := strings.NewReader(`{"key":"k1","op":{"kind":"add","delta":5}}`)
+	resp, err := http.Post(base+"/v1/kv/invoke", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv struct {
+		OK    bool `json:"ok"`
+		Shard int  `json:"shard"`
+		Resp  struct {
+			Prev int64 `json:"prev"`
+		} `json:"resp"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !inv.OK || inv.Resp.Prev != 0 {
+		t.Fatalf("kv invoke: %d %+v", resp.StatusCode, inv)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Shards  int      `json:"shards"`
+		KVKinds []string `json:"kv_kinds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Shards != 2 || len(stats.KVKinds) != 4 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	close(stop)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not stop")
+	}
+}

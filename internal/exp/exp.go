@@ -154,6 +154,14 @@ func All() []Experiment {
 			cfg.Parallel = o.Parallel
 			return N2NetDelaySweep(cfg)
 		}},
+		{ID: "S1", Name: "shard-keyspace", Run: func(o Options) (*Table, error) {
+			cfg := S1Config{}
+			if o.Quick {
+				cfg = S1Config{Steps: 600_000, Shards: []int{1, 4}, Dists: []string{"uniform", "zipf:1.2"}}
+			}
+			cfg.Parallel = o.Parallel
+			return S1ShardKeyspace(cfg)
+		}},
 	}
 }
 

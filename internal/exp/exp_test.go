@@ -274,10 +274,43 @@ func TestA3Shape(t *testing.T) {
 	}
 }
 
+// S1: sharding + batching under skew — every cell of the sweep completes
+// ops on both the timely and the flickering process, one shard folds the
+// whole burst into one QA round, and skew raises the hot shard's mean
+// batch above the uniform run's.
+func TestS1Shape(t *testing.T) {
+	tb, err := S1ShardKeyspace(S1Config{Steps: 600_000, Shards: []int{1, 4}, Dists: []string{"uniform", "zipf:1.2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("want 4 rows (2 shard counts x 2 dists), got %d\n%s", len(tb.Rows), tb)
+	}
+	batch := map[string]float64{}
+	for i, row := range tb.Rows {
+		ops, timely, slow := cellInt(t, tb, i, 2), cellInt(t, tb, i, 6), cellInt(t, tb, i, 7)
+		if timely <= 0 || slow <= 0 || ops != timely+slow {
+			t.Errorf("s=%s/%s: ops %d != timely %d + slow %d (or a side starved)",
+				row[0], row[1], ops, timely, slow)
+		}
+		if timely <= slow {
+			t.Errorf("s=%s/%s: flickering process out-produced the timely ones (%d vs %d)",
+				row[0], row[1], slow, timely)
+		}
+		batch[row[0]+"/"+row[1]] = cellFloat(t, tb, i, 4)
+	}
+	if b := batch["1/uniform"]; b < 2 {
+		t.Errorf("one shard should fold the whole burst into one round: mean batch %.2f", b)
+	}
+	if u, z := batch["4/uniform"], batch["4/zipf:1.2"]; z <= u {
+		t.Errorf("skew should raise the hot shard's mean batch: zipf %.2f <= uniform %.2f", z, u)
+	}
+}
+
 // The registry must resolve ids and names and reject junk.
 func TestRegistry(t *testing.T) {
-	if len(All()) != 16 {
-		t.Fatalf("want 16 experiments, got %d", len(All()))
+	if len(All()) != 17 {
+		t.Fatalf("want 17 experiments, got %d", len(All()))
 	}
 	if _, err := ByID("B1"); err != nil {
 		t.Error(err)

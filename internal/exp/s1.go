@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tbwf/internal/deploy"
+	"tbwf/internal/prim"
+	"tbwf/internal/serve/loadgen"
+	"tbwf/internal/shard"
+	"tbwf/internal/sim"
+)
+
+// S1Config parameterizes the sharded-keyspace sweep.
+type S1Config struct {
+	// N is the system size (default 3); process N-1 is untimely.
+	N int
+	// Keys sizes the keyspace (default 32).
+	Keys int
+	// Burst is each load task's open-loop submission burst (default 4) —
+	// the source of batchable queue depth.
+	Burst int
+	// MaxBatch bounds ops folded into one QA round (default 8).
+	MaxBatch int
+	// Steps is the per-run budget (default 1.5M).
+	Steps int64
+	// Shards are the shard counts swept (default 1,2,4,8).
+	Shards []int
+	// Dists are the key distributions swept (default uniform, zipf:0.8,
+	// zipf:1.2 — the zipfian θs bracket the skew regimes).
+	Dists []string
+	// Parallel is the scenario worker-pool size (<= 0: one per CPU).
+	Parallel int
+}
+
+// S1ShardKeyspace sweeps shard count against key-distribution skew on
+// the sim kernel: every process runs a closed-loop keyed load task
+// through a shard.Map while process N-1 steps with geometrically growing
+// gaps. The table reports throughput (kernel steps per completed op),
+// the hot shard's mean batch size (the amortization bought by folding
+// queued ops into one Ω∆ read + QA round), admission sheds, and the
+// timely/slow completion split — TBWF's per-process degradation story,
+// now per shard: adding shards multiplies independent stacks, skew
+// concentrates load on few of them, and batching is what absorbs the
+// concentration.
+func S1ShardKeyspace(cfg S1Config) (*Table, error) {
+	if cfg.N == 0 {
+		cfg.N = 3
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 32
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 4
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = 1_500_000
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4, 8}
+	}
+	if len(cfg.Dists) == 0 {
+		cfg.Dists = []string{"uniform", "zipf:0.8", "zipf:1.2"}
+	}
+	t := &Table{
+		ID: "S1",
+		Title: fmt.Sprintf("sharded keyspace: n=%d, %d keys, burst %d, max batch %d, process %d flickering",
+			cfg.N, cfg.Keys, cfg.Burst, cfg.MaxBatch, cfg.N-1),
+		Columns: []string{"shards", "dist", "ops", "steps/op", "hot mean batch", "shed", "timely ops", "slow ops"},
+		Notes: []string{
+			"each shard is an independent TBWF stack; a key routes by hash, so skew concentrates load on few stacks",
+			"hot mean batch > 1 means queued ops rode one QA round together — the amortization batching buys under skew",
+			"timely = ops completed by processes 0..n-2; slow = the untimely process's — per-shard stacks degrade per process, not globally",
+		},
+	}
+	var scs []Scenario
+	for _, shards := range cfg.Shards {
+		for _, dist := range cfg.Dists {
+			shards, dist := shards, dist
+			scs = append(scs, Scenario{Name: fmt.Sprintf("s-%d/%s", shards, dist), Run: func(res *Result) error {
+				sampler, err := loadgen.ParseDist(dist, cfg.Keys)
+				if err != nil {
+					return err
+				}
+				// Process N-1 flickers (400 steps on, 1200 off): untimely but
+				// not starved, so the slow column stays non-zero and the
+				// timely/slow throughput gap is the measurement.
+				k := sim.New(cfg.N, sim.WithSchedule(sim.Restrict(sim.RoundRobin(),
+					map[int]sim.Availability{cfg.N - 1: sim.Flicker(400, 1_200, 0)})))
+				m, err := shard.New(deploy.Sim(k), shard.Config{
+					Shards:     shards,
+					QueueDepth: cfg.Burst,
+					MaxBatch:   cfg.MaxBatch,
+				})
+				if err != nil {
+					return err
+				}
+				m.Start()
+				ops := make([]int64, cfg.N)
+				sheds := make([]int64, cfg.N)
+				for p := 0; p < cfg.N; p++ {
+					p := p
+					rng := rand.New(rand.NewSource(int64(31*shards + p)))
+					k.Spawn(p, fmt.Sprintf("load[%d]", p), func(pp prim.Proc) {
+						pds := make([]*shard.Pending, 0, cfg.Burst)
+						for {
+							pds = pds[:0]
+							for len(pds) < cfg.Burst {
+								key := loadgen.KeyName(sampler(rng))
+								pd := shard.NewPending()
+								if _, _, err := m.Submit(key, p, shard.Op{Kind: shard.Add, Val: 1}, pd); err != nil {
+									sheds[p]++
+									break
+								}
+								pds = append(pds, pd)
+							}
+							for _, pd := range pds {
+								for {
+									if _, ok := pd.Poll(); ok {
+										break
+									}
+									pp.Step()
+								}
+							}
+							ops[p] += int64(len(pds))
+							pp.Step()
+						}
+					})
+				}
+				r, err := k.Run(cfg.Steps)
+				if err != nil {
+					return err
+				}
+				k.Shutdown()
+				res.Record(k)
+				var total, timely, slow, shed int64
+				for p := 0; p < cfg.N; p++ {
+					total += ops[p]
+					shed += sheds[p]
+					if p == cfg.N-1 {
+						slow += ops[p]
+					} else {
+						timely += ops[p]
+					}
+				}
+				if total == 0 {
+					return fmt.Errorf("S1 s-%d/%s: no operations completed in %d steps", shards, dist, cfg.Steps)
+				}
+				hot := 0
+				for s := 0; s < m.Shards(); s++ {
+					if m.Stats(s).Accepted > m.Stats(hot).Accepted {
+						hot = s
+					}
+				}
+				res.AddRow(shards, dist, total,
+					fmt.Sprintf("%.0f", float64(r.Steps)/float64(total)),
+					fmt.Sprintf("%.2f", m.MeanBatch(hot)),
+					shed, timely, slow)
+				return nil
+			}})
+		}
+	}
+	if err := RunScenarios(t, cfg.Parallel, scs); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

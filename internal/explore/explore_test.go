@@ -164,6 +164,10 @@ func TestAblationTeeth(t *testing.T) {
 		// clients read replicas the write quorum never touched (measured
 		// 4/32 at budget 300000); the majority-quorum control stays green.
 		{"net/partition-rq1", "net/partition", 300_000, 32},
+		// Batch fence: rotated batch responses break per-shard
+		// linearizability (measured 26/32 at budget 800000); the fenced
+		// control stays green.
+		{"shard/kv-nobatchfence", "shard/kv", 800_000, 8},
 	}
 	for _, tc := range cases {
 		tc := tc

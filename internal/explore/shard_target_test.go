@@ -1,0 +1,96 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sharded-keyspace target obeys the determinism contract: a plan
+// fully determines the run — shard routing, burst submissions, batch
+// boundaries, and the per-shard histories the oracles judge.
+func TestShardTargetIsDeterministic(t *testing.T) {
+	p := Plan{Target: "shard/kv", Seed: 7, Strategy: StrategyWalk}
+	a, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceHash != b.TraceHash {
+		t.Fatalf("trace hashes differ: %s vs %s", a.TraceHash, b.TraceHash)
+	}
+	if !verdictsEqual(a.Verdicts, b.Verdicts) {
+		t.Fatalf("verdicts differ: %v vs %v", a.Verdicts, b.Verdicts)
+	}
+	if a.Tape != b.Tape {
+		t.Fatalf("tapes differ (%d vs %d bits)", len(a.Tape), len(b.Tape))
+	}
+}
+
+// A pinned replay of a shard run reproduces the identical trace hash and
+// verdicts — what makes a fuzzer artifact from a shard/* failure actionable.
+func TestShardTargetPinnedReplay(t *testing.T) {
+	p := Plan{Target: "shard/kv", Seed: 3, Strategy: StrategyWalk}
+	orig, err := Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := p
+	pinned.Prefix = orig.Schedule
+	pinned.Tape = orig.Tape
+	rep, err := Execute(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceHash != orig.TraceHash {
+		t.Fatalf("pinned replay hash %s, want %s", rep.TraceHash, orig.TraceHash)
+	}
+	if !verdictsEqual(rep.Verdicts, orig.Verdicts) {
+		t.Fatalf("pinned replay verdicts %v, want %v", rep.Verdicts, orig.Verdicts)
+	}
+}
+
+// Under a plain random walk with the default budget the load drains and
+// all three oracles return non-vacuous OK verdicts.
+func TestShardTargetOraclesEngage(t *testing.T) {
+	out, err := Execute(Plan{Target: "shard/kv", Seed: 1, Strategy: StrategyWalk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, v := range out.Verdicts {
+		if !v.OK {
+			t.Fatalf("verdict failed: %+v", v)
+		}
+		if strings.HasPrefix(v.Detail, "vacuous:") {
+			t.Fatalf("verdict vacuous: %+v", v)
+		}
+		seen[v.Oracle] = true
+	}
+	for _, oracle := range []string{"shard-fifo", "shard-accounting", "shard-lincheck"} {
+		if !seen[oracle] {
+			t.Errorf("oracle %s produced no verdict (got %v)", oracle, out.Verdicts)
+		}
+	}
+}
+
+// shard/kv rides along in "all" campaigns; the batch-fence ablation is
+// excluded unless asked for.
+func TestShardTargetsRegistered(t *testing.T) {
+	sound, err := TargetByName("shard/kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sound.Ablated {
+		t.Error("shard/kv must not be ablated")
+	}
+	abl, err := TargetByName("shard/kv-nobatchfence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !abl.Ablated {
+		t.Error("shard/kv-nobatchfence must be ablated")
+	}
+}

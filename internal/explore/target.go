@@ -326,7 +326,8 @@ func Targets() []Target {
 		},
 	}
 	ts = append(ts, netTargets()...)
-	return append(ts, serveTargets()...)
+	ts = append(ts, serveTargets()...)
+	return append(ts, shardTargets()...)
 }
 
 // TargetNames returns the registered target names, registry order.

@@ -1,0 +1,227 @@
+package serve
+
+// The sharded keyed API. With Config.Shards > 0 the server deploys an
+// internal/shard.Map next to the unsharded backend: S independent TBWF
+// stacks over the same N replicas, a hash of the key picking the stack.
+// Replica workers fold queued keyed ops into batches — one Ω∆ leader
+// read and one QA agreement round per batch — and admission control
+// sheds overload before it reaches a queue:
+//
+//	POST /v1/kv/invoke  {"key":"k42","op":{"kind":"add","delta":1}}
+//	GET  /v1/kv/read?key=k42
+//
+// A rate-limited submission answers 429 (the client should slow down);
+// a full replica queue or a tripped global in-flight cap answers 503
+// (the service is overloaded). Both carry Retry-After.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"tbwf/internal/shard"
+)
+
+// KVKinds lists the keyed API's operation kinds, in wire order. Surfaced
+// in /v1/stats so load generators can validate a mix before opening fire.
+func KVKinds() []string { return []string{"get", "put", "add", "cas"} }
+
+// ParseAdmission compiles an admission spec of comma-separated
+// key=value terms into a shard.Admission:
+//
+//	rate=R       token-bucket refill rate, ops/sec (fractional ok)
+//	burst=B      bucket capacity (needs rate; default 1)
+//	inflight=M   global cap on admitted-but-incomplete operations
+//
+// The empty spec admits everything.
+func ParseAdmission(spec string) (shard.Admission, error) {
+	var a shard.Admission
+	if spec == "" {
+		return a, nil
+	}
+	var rate float64
+	for _, term := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return a, fmt.Errorf("serve: admission term %q: want key=value", term)
+		}
+		switch k {
+		case "rate":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 {
+				return a, fmt.Errorf("serve: admission rate %q: want a positive ops/sec", v)
+			}
+			rate = f
+		case "burst":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return a, fmt.Errorf("serve: admission burst %q: want a positive integer", v)
+			}
+			a.Burst = n
+		case "inflight":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n <= 0 {
+				return a, fmt.Errorf("serve: admission inflight %q: want a positive integer", v)
+			}
+			a.MaxInFlight = n
+		default:
+			return a, fmt.Errorf("serve: unknown admission key %q (want rate, burst, or inflight)", k)
+		}
+	}
+	if a.Burst > 0 && rate == 0 {
+		return a, fmt.Errorf("serve: admission burst without rate")
+	}
+	if rate > 0 {
+		a.RefillEvery = int64(1e9 / rate)
+		if a.RefillEvery < 1 {
+			a.RefillEvery = 1
+		}
+	}
+	return a, nil
+}
+
+// decodeKVOp maps a WireOp onto the keyed object's vocabulary, reusing
+// the unsharded API's field names: add carries delta, put value, cas
+// old and new.
+func decodeKVOp(op WireOp) (shard.Op, error) {
+	switch op.Kind {
+	case "get":
+		return shard.Op{Kind: shard.Get}, nil
+	case "put":
+		return shard.Op{Kind: shard.Put, Val: op.Value}, nil
+	case "add":
+		return shard.Op{Kind: shard.Add, Val: op.Delta}, nil
+	case "cas":
+		return shard.Op{Kind: shard.CAS, Old: op.Old, Val: op.New}, nil
+	default:
+		return shard.Op{}, fmt.Errorf("serve: kv op kind %q (want one of %v)", op.Kind, KVKinds())
+	}
+}
+
+type kvInvokeRequest struct {
+	Key string `json:"key"`
+	// Replica routes the operation; nil or -1 round-robins in the shard.
+	Replica *int   `json:"replica"`
+	Op      WireOp `json:"op"`
+}
+
+type kvWireResp struct {
+	Prev    int64 `json:"prev"`
+	Found   bool  `json:"found"`
+	Swapped bool  `json:"swapped"`
+}
+
+type kvInvokeResponse struct {
+	OK        bool       `json:"ok"`
+	Shard     int        `json:"shard"`
+	Replica   int        `json:"replica"`
+	Resp      kvWireResp `json:"resp"`
+	LatencyUS float64    `json:"latency_us"`
+}
+
+// dispatchKV runs one admitted-or-shed keyed operation to completion.
+func (s *Server) dispatchKV(w http.ResponseWriter, r *http.Request, key string, replica int, op shard.Op) {
+	pd := shard.NewPending()
+	sh, p, err := s.kv.Submit(key, replica, op, pd)
+	if err != nil {
+		switch err {
+		case shard.ErrRateLimited:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"ok": false, "shard": sh, "error": err.Error(),
+			})
+		case shard.ErrQueueFull, shard.ErrInFlight:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ok": false, "shard": sh, "error": err.Error(),
+			})
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	select {
+	case res := <-pd.Done():
+		writeJSON(w, http.StatusOK, kvInvokeResponse{
+			OK:      true,
+			Shard:   sh,
+			Replica: p,
+			Resp: kvWireResp{
+				Prev:    res.Resp.Prev,
+				Found:   res.Resp.Found,
+				Swapped: res.Resp.Swapped,
+			},
+			LatencyUS: float64(res.Latency) / 1e3,
+		})
+	case <-r.Context().Done():
+		// Client gone; the batch worker still completes the queued op and
+		// the buffered done channel absorbs the result.
+	case <-s.stopping:
+		writeError(w, http.StatusServiceUnavailable, "server stopping")
+	}
+}
+
+// kvGuard rejects keyed calls on an unsharded server.
+func (s *Server) kvGuard(w http.ResponseWriter) bool {
+	if s.kv == nil {
+		writeError(w, http.StatusBadRequest, "server is not sharded (start with shards > 0)")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleKVInvoke(w http.ResponseWriter, r *http.Request) {
+	if !s.kvGuard(w) {
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req kvInvokeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Key == "" {
+		writeError(w, http.StatusBadRequest, "missing key")
+		return
+	}
+	op, err := decodeKVOp(req.Op)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	replica := -1
+	if req.Replica != nil {
+		replica = *req.Replica
+	}
+	s.dispatchKV(w, r, req.Key, replica, op)
+}
+
+func (s *Server) handleKVRead(w http.ResponseWriter, r *http.Request) {
+	if !s.kvGuard(w) {
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing key")
+		return
+	}
+	replica := -1
+	if q := r.URL.Query().Get("replica"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad replica %q", q)
+			return
+		}
+		replica = v
+	}
+	s.dispatchKV(w, r, key, replica, shard.Op{Kind: shard.Get})
+}

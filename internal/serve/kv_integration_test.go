@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// kvHistoryOp is one acknowledged keyed add, as observed by its client:
+// wall-clock invoke/response bounds plus the server's claimed prev.
+type kvHistoryOp struct {
+	key      string
+	shard    int
+	delta    int64
+	prev     int64
+	invoke   time.Time
+	response time.Time
+}
+
+// TestShardedKeyspaceIntegration is the headline end-to-end check: 1024
+// closed-loop clients fire a zipfian keyed add mix at an 8-shard server
+// and the full HTTP history must be per-shard linearizable.
+//
+// The oracle leans on two facts. First, ops on different keys commute
+// under the KV spec, so a per-shard linearization exists iff a
+// per-(shard,key) one does — checking each key's history suffices.
+// Second, every delta is strictly positive, so a key's acked prevs must
+// be pairwise distinct and, sorted, form the exact chain
+// prev_0 = 0, prev_{i+1} = prev_i + delta_i: that sorted order is the
+// only candidate linearization, and it must also respect real time
+// (an op that responded before another was invoked must precede it).
+//
+// The test also demands the tentpole's amortization be visible: the
+// hottest shard's mean batch size must exceed 1 in /v1/metrics.
+func TestShardedKeyspaceIntegration(t *testing.T) {
+	const (
+		clients   = 1024
+		opsPerCli = 3
+		keys      = 48
+		shards    = 8
+	)
+	s, ts := startServer(t, Config{
+		N:          4,
+		Object:     "counter",
+		Shards:     shards,
+		MaxBatch:   32,
+		QueueDepth: 256,
+	})
+
+	var (
+		mu      sync.Mutex
+		history []kvHistoryOp
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + c)))
+			zipf := rand.NewZipf(rng, 1.2, 1, keys-1)
+			for i := 0; i < opsPerCli; i++ {
+				key := fmt.Sprintf("k%04d", zipf.Uint64())
+				delta := 1 + rng.Int63n(1000)
+				var (
+					code int
+					out  kvInvokeResponse
+					inv  time.Time
+				)
+				for attempt := 0; ; attempt++ {
+					inv = time.Now()
+					resp, err := http.Post(ts.URL+"/v1/kv/invoke", "application/json",
+						jsonBody(t, map[string]any{
+							"key": key,
+							"op":  map[string]any{"kind": "add", "delta": delta},
+						}))
+					if err != nil {
+						errs <- fmt.Errorf("client %d op %d: %v", c, i, err)
+						return
+					}
+					code = resp.StatusCode
+					err = json.NewDecoder(resp.Body).Decode(&out)
+					resp.Body.Close()
+					if code == http.StatusOK {
+						if err != nil {
+							errs <- fmt.Errorf("client %d op %d: decode: %v", c, i, err)
+							return
+						}
+						break
+					}
+					if code != http.StatusServiceUnavailable && code != http.StatusTooManyRequests {
+						errs <- fmt.Errorf("client %d op %d: status %d", c, i, code)
+						return
+					}
+					if attempt > 100 {
+						errs <- fmt.Errorf("client %d op %d: %d sheds in a row", c, i, attempt)
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+				op := kvHistoryOp{
+					key:      key,
+					shard:    out.Shard,
+					delta:    delta,
+					prev:     out.Resp.Prev,
+					invoke:   inv,
+					response: time.Now(),
+				}
+				mu.Lock()
+				history = append(history, op)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(history) != clients*opsPerCli {
+		t.Fatalf("acked %d ops, want %d", len(history), clients*opsPerCli)
+	}
+
+	// The metrics report must expose every shard, and the hot shard must
+	// show real batching amortization.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep MetricsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rep.Shards) != shards {
+		t.Fatalf("metrics report %d shards, want %d", len(rep.Shards), shards)
+	}
+	hot := 0
+	var accepted, served int64
+	for i, sm := range rep.Shards {
+		accepted += sm.Accepted
+		served += sm.Served
+		if sm.Accepted > rep.Shards[hot].Accepted {
+			hot = i
+		}
+		if len(sm.Leaders) != 4 {
+			t.Fatalf("shard %d leader vector %v", i, sm.Leaders)
+		}
+	}
+	if accepted != served || served != int64(len(history)) {
+		t.Fatalf("accepted %d served %d acked %d: lost or phantom ops", accepted, served, len(history))
+	}
+	if mb := rep.Shards[hot].MeanBatch; mb <= 1 {
+		t.Fatalf("hot shard %d mean batch %.3f: batching never amortized (hist %v)",
+			hot, mb, rep.Shards[hot].BatchHist)
+	}
+	t.Logf("hot shard %d: accepted %d, mean batch %.2f",
+		hot, rep.Shards[hot].Accepted, rep.Shards[hot].MeanBatch)
+
+	// Per-(shard,key) linearizability over the full acked history.
+	byKey := map[string][]kvHistoryOp{}
+	for _, op := range history {
+		byKey[op.key] = append(byKey[op.key], op)
+	}
+	sums := map[string]int64{}
+	for key, ops := range byKey {
+		for _, op := range ops[1:] {
+			if op.shard != ops[0].shard {
+				t.Fatalf("key %q served by shards %d and %d", key, ops[0].shard, op.shard)
+			}
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].prev < ops[j].prev })
+		want := int64(0)
+		for i, op := range ops {
+			if op.prev != want {
+				t.Fatalf("key %q op %d: prev %d, want %d — no linearization of the adds exists",
+					key, i, op.prev, want)
+			}
+			want += op.delta
+			sums[key] = want
+		}
+		// Real-time order: in the (unique) linearization, nobody may be
+		// placed after an op whose invoke postdates their response.
+		minRespAfter := make([]time.Time, len(ops)+1)
+		minRespAfter[len(ops)] = time.Now().Add(time.Hour)
+		for i := len(ops) - 1; i >= 0; i-- {
+			minRespAfter[i] = ops[i].response
+			if minRespAfter[i+1].Before(minRespAfter[i]) {
+				minRespAfter[i] = minRespAfter[i+1]
+			}
+		}
+		for i, op := range ops {
+			if minRespAfter[i+1].Before(op.invoke) {
+				t.Fatalf("key %q: linearization order contradicts real time at op %d", key, i)
+			}
+		}
+	}
+
+	// Final reads agree with the acked sums.
+	for key, want := range sums {
+		resp, err := http.Get(ts.URL + "/v1/kv/read?key=" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var read kvInvokeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&read); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if !read.OK || read.Resp.Prev != want {
+			t.Fatalf("final read of %q: %+v, want %d", key, read, want)
+		}
+	}
+	_ = s // stopped by startServer's cleanup
+}

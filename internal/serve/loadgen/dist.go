@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// KeySampler draws one key index from a distribution.
+type KeySampler func(*rand.Rand) int
+
+// ParseDist compiles a key-distribution spec over a keyspace of the
+// given size:
+//
+//	uniform      every key equally likely
+//	zipf:θ       rank-frequency skew p(rank i) ∝ 1/i^θ, any θ > 0
+//	hot:f        fraction f of the traffic on key 0, the rest uniform
+//
+// Unlike math/rand's Zipf, the zipfian sampler accepts any positive θ
+// (the interesting sweep range for shard skew includes θ < 1): the
+// keyspace is small, so an explicit CDF with binary search is exact
+// and cheap.
+func ParseDist(dist string, keys int) (KeySampler, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("loadgen: keyspace of %d keys", keys)
+	}
+	switch {
+	case dist == "" || dist == "uniform":
+		return func(rng *rand.Rand) int { return rng.Intn(keys) }, nil
+	case strings.HasPrefix(dist, "zipf:"):
+		theta, err := strconv.ParseFloat(strings.TrimPrefix(dist, "zipf:"), 64)
+		if err != nil || math.IsNaN(theta) || theta <= 0 {
+			return nil, fmt.Errorf("loadgen: zipf theta %q (want a positive number, e.g. zipf:1.2)",
+				strings.TrimPrefix(dist, "zipf:"))
+		}
+		cdf := make([]float64, keys)
+		sum := 0.0
+		for i := 0; i < keys; i++ {
+			sum += 1 / math.Pow(float64(i+1), theta)
+			cdf[i] = sum
+		}
+		return func(rng *rand.Rand) int {
+			r := rng.Float64() * sum
+			return sort.SearchFloat64s(cdf, r)
+		}, nil
+	case strings.HasPrefix(dist, "hot:"):
+		frac, err := strconv.ParseFloat(strings.TrimPrefix(dist, "hot:"), 64)
+		if err != nil || math.IsNaN(frac) || frac <= 0 || frac > 1 {
+			return nil, fmt.Errorf("loadgen: hot fraction %q (want a number in (0,1], e.g. hot:0.5)",
+				strings.TrimPrefix(dist, "hot:"))
+		}
+		return func(rng *rand.Rand) int {
+			if keys == 1 || rng.Float64() < frac {
+				return 0
+			}
+			return 1 + rng.Intn(keys-1)
+		}, nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown distribution %q (want uniform, zipf:θ, or hot:f)", dist)
+	}
+}
+
+// KeyName renders key index i in the load generator's keyspace naming.
+func KeyName(i int) string { return fmt.Sprintf("k%04d", i) }
+
+// ValidateMix checks an operation-mix spec without running anything, so
+// flag parsing can reject bad input with a clear error.
+func ValidateMix(mix string) error {
+	_, err := parseMix(mix)
+	return err
+}

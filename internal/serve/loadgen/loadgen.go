@@ -28,6 +28,7 @@ import (
 
 	"tbwf/internal/serve"
 	"tbwf/internal/serve/telemetry"
+	"tbwf/internal/shard"
 )
 
 // Injection schedules one mid-run fault: After the given delay, Process's
@@ -47,8 +48,16 @@ type Config struct {
 	// Duration is the measurement window (default 5s).
 	Duration time.Duration
 	// Mix is a weighted operation mix, e.g. "add=9,read=1". Kinds must be
-	// operations of the deployed object (validated against /v1/stats).
+	// operations of the deployed object (validated against /v1/stats), or
+	// of the keyed API when Dist is set.
 	Mix string
+	// Dist switches the run to the sharded keyed API (/v1/kv/invoke) and
+	// names the key distribution: "uniform", "zipf:θ", or "hot:f" (see
+	// ParseDist). Empty keeps the legacy unkeyed /v1/invoke path. Requires
+	// a server started with shards.
+	Dist string
+	// Keys sizes the keyspace in keyed mode (default 64).
+	Keys int
 	// SnapshotIndexes bounds the index used by snapshot update ops
 	// (default 1, i.e. every update hits component 0).
 	SnapshotIndexes int
@@ -79,10 +88,18 @@ type Report struct {
 	DurationMS int64   `json:"duration_ms"`
 	TotalOps   int64   `json:"total_ops"`
 	OpsPerSec  float64 `json:"ops_per_sec"`
-	// Backpressure counts 503 responses (full replica queues); Timeouts
+	// Distribution, Keys, and Shards describe a keyed run (Dist set): the
+	// key distribution, the keyspace size, and the server's shard count.
+	// All zero on a legacy unkeyed run.
+	Distribution string `json:"distribution,omitempty"`
+	Keys         int    `json:"keys,omitempty"`
+	Shards       int    `json:"shards,omitempty"`
+	// Backpressure counts 503 responses (full replica queues or a tripped
+	// in-flight cap); RateLimited counts 429s (keyed admission); Timeouts
 	// counts requests that outlived Config.Timeout (expected for clients
 	// of a degraded replica); Errors counts every other non-200 outcome.
 	Backpressure int64 `json:"backpressure"`
+	RateLimited  int64 `json:"rate_limited"`
 	Timeouts     int64 `json:"timeouts"`
 	Errors       int64 `json:"errors"`
 
@@ -100,6 +117,21 @@ type Report struct {
 
 	Injection *InjectionRecord `json:"injection,omitempty"`
 	PerClient []ClientReport   `json:"per_client"`
+	// PerShard breaks a keyed run down by target shard; absent unkeyed.
+	PerShard []ShardLoad `json:"per_shard,omitempty"`
+}
+
+// ShardLoad is one shard's slice of a keyed run, with the timely/slow
+// split (clients pinned to the injected replica are the slow ones)
+// carried per shard so a hot shard's tail can be read off directly.
+type ShardLoad struct {
+	Shard        int               `json:"shard"`
+	Ops          int64             `json:"ops"`
+	Backpressure int64             `json:"backpressure"`
+	RateLimited  int64             `json:"rate_limited"`
+	Timely       telemetry.Summary `json:"timely"`
+	Slow         telemetry.Summary `json:"slow"`
+	TimelyP99US  float64           `json:"timely_p99_us"`
 }
 
 // InjectionRecord describes the fault that was actually applied.
@@ -116,6 +148,7 @@ type ClientReport struct {
 	Replica      int               `json:"replica"`
 	Ops          int64             `json:"ops"`
 	Backpressure int64             `json:"backpressure"`
+	RateLimited  int64             `json:"rate_limited,omitempty"`
 	Timeouts     int64             `json:"timeouts"`
 	Errors       int64             `json:"errors"`
 	Latency      telemetry.Summary `json:"latency"`
@@ -197,6 +230,8 @@ type serverInfo struct {
 	Omega     string   `json:"omega"`
 	Elector   string   `json:"elector"`
 	Kinds     []string `json:"kinds"`
+	Shards    int      `json:"shards"`
+	KVKinds   []string `json:"kv_kinds"`
 }
 
 // fetchInfo reads /v1/stats to learn the replica count and op kinds.
@@ -229,9 +264,36 @@ type worker struct {
 	replica  int
 	ops      int64
 	bp       int64
+	rl       int64
 	timeouts int64
 	errs     int64
 	hist     telemetry.Histogram
+}
+
+// shardAgg accumulates one shard's slice of a keyed run; histograms and
+// counters are concurrency-safe, so workers record into it directly.
+type shardAgg struct {
+	ops    telemetry.Counter
+	bp     telemetry.Counter
+	rl     telemetry.Counter
+	timely telemetry.Histogram
+	slow   telemetry.Histogram
+}
+
+// fillKVOp builds the keyed wire operation for one request.
+func fillKVOp(kind string, client int, seq int64) serve.WireOp {
+	op := serve.WireOp{Kind: kind}
+	val := int64(client)<<32 | (seq & 0xffffffff)
+	switch kind {
+	case "add":
+		op.Delta = 1
+	case "put":
+		op.Value = val
+	case "cas":
+		op.Old = 0
+		op.New = val
+	}
+	return op
 }
 
 // Run executes the configured load against a live service and assembles
@@ -262,18 +324,36 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	keyed := cfg.Dist != ""
+	if cfg.Keys <= 0 {
+		cfg.Keys = 64
+	}
+	var sampler KeySampler
+	if keyed {
+		if sampler, err = ParseDist(cfg.Dist, cfg.Keys); err != nil {
+			return nil, err
+		}
+	}
 	info, err := fetchInfo(hc, baseURL)
 	if err != nil {
 		return nil, err
 	}
-	known := make(map[string]bool, len(info.Kinds))
-	for _, k := range info.Kinds {
+	servedKinds := info.Kinds
+	if keyed {
+		if info.Shards <= 0 {
+			return nil, fmt.Errorf("loadgen: keyed load (dist %q) needs a sharded server; %s reports shards = 0 (start tbwf-serve with -shards)",
+				cfg.Dist, baseURL)
+		}
+		servedKinds = info.KVKinds
+	}
+	known := make(map[string]bool, len(servedKinds))
+	for _, k := range servedKinds {
 		known[k] = true
 	}
 	for _, wk := range mix {
 		if !known[wk.kind] {
 			return nil, fmt.Errorf("loadgen: mix kind %q not served by object %s (have %v)",
-				wk.kind, info.Object, info.Kinds)
+				wk.kind, info.Object, servedKinds)
 		}
 	}
 	if inj := cfg.Inject; inj != nil {
@@ -288,6 +368,13 @@ func Run(cfg Config) (*Report, error) {
 	workers := make([]*worker, cfg.Clients)
 	for i := range workers {
 		workers[i] = &worker{client: i, replica: i % info.N}
+	}
+	var perShard []*shardAgg
+	if keyed {
+		perShard = make([]*shardAgg, info.Shards)
+		for i := range perShard {
+			perShard[i] = &shardAgg{}
+		}
 	}
 	var timely, slow telemetry.Histogram
 	perKind := make(map[string]*telemetry.Histogram, len(mix))
@@ -332,11 +419,26 @@ func Run(cfg Config) (*Report, error) {
 			var seq int64
 			for time.Now().Before(deadline) {
 				kind := pickKind(mix, rng)
-				op := fillOp(kind, w.client, seq, cfg.SnapshotIndexes)
+				var (
+					body []byte
+					path string
+					sh   = -1
+				)
+				if keyed {
+					key := KeyName(sampler(rng))
+					sh = shard.KeyShard(key, info.Shards)
+					body, _ = json.Marshal(map[string]any{
+						"key": key, "replica": w.replica, "op": fillKVOp(kind, w.client, seq),
+					})
+					path = "/v1/kv/invoke"
+				} else {
+					op := fillOp(kind, w.client, seq, cfg.SnapshotIndexes)
+					body, _ = json.Marshal(map[string]any{"replica": w.replica, "op": op})
+					path = "/v1/invoke"
+				}
 				seq++
-				body, _ := json.Marshal(map[string]any{"replica": w.replica, "op": op})
 				t0 := time.Now()
-				resp, err := hc.Post(baseURL+"/v1/invoke", "application/json", bytes.NewReader(body))
+				resp, err := hc.Post(baseURL+path, "application/json", bytes.NewReader(body))
 				if err != nil {
 					var ue *url.Error
 					if errors.As(err, &ue) && ue.Timeout() {
@@ -363,13 +465,32 @@ func Run(cfg Config) (*Report, error) {
 						} else {
 							timely.Record(lat)
 						}
+						if sh >= 0 {
+							perShard[sh].ops.Inc()
+							if isSlow {
+								perShard[sh].slow.Record(lat)
+							} else {
+								perShard[sh].timely.Record(lat)
+							}
+						}
 						perKindMu.Lock()
 						perKind[kind].Record(lat)
 						perKindMu.Unlock()
 					case http.StatusServiceUnavailable:
 						w.bp++
+						if sh >= 0 {
+							perShard[sh].bp.Inc()
+						}
 						// Backpressured: the replica queue is full, give the
 						// worker loop a beat before re-offering.
+						time.Sleep(time.Millisecond)
+					case http.StatusTooManyRequests:
+						// Rate limited: the shard's admission bucket says this
+						// client should slow down. Do so, briefly.
+						w.rl++
+						if sh >= 0 {
+							perShard[sh].rl.Inc()
+						}
 						time.Sleep(time.Millisecond)
 					default:
 						w.errs++
@@ -398,10 +519,28 @@ func Run(cfg Config) (*Report, error) {
 		Injection:  injRec,
 	}
 	rep.TimelyP99US = rep.Timely.P99US
+	if keyed {
+		rep.Distribution = cfg.Dist
+		rep.Keys = cfg.Keys
+		rep.Shards = info.Shards
+		for i, agg := range perShard {
+			sl := ShardLoad{
+				Shard:        i,
+				Ops:          agg.ops.Load(),
+				Backpressure: agg.bp.Load(),
+				RateLimited:  agg.rl.Load(),
+				Timely:       agg.timely.Summary(),
+				Slow:         agg.slow.Summary(),
+			}
+			sl.TimelyP99US = sl.Timely.P99US
+			rep.PerShard = append(rep.PerShard, sl)
+		}
+	}
 	var overall telemetry.Histogram
 	for _, w := range workers {
 		rep.TotalOps += w.ops
 		rep.Backpressure += w.bp
+		rep.RateLimited += w.rl
 		rep.Timeouts += w.timeouts
 		rep.Errors += w.errs
 		rep.PerClient = append(rep.PerClient, ClientReport{
@@ -409,6 +548,7 @@ func Run(cfg Config) (*Report, error) {
 			Replica:      w.replica,
 			Ops:          w.ops,
 			Backpressure: w.bp,
+			RateLimited:  w.rl,
 			Timeouts:     w.timeouts,
 			Errors:       w.errs,
 			Latency:      w.hist.Summary(),
@@ -433,8 +573,11 @@ func Format(r *Report) string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "object=%s n=%d substrate=%s elector=%s clients=%d mix=%s\n",
 		r.Object, r.N, r.Substrate, r.Elector, r.Clients, r.Mix)
-	fmt.Fprintf(&sb, "ops=%d (%.0f/s) backpressure=%d timeouts=%d errors=%d in %dms\n",
-		r.TotalOps, r.OpsPerSec, r.Backpressure, r.Timeouts, r.Errors, r.DurationMS)
+	if r.Distribution != "" {
+		fmt.Fprintf(&sb, "keyed dist=%s keys=%d shards=%d\n", r.Distribution, r.Keys, r.Shards)
+	}
+	fmt.Fprintf(&sb, "ops=%d (%.0f/s) backpressure=%d rate_limited=%d timeouts=%d errors=%d in %dms\n",
+		r.TotalOps, r.OpsPerSec, r.Backpressure, r.RateLimited, r.Timeouts, r.Errors, r.DurationMS)
 	fmt.Fprintf(&sb, "overall  p50=%.0fµs p90=%.0fµs p99=%.0fµs max=%.0fµs\n",
 		r.Overall.P50US, r.Overall.P90US, r.Overall.P99US, r.Overall.MaxUS)
 	if r.Injection != nil {
@@ -453,6 +596,10 @@ func Format(r *Report) string {
 	for _, k := range kinds {
 		s := r.PerKind[k]
 		fmt.Fprintf(&sb, "%-8s p50=%.0fµs p99=%.0fµs (%d ops)\n", k, s.P50US, s.P99US, s.Count)
+	}
+	for _, sl := range r.PerShard {
+		fmt.Fprintf(&sb, "shard %-2d ops=%d bp=%d rl=%d timely_p99=%.0fµs slow_ops=%d\n",
+			sl.Shard, sl.Ops, sl.Backpressure, sl.RateLimited, sl.TimelyP99US, sl.Slow.Count)
 	}
 	return sb.String()
 }

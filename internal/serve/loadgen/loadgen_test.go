@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"testing"
@@ -178,5 +179,156 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if _, err := Run(Config{BaseURL: ts.URL, Mix: "add",
 		Inject: &Injection{Process: 0, Spec: "nope"}}); err == nil {
 		t.Error("bad inject spec accepted")
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	uni, err := ParseDist("uniform", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for i := 0; i < 4000; i++ {
+		k := uni(rng)
+		if k < 0 || k >= 8 {
+			t.Fatalf("uniform out of range: %d", k)
+		}
+		seen[k]++
+	}
+	if len(seen) != 8 {
+		t.Fatalf("uniform hit %d of 8 keys", len(seen))
+	}
+
+	// Zipfian skew: rank 0 must dominate, and θ < 1 must be accepted
+	// (math/rand's Zipf cannot do that; ours can).
+	for _, theta := range []float64{0.8, 1.2} {
+		z, err := ParseDist(fmt.Sprintf("zipf:%g", theta), 16)
+		if err != nil {
+			t.Fatalf("zipf:%g: %v", theta, err)
+		}
+		counts := make([]int, 16)
+		for i := 0; i < 8000; i++ {
+			counts[z(rng)]++
+		}
+		if counts[0] <= counts[8] || counts[0] <= 8000/16 {
+			t.Fatalf("zipf:%g not skewed: %v", theta, counts)
+		}
+	}
+
+	hot, err := ParseDist("hot:0.9", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		if hot(rng) == 0 {
+			hits++
+		}
+	}
+	if hits < 1700 {
+		t.Fatalf("hot:0.9 sent only %d/2000 to key 0", hits)
+	}
+
+	for _, bad := range []string{
+		"zipf:0", "zipf:-1", "zipf:NaN", "zipf:x", "zipf:",
+		"hot:0", "hot:1.5", "hot:-0.1", "hot:x",
+		"pareto", "zipf", "hot",
+	} {
+		if _, err := ParseDist(bad, 8); err == nil {
+			t.Errorf("ParseDist(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseDist("uniform", 0); err == nil {
+		t.Error("empty keyspace accepted")
+	}
+}
+
+func TestValidateMix(t *testing.T) {
+	if err := ValidateMix("add=9,get=1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "add=0", "add=x"} {
+		if err := ValidateMix(bad); err == nil {
+			t.Errorf("ValidateMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestKeyedRunAgainstShardedServer drives the keyed API end to end: the
+// report must carry the distribution and a per-shard breakdown whose
+// totals reconcile with the run.
+func TestKeyedRunAgainstShardedServer(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 2, Object: "counter", Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rep, err := Run(Config{
+		BaseURL:  ts.URL,
+		Clients:  4,
+		Duration: 400 * time.Millisecond,
+		Mix:      "add=8,get=2",
+		Dist:     "zipf:1.0",
+		Keys:     32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Distribution != "zipf:1.0" || rep.Keys != 32 || rep.Shards != 4 {
+		t.Fatalf("keyed header: dist=%q keys=%d shards=%d", rep.Distribution, rep.Keys, rep.Shards)
+	}
+	if rep.TotalOps == 0 || rep.Errors != 0 {
+		t.Fatalf("ops=%d errors=%d", rep.TotalOps, rep.Errors)
+	}
+	if len(rep.PerShard) != 4 {
+		t.Fatalf("%d per-shard entries", len(rep.PerShard))
+	}
+	var shardOps, shardTimely int64
+	for _, sl := range rep.PerShard {
+		shardOps += sl.Ops
+		shardTimely += sl.Timely.Count
+		if sl.Slow.Count != 0 {
+			t.Fatalf("no injection but shard %d has %d slow ops", sl.Shard, sl.Slow.Count)
+		}
+	}
+	if shardOps != rep.TotalOps || shardTimely != rep.TotalOps {
+		t.Fatalf("per-shard ops %d / timely %d != total %d", shardOps, shardTimely, rep.TotalOps)
+	}
+	if out := Format(rep); out == "" {
+		t.Fatal("empty Format output")
+	}
+}
+
+// TestKeyedRunNeedsShardedServer: pointing a keyed run at an unsharded
+// server is a clear config error, not a stream of 400s.
+func TestKeyedRunNeedsShardedServer(t *testing.T) {
+	srv, err := serve.New(serve.Config{N: 2, Object: "counter"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	if _, err := Run(Config{BaseURL: ts.URL, Mix: "add", Dist: "uniform"}); err == nil {
+		t.Fatal("keyed run against unsharded server accepted")
+	}
+	// And a keyed mix kind foreign to the KV vocabulary is rejected.
+	srv2, err := serve.New(serve.Config{N: 2, Object: "counter", Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Stop()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	if _, err := Run(Config{BaseURL: ts2.URL, Mix: "read", Dist: "uniform"}); err == nil {
+		t.Fatal("unkeyed mix kind accepted for a keyed run")
+	}
+	if _, err := Run(Config{BaseURL: ts2.URL, Mix: "add", Dist: "zipf:0"}); err == nil {
+		t.Fatal("bad zipf theta accepted")
 	}
 }

@@ -20,6 +20,7 @@ type metrics struct {
 	perProc  []*telemetry.Histogram   // [replica], all kinds
 	served   []telemetry.Counter
 	rejected []telemetry.Counter
+	shardLat []*telemetry.Histogram // [shard], keyed-API latency; empty unsharded
 
 	leaderChanges telemetry.Counter
 	leaderHist    *telemetry.Series
@@ -29,7 +30,7 @@ type metrics struct {
 	injections []Injection
 }
 
-func newMetrics(n int, kinds []string) *metrics {
+func newMetrics(n int, kinds []string, shards int) *metrics {
 	m := &metrics{
 		start:      time.Now(),
 		kinds:      kinds,
@@ -51,7 +52,14 @@ func newMetrics(n int, kinds []string) *metrics {
 			m.perOp[p][i] = &telemetry.Histogram{}
 		}
 	}
+	for sh := 0; sh < shards; sh++ {
+		m.shardLat = append(m.shardLat, &telemetry.Histogram{})
+	}
 	return m
+}
+
+func (m *metrics) recordShardServed(sh int, lat time.Duration) {
+	m.shardLat[sh].Record(lat)
 }
 
 func (m *metrics) recordServed(p int, kind string, lat time.Duration) {
@@ -111,6 +119,34 @@ type MetricsReport struct {
 	// Net carries quorum/transport telemetry on the net substrate and is
 	// absent on rt.
 	Net *NetMetrics `json:"net,omitempty"`
+	// Shards is the sharded keyspace's per-stack telemetry (batching,
+	// admission sheds, per-shard leader vectors); absent when unsharded.
+	// KVInFlight is the keyed API's admitted-but-incomplete count.
+	Shards     []ShardMetrics `json:"shards,omitempty"`
+	KVInFlight int64          `json:"kv_in_flight,omitempty"`
+}
+
+// ShardMetrics is one keyspace shard's slice of the report: its own
+// TBWF stack's elector and leader vector, its queue occupancy per
+// replica, the batching amortization (MeanBatch > 1 means multiple ops
+// rode one QA round), and the admission shed split (rate-limit sheds
+// answer 429, queue-full and in-flight sheds 503).
+type ShardMetrics struct {
+	Shard      int               `json:"shard"`
+	Omega      string            `json:"omega"`
+	Elector    string            `json:"elector"`
+	Leaders    []int             `json:"leaders"`
+	QueueDepth []int             `json:"queue_depth"`
+	Accepted   int64             `json:"accepted"`
+	Served     int64             `json:"served"`
+	Batches    int64             `json:"batches"`
+	MeanBatch  float64           `json:"mean_batch"`
+	BatchHist  []int64           `json:"batch_hist"`
+	ShedRL     int64             `json:"shed_rate_limit"`
+	ShedQF     int64             `json:"shed_queue_full"`
+	ShedIF     int64             `json:"shed_in_flight"`
+	QASlots    int64             `json:"qa_slots"`
+	Latency    telemetry.Summary `json:"latency"`
 }
 
 // NetMetrics is the net substrate's slice of the report: the effective
@@ -323,6 +359,32 @@ func (s *Server) report() MetricsReport {
 		}
 	} else {
 		rep.Faults = FaultMetrics{Supported: false}
+	}
+	if s.kv != nil {
+		rep.KVInFlight = s.kv.InFlight()
+		for sh := 0; sh < s.kv.Shards(); sh++ {
+			st := s.kv.Stats(sh)
+			sm := ShardMetrics{
+				Shard:     sh,
+				Omega:     s.kv.ElectorName(sh),
+				Elector:   s.kv.ElectorFlag(sh),
+				Leaders:   s.kv.Leaders(sh),
+				Accepted:  st.Accepted,
+				Served:    st.Served,
+				Batches:   st.Batches,
+				MeanBatch: s.kv.MeanBatch(sh),
+				BatchHist: s.kv.BatchHist(sh),
+				ShedRL:    st.ShedRateLimit,
+				ShedQF:    st.ShedQueueFull,
+				ShedIF:    st.ShedInFlight,
+				QASlots:   s.kv.Slots(sh),
+				Latency:   s.metrics.shardLat[sh].Summary(),
+			}
+			for p := 0; p < n; p++ {
+				sm.QueueDepth = append(sm.QueueDepth, s.kv.QueueDepth(sh, p))
+			}
+			rep.Shards = append(rep.Shards, sm)
+		}
 	}
 	return rep
 }

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"tbwf/internal/net"
 	"tbwf/internal/prim"
 	"tbwf/internal/rt"
+	"tbwf/internal/shard"
 )
 
 // Config sizes a server.
@@ -71,6 +73,23 @@ type Config struct {
 	Substrate string
 	// Net configures the net substrate; ignored unless Substrate is "net".
 	Net NetOptions
+
+	// Shards > 0 additionally deploys a sharded keyspace (internal/shard)
+	// next to the unsharded object: Shards independent TBWF stacks over
+	// the same N replicas, served on /v1/kv/*. Only on the rt substrate.
+	Shards int
+	// ShardElector is a comma-separated elector list cycled across shards
+	// (shard s gets entry s mod len); empty inherits Elector/Omega for
+	// every shard. Requires Shards > 0.
+	ShardElector string
+	// MaxBatch bounds how many queued keyed ops one worker turn folds into
+	// a single QA round (default 16; 1 disables batching). Requires
+	// Shards > 0.
+	MaxBatch int
+	// Admission is the keyed API's overload policy, in ParseAdmission's
+	// "rate=R,burst=B,inflight=M" vocabulary; empty admits everything.
+	// Requires Shards > 0.
+	Admission string
 }
 
 // NetOptions shapes a net-substrate deploy.
@@ -102,7 +121,9 @@ type Server struct {
 	rt          *rt.Runtime
 	backend     Backend
 	metrics     *metrics
-	mux         *http.ServeMux
+	// kv is the sharded keyspace behind /v1/kv/*; nil when Shards is 0.
+	kv  *shard.Map
+	mux *http.ServeMux
 
 	// netSub/tcp/nodes are set when the stack runs on the net substrate:
 	// the quorum substrate, its transport (the /v1/netfault hook), and the
@@ -148,6 +169,31 @@ func New(cfg Config) (*Server, error) {
 	default:
 		return nil, fmt.Errorf("serve: unknown substrate %q (want rt or net)", cfg.Substrate)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("serve: shards = %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		if cfg.ShardElector != "" || cfg.MaxBatch != 0 || cfg.Admission != "" {
+			return nil, fmt.Errorf("serve: shard-elector/batch/admission need shards > 0")
+		}
+	} else if cfg.Substrate != "rt" {
+		return nil, fmt.Errorf("serve: sharded keyspace needs the rt substrate, not %q", cfg.Substrate)
+	}
+	shardElectors := []elector.Builder{builder}
+	if cfg.ShardElector != "" {
+		shardElectors = shardElectors[:0]
+		for _, name := range strings.Split(cfg.ShardElector, ",") {
+			eb, err := elector.Parse(strings.TrimSpace(name))
+			if err != nil {
+				return nil, fmt.Errorf("serve: shard elector: %w", err)
+			}
+			shardElectors = append(shardElectors, eb)
+		}
+	}
+	admission, err := ParseAdmission(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:         cfg,
 		electorFlag: builder.FlagName(),
@@ -190,13 +236,36 @@ func New(cfg Config) (*Server, error) {
 		return fail(err)
 	}
 	s.backend = b
-	s.metrics = newMetrics(cfg.N, b.Kinds())
+	if cfg.Shards > 0 {
+		kv, err := shard.New(sub, shard.Config{
+			Shards:     cfg.Shards,
+			QueueDepth: cfg.QueueDepth,
+			MaxBatch:   cfg.MaxBatch,
+			Electors:   shardElectors,
+			Admission:  admission,
+			Hooks: shard.Hooks{
+				Served: func(sh, p int, pd *shard.Pending, batch int, lat time.Duration) {
+					s.metrics.recordShardServed(sh, lat)
+				},
+			},
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.kv = kv
+	}
+	s.metrics = newMetrics(cfg.N, b.Kinds(), cfg.Shards)
 	b.Start()
+	if s.kv != nil {
+		s.kv.Start()
+	}
 	go s.sample()
 
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/invoke", s.handleInvoke)
 	s.mux.HandleFunc("/v1/read", s.handleRead)
+	s.mux.HandleFunc("/v1/kv/invoke", s.handleKVInvoke)
+	s.mux.HandleFunc("/v1/kv/read", s.handleKVRead)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/fault", s.handleFault)
@@ -411,6 +480,12 @@ type statsReport struct {
 	Rejected  []int64  `json:"rejected"`
 	Queued    []int    `json:"queued"`
 	Completed []int64  `json:"completed"`
+	// Shards is the sharded keyspace's stack count (0: not sharded);
+	// KVKinds its op vocabulary, KVServed/KVShed its aggregate counters.
+	Shards   int      `json:"shards"`
+	KVKinds  []string `json:"kv_kinds,omitempty"`
+	KVServed int64    `json:"kv_served,omitempty"`
+	KVShed   int64    `json:"kv_shed,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -428,6 +503,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rep.Rejected = append(rep.Rejected, s.metrics.rejected[p].Load())
 		rep.Queued = append(rep.Queued, s.backend.QueueDepth(p))
 		rep.Completed = append(rep.Completed, s.backend.ClientStats(p).Completed)
+	}
+	if s.kv != nil {
+		rep.Shards = s.kv.Shards()
+		rep.KVKinds = KVKinds()
+		for sh := 0; sh < s.kv.Shards(); sh++ {
+			st := s.kv.Stats(sh)
+			rep.KVServed += st.Served
+			rep.KVShed += st.ShedRateLimit + st.ShedQueueFull + st.ShedInFlight
+		}
 	}
 	writeJSON(w, http.StatusOK, rep)
 }

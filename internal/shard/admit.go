@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// The admission errors split overload into "you, slow down" and "us,
+// overloaded": a rate-limited submission maps to HTTP 429, a full
+// replica queue or a tripped global in-flight cap to HTTP 503.
+var (
+	// ErrRateLimited means the target shard's token bucket is empty.
+	ErrRateLimited = errors.New("shard: rate limited")
+	// ErrQueueFull means the target replica's bounded queue is full.
+	ErrQueueFull = errors.New("shard: replica queue full")
+	// ErrInFlight means the map-wide in-flight cap is reached.
+	ErrInFlight = errors.New("shard: in-flight cap reached")
+)
+
+// Admission parameterizes overload control. The zero value admits
+// everything (no rate limit, no in-flight cap); queues stay bounded
+// regardless.
+type Admission struct {
+	// RefillEvery is the number of clock ticks between token grants to
+	// each shard's bucket; 0 disables rate limiting.
+	RefillEvery int64
+	// Burst is each bucket's capacity (and initial fill). Defaults to 1
+	// when rate limiting is on.
+	Burst int64
+	// MaxInFlight caps operations admitted but not yet completed across
+	// the whole map; 0 means unlimited.
+	MaxInFlight int64
+	// Now is the admission clock, in the same ticks as RefillEvery. Nil
+	// defaults to wall-clock nanoseconds; deterministic deployments (the
+	// sim kernel) pass the kernel's step counter so runs replay exactly.
+	Now func() int64
+}
+
+// bucket is one shard's token bucket. A mutex, not atomics: take is a
+// few arithmetic ops, the bucket is per shard, and both substrates'
+// tasks may only ever block on it momentarily.
+type bucket struct {
+	mu     sync.Mutex
+	refill int64
+	burst  int64
+	tokens int64
+	last   int64
+	now    func() int64
+}
+
+// newBucket compiles an Admission into a shard's bucket; nil when rate
+// limiting is off.
+func newBucket(a Admission) *bucket {
+	if a.RefillEvery <= 0 {
+		return nil
+	}
+	burst := a.Burst
+	if burst <= 0 {
+		burst = 1
+	}
+	now := a.Now
+	if now == nil {
+		now = func() int64 { return time.Now().UnixNano() }
+	}
+	return &bucket{refill: a.RefillEvery, burst: burst, tokens: burst, last: now(), now: now}
+}
+
+// take consumes one token, refilling first from elapsed clock ticks.
+func (b *bucket) take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now := b.now(); now > b.last {
+		if add := (now - b.last) / b.refill; add > 0 {
+			b.tokens += add
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+			b.last += add * b.refill
+		}
+	}
+	if b.tokens <= 0 {
+		return false
+	}
+	b.tokens--
+	return true
+}

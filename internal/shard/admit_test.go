@@ -1,0 +1,56 @@
+package shard
+
+import "testing"
+
+// TestBucketRefill drives a bucket on a fake clock: burst drains, then
+// exactly one token per RefillEvery ticks, capped at burst.
+func TestBucketRefill(t *testing.T) {
+	now := int64(0)
+	b := newBucket(Admission{RefillEvery: 10, Burst: 2, Now: func() int64 { return now }})
+	if !b.take() || !b.take() {
+		t.Fatal("burst of 2 should admit 2")
+	}
+	if b.take() {
+		t.Fatal("empty bucket admitted")
+	}
+	now = 9 // not a full refill interval yet
+	if b.take() {
+		t.Fatal("admitted before the refill interval elapsed")
+	}
+	now = 10
+	if !b.take() {
+		t.Fatal("one interval should grant one token")
+	}
+	if b.take() {
+		t.Fatal("one interval granted more than one token")
+	}
+	now = 1000 // long idle: refill caps at burst
+	if !b.take() || !b.take() {
+		t.Fatal("long idle should refill to burst")
+	}
+	if b.take() {
+		t.Fatal("refill exceeded burst")
+	}
+}
+
+// TestBucketDisabled: zero RefillEvery means no rate limit.
+func TestBucketDisabled(t *testing.T) {
+	b := newBucket(Admission{})
+	for i := 0; i < 1000; i++ {
+		if !b.take() {
+			t.Fatal("disabled bucket refused a take")
+		}
+	}
+}
+
+// TestBucketDefaultBurst: rate limiting with no burst defaults to 1.
+func TestBucketDefaultBurst(t *testing.T) {
+	now := int64(0)
+	b := newBucket(Admission{RefillEvery: 5, Now: func() int64 { return now }})
+	if !b.take() {
+		t.Fatal("default burst should admit 1")
+	}
+	if b.take() {
+		t.Fatal("default burst admitted 2")
+	}
+}

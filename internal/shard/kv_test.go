@@ -1,0 +1,129 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randOp draws one op over a small keyspace.
+func randOp(rng *rand.Rand) Op {
+	keys := []string{"a", "b", "c", "d"}
+	op := Op{Key: keys[rng.Intn(len(keys))]}
+	switch rng.Intn(4) {
+	case 0:
+		op.Kind = Get
+	case 1:
+		op.Kind = Put
+		op.Val = rng.Int63n(100)
+	case 2:
+		op.Kind = Add
+		op.Val = 1 + rng.Int63n(9)
+	default:
+		op.Kind = CAS
+		op.Old = rng.Int63n(20)
+		op.Val = rng.Int63n(100)
+	}
+	return op
+}
+
+// TestBatchKVFoldsToKV: applying a batch through BatchKV must produce
+// exactly the state and responses of folding the ops one at a time
+// through the single-op spec — batching is an amortization, not a
+// semantic change.
+func TestBatchKVFoldsToKV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		state := KV{}.Init()
+		bstate := BatchKV{}.Init()
+		for round := 0; round < 4; round++ {
+			ops := make([]Op, 1+rng.Intn(8))
+			for i := range ops {
+				ops[i] = randOp(rng)
+			}
+			var want []Resp
+			for _, op := range ops {
+				var r Resp
+				state, r = KV{}.Apply(state, op)
+				want = append(want, r)
+			}
+			var got []Resp
+			bstate, got = BatchKV{}.Apply(bstate, ops)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d responses for %d ops", trial, len(got), len(ops))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d op %d (%+v): batch resp %+v, fold resp %+v",
+						trial, i, ops[i], got[i], want[i])
+				}
+			}
+			if fmt.Sprint(state) != fmt.Sprint(bstate) {
+				t.Fatalf("trial %d: batch state %v, fold state %v", trial, bstate, state)
+			}
+		}
+	}
+}
+
+// TestKVApplyPersistent: Apply must never mutate its input state.
+func TestKVApplyPersistent(t *testing.T) {
+	s0 := map[string]int64{"x": 5}
+	s1, r := KV{}.Apply(s0, Op{Kind: Add, Key: "x", Val: 3})
+	if s0["x"] != 5 {
+		t.Fatalf("Apply mutated its input: %v", s0)
+	}
+	if s1["x"] != 8 || r.Prev != 5 || !r.Found {
+		t.Fatalf("add: state %v resp %+v", s1, r)
+	}
+	b1, rs := BatchKV{}.Apply(s0, []Op{{Kind: Put, Key: "x", Val: 1}, {Kind: Add, Key: "x", Val: 1}})
+	if s0["x"] != 5 {
+		t.Fatalf("batch Apply mutated its input: %v", s0)
+	}
+	if b1["x"] != 2 || rs[0].Prev != 5 || rs[1].Prev != 1 {
+		t.Fatalf("batch: state %v resps %+v", b1, rs)
+	}
+}
+
+// TestKVSemantics pins the per-kind responses.
+func TestKVSemantics(t *testing.T) {
+	s := KV{}.Init()
+	var r Resp
+	_, r = KV{}.Apply(s, Op{Kind: Get, Key: "k"})
+	if r.Found || r.Prev != 0 {
+		t.Fatalf("get on empty: %+v", r)
+	}
+	s, r = KV{}.Apply(s, Op{Kind: CAS, Key: "k", Old: 0, Val: 7})
+	if !r.Swapped || r.Found {
+		t.Fatalf("cas from absent-as-0 should swap: %+v", r)
+	}
+	s, r = KV{}.Apply(s, Op{Kind: CAS, Key: "k", Old: 3, Val: 9})
+	if r.Swapped || r.Prev != 7 {
+		t.Fatalf("cas with wrong old should not swap: %+v", r)
+	}
+	if s["k"] != 7 {
+		t.Fatalf("failed cas wrote: %v", s)
+	}
+}
+
+// TestKeyShard: stable, in-range, and actually spreading.
+func TestKeyShard(t *testing.T) {
+	if KeyShard("anything", 1) != 0 || KeyShard("anything", 0) != 0 {
+		t.Fatal("degenerate shard counts must map to 0")
+	}
+	const shards = 8
+	seen := make(map[int]bool)
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		s := KeyShard(k, shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("KeyShard(%q, %d) = %d out of range", k, shards, s)
+		}
+		if s != KeyShard(k, shards) {
+			t.Fatalf("KeyShard(%q) unstable", k)
+		}
+		seen[s] = true
+	}
+	if len(seen) != shards {
+		t.Fatalf("256 keys hit only %d of %d shards", len(seen), shards)
+	}
+}

@@ -1,0 +1,281 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"tbwf/internal/deploy"
+	"tbwf/internal/elector"
+	"tbwf/internal/sim"
+)
+
+// simMap deploys a Map on a fresh kernel. Admission's clock is the
+// kernel's step counter so tests are deterministic.
+func simMap(t *testing.T, n int, cfg Config) (*sim.Kernel, *Map) {
+	t.Helper()
+	k := sim.New(n)
+	if cfg.Admission.RefillEvery > 0 && cfg.Admission.Now == nil {
+		cfg.Admission.Now = func() int64 { return k.Step() }
+	}
+	m, err := New(deploy.Sim(k), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return k, m
+}
+
+// submitAll pushes ops for one key onto one replica's queue back to
+// back (no kernel steps in between, so the worker sees them together).
+func submitAll(t *testing.T, m *Map, key string, replica int, ops []Op) []*Pending {
+	t.Helper()
+	pds := make([]*Pending, len(ops))
+	for i, op := range ops {
+		pds[i] = NewPending()
+		if _, _, err := m.Submit(key, replica, op, pds[i]); err != nil {
+			t.Fatalf("submit op %d: %v", i, err)
+		}
+	}
+	return pds
+}
+
+func results(t *testing.T, pds []*Pending) []Resp {
+	t.Helper()
+	out := make([]Resp, len(pds))
+	for i, pd := range pds {
+		r, ok := pd.Poll()
+		if !ok {
+			t.Fatalf("op %d never completed", i)
+		}
+		out[i] = r.Resp
+	}
+	return out
+}
+
+// TestBatchFlushOnQueueDrain: fewer queued ops than MaxBatch complete
+// as one batch — the worker flushes what is there instead of waiting
+// for a full batch.
+func TestBatchFlushOnQueueDrain(t *testing.T) {
+	k, m := simMap(t, 2, Config{Shards: 1, MaxBatch: 8, QueueDepth: 16})
+	m.Start()
+	ops := []Op{{Kind: Add, Val: 1}, {Kind: Add, Val: 2}, {Kind: Add, Val: 4}}
+	pds := submitAll(t, m, "k", 0, ops)
+	if _, err := k.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	rs := results(t, pds)
+	for i, want := range []int64{0, 1, 3} {
+		if rs[i].Prev != want {
+			t.Fatalf("op %d: prev %d, want %d (FIFO within the batch)", i, rs[i].Prev, want)
+		}
+	}
+	if st := m.Stats(0); st.Batches != 1 || st.Served != 3 {
+		t.Fatalf("wanted one 3-op batch, got stats %+v", st)
+	}
+	if h := m.BatchHist(0); h[3] != 1 {
+		t.Fatalf("batch hist %v, want one batch of size 3", h)
+	}
+	if mb := m.MeanBatch(0); mb != 3 {
+		t.Fatalf("mean batch %.1f, want 3", mb)
+	}
+}
+
+// TestBatchFlushOnMaxBatchBoundary: more queued ops than MaxBatch split
+// at the boundary: one full batch, then the remainder.
+func TestBatchFlushOnMaxBatchBoundary(t *testing.T) {
+	const maxBatch = 4
+	k, m := simMap(t, 2, Config{Shards: 1, MaxBatch: maxBatch, QueueDepth: 16})
+	m.Start()
+	ops := make([]Op, maxBatch+2)
+	for i := range ops {
+		ops[i] = Op{Kind: Add, Val: 1}
+	}
+	pds := submitAll(t, m, "k", 0, ops)
+	if _, err := k.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	rs := results(t, pds)
+	for i, r := range rs {
+		if r.Prev != int64(i) {
+			t.Fatalf("op %d: prev %d, want %d", i, r.Prev, i)
+		}
+	}
+	st := m.Stats(0)
+	if st.Batches != 2 || st.Served != maxBatch+2 {
+		t.Fatalf("wanted a full batch plus the remainder, got stats %+v", st)
+	}
+	h := m.BatchHist(0)
+	if h[maxBatch] != 1 || h[2] != 1 {
+		t.Fatalf("batch hist %v, want one batch of %d and one of 2", h, maxBatch)
+	}
+}
+
+// TestBatchSemanticsMixedOps: a batched mixed-kind sequence on one key
+// must fold exactly like the sequential spec, in submission order.
+func TestBatchSemanticsMixedOps(t *testing.T) {
+	k, m := simMap(t, 2, Config{Shards: 1, MaxBatch: 16, QueueDepth: 32})
+	m.Start()
+	ops := []Op{
+		{Kind: Get},
+		{Kind: Put, Val: 10},
+		{Kind: Add, Val: 5},
+		{Kind: CAS, Old: 15, Val: 40},
+		{Kind: CAS, Old: 15, Val: 99},
+		{Kind: Get},
+	}
+	pds := submitAll(t, m, "k", 1, ops)
+	if _, err := k.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	got := results(t, pds)
+	state := KV{}.Init()
+	for i, op := range ops {
+		op.Key = "k"
+		var want Resp
+		state, want = KV{}.Apply(state, op)
+		if got[i] != want {
+			t.Fatalf("op %d (%+v): got %+v, want %+v", i, op, got[i], want)
+		}
+	}
+}
+
+// TestSingleShardMatchesUnshardedRouting: with S=1 every key routes to
+// shard 0 and the per-replica queues behave exactly like the unsharded
+// serve path's (bounded FIFO, one worker per replica).
+func TestSingleShardMatchesUnshardedRouting(t *testing.T) {
+	k, m := simMap(t, 3, Config{Shards: 1, MaxBatch: 1, QueueDepth: 8})
+	m.Start()
+	if m.Shards() != 1 {
+		t.Fatalf("Shards() = %d", m.Shards())
+	}
+	for _, key := range []string{"a", "b", "zz", "hot"} {
+		if s := m.ShardFor(key); s != 0 {
+			t.Fatalf("ShardFor(%q) = %d with one shard", key, s)
+		}
+	}
+	// MaxBatch 1 disables batching: every op is its own QA round, the
+	// unsharded backend's exact behavior.
+	var pds []*Pending
+	for i := 0; i < 3; i++ {
+		pds = append(pds, submitAll(t, m, fmt.Sprintf("key%d", i), i%m.N(), []Op{{Kind: Add, Val: 1}})...)
+	}
+	if _, err := k.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	results(t, pds)
+	st := m.Stats(0)
+	if st.Batches != st.Served {
+		t.Fatalf("MaxBatch=1 must mean one batch per op: %+v", st)
+	}
+	if mb := m.MeanBatch(0); mb != 1 {
+		t.Fatalf("mean batch %.2f, want exactly 1", mb)
+	}
+}
+
+// TestSubmitAdmissionOrder: an empty token bucket sheds with
+// ErrRateLimited (429-class) even when queues have room; with tokens,
+// a full queue sheds ErrQueueFull and a tripped in-flight cap
+// ErrInFlight (503-class). Workers are never started, so queue
+// occupancy is fully controlled.
+func TestSubmitAdmissionOrder(t *testing.T) {
+	_, m := simMap(t, 2, Config{
+		Shards: 1, QueueDepth: 2,
+		Admission: Admission{RefillEvery: 1 << 40, Burst: 3, MaxInFlight: 10},
+	})
+	take := func() (int, int, error) {
+		return m.Submit("k", 0, Op{Kind: Add, Val: 1}, NewPending())
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := take(); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	// Third token: the queue (depth 2) is full, so this must be the
+	// 503-class queue shed, not a rate limit.
+	if _, _, err := take(); err != ErrQueueFull {
+		t.Fatalf("full queue: got %v, want ErrQueueFull", err)
+	}
+	// Bucket now empty: rate limit wins over queue state.
+	if _, _, err := take(); err != ErrRateLimited {
+		t.Fatalf("empty bucket: got %v, want ErrRateLimited", err)
+	}
+	st := m.Stats(0)
+	if st.ShedQueueFull != 1 || st.ShedRateLimit != 1 || st.Accepted != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if m.InFlight() != 2 {
+		t.Fatalf("in-flight %d, want 2", m.InFlight())
+	}
+}
+
+// TestSubmitInFlightCap: the global cap sheds across shards.
+func TestSubmitInFlightCap(t *testing.T) {
+	_, m := simMap(t, 2, Config{
+		Shards: 4, QueueDepth: 64,
+		Admission: Admission{MaxInFlight: 3},
+	})
+	accepted := 0
+	var lastErr error
+	for i := 0; i < 8; i++ {
+		if _, _, err := m.Submit(fmt.Sprintf("key%d", i), 0, Op{Kind: Get}, NewPending()); err != nil {
+			lastErr = err
+		} else {
+			accepted++
+		}
+	}
+	if accepted != 3 || lastErr != ErrInFlight {
+		t.Fatalf("accepted %d (want 3), last error %v (want ErrInFlight)", accepted, lastErr)
+	}
+	var shed int64
+	for s := 0; s < m.Shards(); s++ {
+		shed += m.Stats(s).ShedInFlight
+	}
+	if shed != 5 {
+		t.Fatalf("in-flight sheds %d, want 5", shed)
+	}
+}
+
+// TestPerShardElectors: the elector list cycles across shards and each
+// shard's stack reports its own elector.
+func TestPerShardElectors(t *testing.T) {
+	k := sim.New(2)
+	m, err := New(deploy.Sim(k), Config{
+		Shards:   3,
+		Electors: []elector.Builder{elector.Atomic, elector.Nerio},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlags := []string{"atomic", "nerio", "atomic"}
+	for s := 0; s < 3; s++ {
+		if m.ElectorFlag(s) != wantFlags[s] {
+			t.Fatalf("shard %d elector %q, want %q", s, m.ElectorFlag(s), wantFlags[s])
+		}
+		if len(m.Leaders(s)) != 2 {
+			t.Fatalf("shard %d leader vector %v", s, m.Leaders(s))
+		}
+	}
+	k.Shutdown()
+}
+
+// TestAblateBatchFenceHasTeeth: rotating response assignment inside a
+// multi-op batch visibly corrupts the prev chain of same-key adds —
+// this is the defect the fuzzer's shard/kv-nobatchfence target must
+// catch via its per-shard linearizability oracle.
+func TestAblateBatchFenceHasTeeth(t *testing.T) {
+	k, m := simMap(t, 2, Config{Shards: 1, MaxBatch: 8, QueueDepth: 16, AblateBatchFence: true})
+	m.Start()
+	pds := submitAll(t, m, "k", 0, []Op{{Kind: Add, Val: 1}, {Kind: Add, Val: 1}, {Kind: Add, Val: 1}})
+	if _, err := k.Run(400_000); err != nil {
+		t.Fatal(err)
+	}
+	k.Shutdown()
+	rs := results(t, pds)
+	// Sound prevs would be 0,1,2; the rotated assignment yields 1,2,0.
+	if rs[0].Prev == 0 && rs[1].Prev == 1 && rs[2].Prev == 2 {
+		t.Fatalf("ablation had no observable effect: prevs %+v", rs)
+	}
+}
