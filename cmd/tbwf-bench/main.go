@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"tbwf/internal/exp"
+	"tbwf/internal/explore"
 	"tbwf/internal/sim"
 )
 
@@ -47,11 +48,15 @@ func run(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write per-table CSV files into")
 	jsonPath := fs.String("json", "", "write machine-readable results to this JSON file")
 	list := fs.Bool("list", false, "list experiments and exit")
+	checkFrontier := fs.String("check-frontier", "", "validate a tbwf-frontier JSON document (BENCH_frontier.json) and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := validateParallel(fs, *parallel); err != nil {
 		return err
+	}
+	if *checkFrontier != "" {
+		return validateFrontierDoc(*checkFrontier)
 	}
 
 	experiments := exp.All()
@@ -151,7 +156,43 @@ func validateParallel(fs *flag.FlagSet, parallel int) error {
 }
 
 // benchSchema names the JSON document layout; EXPERIMENTS.md documents it.
+// The frontier sweep's sibling document (BENCH_frontier.json) carries
+// explore.FrontierSchema ("tbwf-frontier/v1") and is validated by
+// -check-frontier.
 const benchSchema = "tbwf-bench/v1"
+
+// validateFrontierDoc checks a frontier document's schema and internal
+// consistency — the bench-smoke guard for the committed BENCH_frontier.json.
+func validateFrontierDoc(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	doc, err := explore.DecodeFrontier(data)
+	if err != nil {
+		return err
+	}
+	if len(doc.Targets) == 0 || len(doc.Phis) == 0 || len(doc.Deltas) == 0 {
+		return fmt.Errorf("%s: empty frontier document (targets=%d phis=%d deltas=%d)",
+			path, len(doc.Targets), len(doc.Phis), len(doc.Deltas))
+	}
+	cells := len(doc.Phis) * len(doc.Deltas)
+	for _, tf := range doc.Targets {
+		if len(tf.Cells) != cells {
+			return fmt.Errorf("%s: target %s has %d cells, grid is %d×%d",
+				path, tf.Target, len(tf.Cells), len(doc.Phis), len(doc.Deltas))
+		}
+		for _, c := range tf.Cells {
+			if c.Fails+c.Passes+c.Vacuous+c.Errors != c.Runs {
+				return fmt.Errorf("%s: target %s cell (%d,%d): outcomes do not sum to runs",
+					path, tf.Target, c.Phi, c.Delta)
+			}
+		}
+	}
+	fmt.Printf("%s: schema %s, %d targets × %d cells × %d seeds\n",
+		path, doc.Schema, len(doc.Targets), cells, doc.Seeds)
+	return nil
+}
 
 // benchDoc is the machine-readable result document written by -json.
 type benchDoc struct {

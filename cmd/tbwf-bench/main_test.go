@@ -82,3 +82,40 @@ func TestJSONResults(t *testing.T) {
 		t.Fatalf("benchmark record = %+v", b)
 	}
 }
+
+// TestCheckFrontier: -check-frontier accepts a well-formed frontier
+// document and rejects wrong schemas and inconsistent grids.
+func TestCheckFrontier(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json", `{"schema":"tbwf-frontier/v1","phis":[1,8],"deltas":[0],"seeds":1,
+		"targets":[{"target":"t","cells":[
+			{"phi":1,"delta":0,"runs":1,"passes":1},
+			{"phi":8,"delta":0,"runs":1,"fails":1}]}]}`)
+	if err := run([]string{"-check-frontier", good}); err != nil {
+		t.Fatalf("good document rejected: %v", err)
+	}
+	wrongSchema := write("wrong.json", `{"schema":"tbwf-bench/v1"}`)
+	if err := run([]string{"-check-frontier", wrongSchema}); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	badGrid := write("grid.json", `{"schema":"tbwf-frontier/v1","phis":[1,8],"deltas":[0],"seeds":1,
+		"targets":[{"target":"t","cells":[{"phi":1,"delta":0,"runs":1,"passes":1}]}]}`)
+	if err := run([]string{"-check-frontier", badGrid}); err == nil {
+		t.Fatal("truncated cell grid accepted")
+	}
+	badSum := write("sum.json", `{"schema":"tbwf-frontier/v1","phis":[1],"deltas":[0],"seeds":2,
+		"targets":[{"target":"t","cells":[{"phi":1,"delta":0,"runs":2,"passes":1}]}]}`)
+	if err := run([]string{"-check-frontier", badSum}); err == nil {
+		t.Fatal("inconsistent outcome counts accepted")
+	}
+	if err := run([]string{"-check-frontier", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

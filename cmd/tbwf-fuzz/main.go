@@ -1,21 +1,31 @@
 // Command tbwf-fuzz explores the schedule space of the repo's
 // constructions: it sweeps seeded adversarial schedules (random walks,
-// phase-locking patterns, preemption-bounded runs), crash injections, and
+// phase-locking patterns, preemption-bounded runs, and DLS timing
+// adversaries with explicit (Φ,Δ) bounds), crash injections, and
 // abort/effect policy tapes across the registered fuzz targets, checks
 // every run with the targets' property oracles, and writes each failure as
 // a JSON artifact that replays byte-exactly.
+//
+// Beyond the blind sweep it has two guided modes: -guided runs the
+// coverage-feedback loop (novel state signatures spawn mutated neighbor
+// plans), and -frontier sweeps an explicit (Φ,Δ) grid under the DLS
+// adversary and emits the per-cell, per-oracle pass/fail frontier map.
 //
 // Usage:
 //
 //	tbwf-fuzz -list
 //	tbwf-fuzz -target all -seeds 32 -budget 200000 -out artifacts/
 //	tbwf-fuzz -target heartbeat-single -seeds 8 -shrink
+//	tbwf-fuzz -target qa-counter -guided -seeds 64
+//	tbwf-fuzz -target frontier/monitor-fixed -frontier 'phi=1..8,delta=0,8,32' -frontier-out BENCH_frontier.json
 //	tbwf-fuzz -replay artifacts/heartbeat-single-seed3.json
 //	tbwf-fuzz -replay artifacts/heartbeat-single-seed3.json -shrink
 //
 // Exit status is non-zero when any oracle failed (or a replayed artifact
 // did not reproduce), so the bounded CI smoke run doubles as a regression
-// gate.
+// gate. -frontier is the exception: ablated targets failing across the
+// grid is the data the sweep exists to collect, so only infrastructure
+// errors are fatal there.
 package main
 
 import (
@@ -50,6 +60,10 @@ func run(args []string, out io.Writer) error {
 	replay := fs.String("replay", "", "replay an artifact file instead of fuzzing")
 	list := fs.Bool("list", false, "list registered targets and exit")
 	includeAblated := fs.Bool("include-ablated", false, `with -target all: include the ablated (expected-failing) targets`)
+	guided := fs.Bool("guided", false, "coverage-guided mode: novel state signatures spawn mutated plans (-seeds is the total plan budget)")
+	mutants := fs.Int("mutants", 0, "with -guided: mutants spawned per novel run (0 = default)")
+	frontier := fs.String("frontier", "", `sweep a (phi,delta) grid under the DLS adversary, e.g. 'phi=1..8,delta=0,8,32' (-seeds runs per cell)`)
+	frontierOut := fs.String("frontier-out", "", "with -frontier: write the JSON frontier document here")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,7 +77,8 @@ func run(args []string, out io.Writer) error {
 			if t.Ablated {
 				mark = "!"
 			}
-			fmt.Fprintf(out, "%s %-26s n=%d steps=%-8d %s\n", mark, t.Name, t.N, t.Steps, t.Desc)
+			fmt.Fprintf(out, "%s %-26s n=%d steps=%-8d oracles=%-38s %s\n",
+				mark, t.Name, t.N, t.Steps, strings.Join(t.Oracles, ","), t.Desc)
 		}
 		fmt.Fprintln(out, "\ntargets marked ! are ablated: deliberately broken, expected to fail")
 		return nil
@@ -73,9 +88,15 @@ func run(args []string, out io.Writer) error {
 		return replayArtifact(*replay, *shrink, *shrinkAttempts, out)
 	}
 
-	targets, err := selectTargets(*target, *includeAblated)
+	targets, err := selectTargets(*target, *includeAblated || *frontier != "")
 	if err != nil {
 		return err
+	}
+	if *frontier != "" {
+		return runFrontier(targets, *frontier, *seeds, *seed0, *budget, *parallel, *frontierOut, out)
+	}
+	if *guided {
+		return runGuided(targets, *seeds, *seed0, *budget, *parallel, *mutants, *outDir, out)
 	}
 	sum, err := explore.Fuzz(explore.Config{
 		Targets:        targets,
@@ -101,6 +122,8 @@ func run(args []string, out io.Writer) error {
 	if *budget > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf("step budget %d per run (overrides target defaults)", *budget))
 	}
+	t.Notes = append(t.Notes, fmt.Sprintf("coverage: %d trace hashes, %d state signatures",
+		sum.Coverage.TraceHashes, sum.Coverage.StateSigs))
 	fmt.Fprintln(out, t)
 
 	for _, f := range sum.Findings {
@@ -212,12 +235,104 @@ func replayArtifact(path string, shrink bool, shrinkAttempts int, out io.Writer)
 	return nil
 }
 
+// runGuided runs the coverage-feedback loop on each target in turn and
+// reports the corpus/coverage counters alongside any findings.
+func runGuided(targets []explore.Target, plans int, seed0, budget int64, parallel, mutants int, outDir string, out io.Writer) error {
+	failures, errors := 0, 0
+	for _, tgt := range targets {
+		res, err := explore.FuzzGuided(explore.GuidedConfig{
+			Target:        tgt,
+			Plans:         plans,
+			BaseSeed:      seed0,
+			Budget:        budget,
+			Parallel:      parallel,
+			MutantsPerHit: mutants,
+		})
+		if err != nil {
+			return err
+		}
+		c := res.Coverage
+		fmt.Fprintf(out, "%-26s %d runs (%d mutants), %d failures; coverage: %d trace hashes, %d state signatures, corpus %d\n",
+			tgt.Name, res.Runs, c.Mutants, res.Failures, c.TraceHashes, c.StateSigs, c.Corpus)
+		for _, f := range res.Findings {
+			if v := f.Artifact.FirstFailingVerdict(); v != "" {
+				fmt.Fprintf(out, "FAIL %s seed %d: %s\n", f.Target, f.Seed, v)
+			}
+			if outDir != "" {
+				if err := os.MkdirAll(outDir, 0o755); err != nil {
+					return err
+				}
+				if err := writeArtifact(outDir, fmt.Sprintf("%s-seed%d.json", f.Target, f.Seed), f.Artifact); err != nil {
+					return err
+				}
+			}
+		}
+		for _, e := range res.Errors {
+			fmt.Fprintf(out, "ERROR %s\n", e)
+		}
+		failures += res.Failures
+		errors += len(res.Errors)
+	}
+	if failures > 0 || errors > 0 {
+		return fmt.Errorf("%d failures, %d errors", failures, errors)
+	}
+	fmt.Fprintln(out, "all guided runs passed")
+	return nil
+}
+
+// runFrontier sweeps the (Φ,Δ) grid and prints the rendered map. Oracle
+// failures are data here, not a failed exit — ablated targets failing at
+// harsh cells is the frontier — so only infrastructure errors are fatal.
+func runFrontier(targets []explore.Target, spec string, seeds int, seed0, budget int64, parallel int, outPath string, out io.Writer) error {
+	phis, deltas, err := explore.ParseFrontierSpec(spec)
+	if err != nil {
+		return err
+	}
+	doc, err := explore.MapFrontier(explore.FrontierConfig{
+		Targets:  targets,
+		Phis:     phis,
+		Deltas:   deltas,
+		Seeds:    seeds,
+		BaseSeed: seed0,
+		Budget:   budget,
+		Parallel: parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "frontier sweep: %d targets × %d cells × %d seeds (dls adversary)\n\n",
+		len(doc.Targets), len(phis)*len(deltas), seeds)
+	fmt.Fprintln(out, explore.RenderFrontierMap(doc))
+	if outPath != "" {
+		enc, err := doc.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", outPath)
+	}
+	errs := 0
+	for _, tf := range doc.Targets {
+		for _, c := range tf.Cells {
+			errs += c.Errors
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("%d runs failed to execute", errs)
+	}
+	return nil
+}
+
 func writeArtifact(dir, name string, a *explore.Artifact) error {
 	enc, err := a.Encode()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, name), enc, 0o644)
+	// Target names may contain '/' (net/partition, frontier/monitor-fixed);
+	// flatten them so the artifact lands in dir itself.
+	return os.WriteFile(filepath.Join(dir, strings.ReplaceAll(name, "/", "-")), enc, 0o644)
 }
 
 // validateParallel rejects an explicitly-set non-positive -parallel. The

@@ -69,7 +69,8 @@ func TestListAndErrors(t *testing.T) {
 	if err := run([]string{"-list"}, &out); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"qa-counter", "! heartbeat-single", "marked ! are ablated"} {
+	for _, want := range []string{"qa-counter", "! heartbeat-single", "marked ! are ablated",
+		"oracles=lincheck", "oracles=log-accounting,tbwf-progress", "frontier/monitor-adaptive"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
 		}
@@ -80,6 +81,69 @@ func TestListAndErrors(t *testing.T) {
 	}
 	if err := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.json")}, &out); err == nil {
 		t.Fatal("missing replay file accepted")
+	}
+}
+
+// TestReplayRejectsWrongVersionUpFront: a stale artifact is refused with
+// the expected-vs-found version message, not a decode error or panic.
+func TestReplayRejectsWrongVersionUpFront(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"plan":{"target":"qa-counter","seed":1}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-replay", path}, &out)
+	if err == nil || !strings.Contains(err.Error(), "expected 2, found 1") {
+		t.Fatalf("stale artifact: got %v, want expected-vs-found version error", err)
+	}
+}
+
+// TestGuidedMode: the coverage-guided loop runs through the CLI and
+// reports its corpus counters.
+func TestGuidedMode(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-target", "qa-counter", "-guided", "-seeds", "12", "-budget", "20000"}, &out); err != nil {
+		t.Fatalf("guided sweep returned %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"coverage:", "state signatures", "corpus", "all guided runs passed"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("guided output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestFrontierMode: a tiny grid sweep renders the map, writes the JSON
+// document, and exits zero even though the ablated target fails cells.
+func TestFrontierMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier sweep is a multi-run campaign")
+	}
+	path := filepath.Join(t.TempDir(), "frontier.json")
+	var out strings.Builder
+	err := run([]string{
+		"-target", "frontier/monitor-fixed",
+		"-frontier", "phi=1,8,delta=0,16",
+		"-seeds", "1",
+		"-frontier-out", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("frontier sweep returned %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"frontier sweep:", "| Φ \\ Δ |", "ablated — failures expected", "wrote "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("frontier output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema": "tbwf-frontier/v1"`) {
+		t.Fatalf("frontier document missing schema:\n%s", data)
+	}
+
+	if err := run([]string{"-target", "qa-counter", "-frontier", "phi=1"}, &out); err == nil {
+		t.Fatal("spec without delta accepted")
 	}
 }
 

@@ -1,0 +1,136 @@
+package adversary
+
+import (
+	"testing"
+
+	"tbwf/internal/prim"
+	"tbwf/internal/sim"
+)
+
+// spin runs n spinning processes under the schedule for steps and returns
+// the kernel for analysis.
+func spin(t *testing.T, n int, sched sim.Schedule, steps int64) *sim.Kernel {
+	t.Helper()
+	k := sim.New(n, sim.WithSchedule(sched))
+	for p := 0; p < n; p++ {
+		k.Spawn(p, "spin", func(pp prim.Proc) {
+			for {
+				pp.Step()
+			}
+		})
+	}
+	if _, err := k.Run(steps); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	k.Shutdown()
+	return k
+}
+
+// TestDLSScheduleRespectsPhiBound: no process's step gap may exceed the
+// Φ speed bound (Phi*n global steps), for a spread of Φ values.
+func TestDLSScheduleRespectsPhiBound(t *testing.T) {
+	const n, steps = 3, 50_000
+	for _, phi := range []int64{1, 2, 4, 8, 16} {
+		for seed := int64(1); seed <= 3; seed++ {
+			k := spin(t, n, NewSchedule(DLS{Phi: phi}, seed), steps)
+			rep := sim.Analyze(k.Trace().Schedule(), n)
+			limit := phi*int64(n) + 1 // forced at debt Phi*n-1, so gaps stay <= Phi*n
+			for p := 0; p < n; p++ {
+				if rep.Bound[p] == sim.Unbounded || rep.Bound[p] > limit {
+					t.Errorf("phi=%d seed=%d: process %d bound %d exceeds %d", phi, seed, p, rep.Bound[p], limit)
+				}
+			}
+		}
+	}
+}
+
+// TestDLSScheduleStarves: with Φ large the adversary must actually use its
+// freedom — some process's gap should approach the bound, or the strategy
+// is just a random walk and the frontier's Φ axis would be flat.
+func TestDLSScheduleStarves(t *testing.T) {
+	const n, steps = 3, 50_000
+	k := spin(t, n, NewSchedule(DLS{Phi: 8}, 7), steps)
+	rep := sim.Analyze(k.Trace().Schedule(), n)
+	var worst int64
+	for p := 0; p < n; p++ {
+		if rep.Bound[p] > worst {
+			worst = rep.Bound[p]
+		}
+	}
+	if worst < 8*int64(n)/2 {
+		t.Errorf("phi=8: worst gap %d never approached the %d bound; the adversary is not starving anyone", worst, 8*n)
+	}
+}
+
+// TestDLSScheduleDeterministic: same seed, same picks.
+func TestDLSScheduleDeterministic(t *testing.T) {
+	const n, steps = 3, 20_000
+	a := spin(t, n, NewSchedule(DLS{Phi: 5}, 42), steps)
+	b := spin(t, n, NewSchedule(DLS{Phi: 5}, 42), steps)
+	sa, sb := a.Trace().Schedule(), b.Trace().Schedule()
+	if len(sa) != len(sb) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("schedules diverge at step %d: %d vs %d", i, sa[i], sb[i])
+		}
+	}
+}
+
+// TestDLSSurvivesCrash: the victim (or any process) crashing must not wedge
+// the schedule; the bound keeps holding for the survivors.
+func TestDLSSurvivesCrash(t *testing.T) {
+	const n, steps = 3, 30_000
+	k := sim.New(n, sim.WithSchedule(NewSchedule(DLS{Phi: 4}, 3)))
+	for p := 0; p < n; p++ {
+		k.Spawn(p, "spin", func(pp prim.Proc) {
+			for {
+				pp.Step()
+			}
+		})
+	}
+	k.CrashAt(1, 10_000)
+	if _, err := k.Run(steps); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	k.Shutdown()
+	rep := sim.Analyze(k.Trace().Schedule()[15_000:], n)
+	for _, p := range []int{0, 2} {
+		if rep.Bound[p] == sim.Unbounded || rep.Bound[p] > 4*int64(n)+1 {
+			t.Errorf("post-crash bound for process %d is %d, want <= %d", p, rep.Bound[p], 4*n+1)
+		}
+	}
+}
+
+func TestNormalizeAndGuard(t *testing.T) {
+	d := DLS{Phi: 0, Delta: -3}.Normalize()
+	if d.Phi != 1 || d.Delta != 0 {
+		t.Fatalf("normalize: got %+v", d)
+	}
+	if g := (DLS{Phi: 1, Delta: 0}).Guard(); g != 5 {
+		t.Fatalf("guard(1,0) = %d, want 5 (3Φ+Δ+2)", g)
+	}
+	if g := (DLS{Phi: 4, Delta: 8}).Guard(); g != 22 {
+		t.Fatalf("guard(4,8) = %d, want 22", g)
+	}
+}
+
+// TestDelayFn: draws stay in [0, delta] and a zero bound yields no fn.
+func TestDelayFn(t *testing.T) {
+	if DelayFn(0, 1) != nil {
+		t.Fatal("DelayFn(0) should be nil (no delay adversary)")
+	}
+	fn := DelayFn(5, 9)
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		v := fn()
+		if v < 0 || v > 5 {
+			t.Fatalf("draw %d out of [0,5]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("draws not spread: %v", seen)
+	}
+}

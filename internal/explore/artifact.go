@@ -6,7 +6,10 @@ import (
 )
 
 // ArtifactVersion is bumped when the artifact encoding changes shape.
-const ArtifactVersion = 1
+// History: v1 — original record; v2 — plans may carry a DLS adversary
+// policy (Plan.DLS) and outcomes a state signature, so v1 readers would
+// silently replay a dls artifact under the wrong schedule.
+const ArtifactVersion = 2
 
 // Artifact is the self-contained JSON record of one failing run: the plan
 // pinned to the executed schedule and policy tape, plus what the run
@@ -49,6 +52,17 @@ func NewArtifact(p Plan, o *Outcome) *Artifact {
 	}
 }
 
+// FirstFailingVerdict renders the artifact's first failing verdict, or ""
+// when every recorded verdict passed.
+func (a *Artifact) FirstFailingVerdict() string {
+	for _, v := range a.Verdicts {
+		if !v.OK {
+			return v.String()
+		}
+	}
+	return ""
+}
+
 // Encode renders the artifact as indented JSON with a trailing newline.
 func (a *Artifact) Encode() ([]byte, error) {
 	b, err := json.MarshalIndent(a, "", "  ")
@@ -58,14 +72,27 @@ func (a *Artifact) Encode() ([]byte, error) {
 	return append(b, '\n'), nil
 }
 
-// DecodeArtifact parses an artifact and validates its version.
+// DecodeArtifact parses an artifact and validates its version. The version
+// is probed *before* the full decode: a future-versioned artifact may have
+// fields this build's Plan cannot even unmarshal, and the error the user
+// needs is "expected version 2, found 3", not a decode panic deep in a
+// field that did not exist yet.
 func DecodeArtifact(data []byte) (*Artifact, error) {
+	var probe struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("explore: decode artifact: %w", err)
+	}
+	if probe.Version == nil {
+		return nil, fmt.Errorf("explore: not an artifact: no version field (expected version %d)", ArtifactVersion)
+	}
+	if *probe.Version != ArtifactVersion {
+		return nil, fmt.Errorf("explore: artifact version mismatch: expected %d, found %d", ArtifactVersion, *probe.Version)
+	}
 	var a Artifact
 	if err := json.Unmarshal(data, &a); err != nil {
 		return nil, fmt.Errorf("explore: decode artifact: %w", err)
-	}
-	if a.Version != ArtifactVersion {
-		return nil, fmt.Errorf("explore: artifact version %d, this build reads %d", a.Version, ArtifactVersion)
 	}
 	if a.Plan.Target == "" {
 		return nil, fmt.Errorf("explore: artifact has no target")

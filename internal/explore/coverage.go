@@ -1,0 +1,386 @@
+package explore
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"strings"
+
+	"tbwf/internal/adversary"
+	"tbwf/internal/exp"
+	"tbwf/internal/sim"
+)
+
+// This file is the coverage-feedback loop: blind plan generation (fuzz.go)
+// upgraded to novelty search. Every executed run is keyed two ways — the
+// exact FNV-1a trace hash, and the much coarser *state signature* below —
+// and a run whose state signature is new joins the corpus and spawns a
+// batch of mutants exploring near it. The signature is deliberately
+// lossy: it buckets runs by what kind of behavior they exhibited (which
+// oracles were vacuous, how starved each process was, how much abort
+// traffic the registers saw, what the leader vector settled to), so two
+// schedules that differ step-by-step but drive the system through the
+// same regime collapse into one corpus entry, and the mutation budget
+// concentrates on regimes not yet seen.
+
+// stateSig renders the run's coarse state signature. Layout (all pieces
+// deterministic in the outcome):
+//
+//	<verdict statuses>:<idle>:<sorted gap profile>:<total writes
+//	bucket><total aborts bucket>[:<target extra>]
+//
+// Gap buckets are log4 of the per-process suffix step-gap bound (second
+// half of the run), 'X' for a crashed process, 'U' for an unbounded gap,
+// sorted into a multiset — the step-gap profile axis; the target extra is
+// whatever the build registered via Env.RecordState (the leader vector
+// axis).
+func stateSig(k *sim.Kernel, out *Outcome, extra string) string {
+	var sb strings.Builder
+	for _, v := range out.Verdicts {
+		switch {
+		case !v.OK:
+			sb.WriteByte('F')
+		case strings.HasPrefix(v.Detail, "vacuous:"):
+			sb.WriteByte('v')
+		default:
+			sb.WriteByte('p')
+		}
+	}
+	sb.WriteByte(':')
+	if out.Idle {
+		sb.WriteByte('i')
+	} else {
+		sb.WriteByte('r')
+	}
+	sb.WriteByte(':')
+	// The gap profile is the sorted multiset of per-process buckets: "one
+	// process starved hard" is a regime, *which* process it was is noise
+	// the mutation engine would otherwise chase run after run.
+	suffix := suffixReport(k, k.Step()/2)
+	gaps := make([]byte, k.N())
+	for p := 0; p < k.N(); p++ {
+		switch {
+		case k.Crashed(p):
+			gaps[p] = 'X'
+		case suffix.Bound[p] < 0: // sim.Unbounded
+			gaps[p] = 'U'
+		default:
+			gaps[p] = bucket(suffix.Bound[p])
+		}
+	}
+	sortBytes(gaps)
+	sb.Write(gaps)
+	sb.WriteByte(':')
+	m := k.Metrics()
+	var writes, aborts int64
+	for p := 0; p < k.N(); p++ {
+		writes += m.Writes[p]
+		aborts += m.ReadAborts[p] + m.WriteAborts[p]
+	}
+	sb.WriteByte(bucket(writes))
+	sb.WriteByte(bucket(aborts))
+	if extra != "" {
+		sb.WriteByte(':')
+		sb.WriteString(extra)
+	}
+	return sb.String()
+}
+
+// bucket maps a non-negative counter to a log4 character ('0' for zero,
+// then 'a', 'b', … per two bits of magnitude), the signature's coarsening
+// knob. Log4 rather than log2 is deliberate: at log2 granularity nearly
+// every run on a tape-driven target is "novel" and novelty search
+// degenerates into the blind sweep it is supposed to beat.
+func bucket(v int64) byte {
+	if v <= 0 {
+		return '0'
+	}
+	n := (bits.Len64(uint64(v)) + 1) / 2
+	if n > 25 {
+		n = 25
+	}
+	return byte('a' + n - 1)
+}
+
+func sortBytes(b []byte) {
+	for i := 1; i < len(b); i++ {
+		for j := i; j > 0 && b[j] < b[j-1]; j-- {
+			b[j], b[j-1] = b[j-1], b[j]
+		}
+	}
+}
+
+// stateExtra joins the target-registered state reporters.
+func (e *Env) stateExtra() string {
+	if len(e.stateFns) == 0 {
+		return ""
+	}
+	parts := make([]string, len(e.stateFns))
+	for i, fn := range e.stateFns {
+		parts[i] = fn()
+	}
+	return strings.Join(parts, ";")
+}
+
+// Coverage counts the distinct behaviors a campaign reached.
+type Coverage struct {
+	// TraceHashes counts distinct exact execution fingerprints.
+	TraceHashes int `json:"trace_hashes"`
+	// StateSigs counts distinct coarse state signatures — the novelty
+	// metric the guided loop optimizes.
+	StateSigs int `json:"state_sigs"`
+	// Corpus is the number of runs that entered the corpus (one per new
+	// state signature; equals StateSigs for a completed campaign).
+	Corpus int `json:"corpus"`
+	// Mutants is the number of executed plans that were mutations of a
+	// corpus entry rather than fresh seeds.
+	Mutants int `json:"mutants"`
+}
+
+// coverageTracker accumulates Coverage incrementally.
+type coverageTracker struct {
+	hashes map[string]bool
+	sigs   map[string]bool
+}
+
+func newCoverageTracker() *coverageTracker {
+	return &coverageTracker{hashes: map[string]bool{}, sigs: map[string]bool{}}
+}
+
+// observe records a run and reports whether its state signature is new.
+func (c *coverageTracker) observe(out *Outcome) bool {
+	c.hashes[out.TraceHash] = true
+	fresh := !c.sigs[out.StateSig]
+	c.sigs[out.StateSig] = true
+	return fresh
+}
+
+func (c *coverageTracker) coverage() Coverage {
+	return Coverage{TraceHashes: len(c.hashes), StateSigs: len(c.sigs)}
+}
+
+// GuidedConfig parameterizes a coverage-guided campaign on one target.
+type GuidedConfig struct {
+	// Target is the system under test.
+	Target Target
+	// Plans is the total execution budget (fresh seeds + mutants);
+	// default 64. Comparing guided vs blind at equal budget means equal
+	// Plans here and Seeds there.
+	Plans int
+	// BaseSeed offsets the fresh-seed stream (same meaning as Config).
+	BaseSeed int64
+	// Budget overrides the target's step budget when positive.
+	Budget int64
+	// Parallel is the worker-pool size (<= 0: one per CPU). Results are
+	// independent of it: rounds are barriers and processed in order.
+	Parallel int
+	// MutantsPerHit is how many mutants a novel run spawns (default 4).
+	MutantsPerHit int
+}
+
+// GuidedResult is a guided campaign's outcome.
+type GuidedResult struct {
+	Runs, Failures int
+	Coverage       Coverage
+	Findings       []Finding
+	Errors         []string
+}
+
+// guidedBatch is the round size: the loop executes this many plans per
+// barrier so novelty feedback lands every round while workers stay busy.
+const guidedBatch = 8
+
+// FuzzGuided runs the coverage-guided loop on one target: seed plans come
+// from the blind generator, every run is keyed by trace hash and state
+// signature, and a run reaching a new signature enqueues MutantsPerHit
+// mutated neighbors (seed splice, prefix extension, crash jitter,
+// preemption pinch around a recorded write, DLS jitter/graft). The mutant
+// queue has priority over fresh seeds, so the budget concentrates around
+// novel behavior. Deterministic in the config, independent of Parallel.
+func FuzzGuided(cfg GuidedConfig) (*GuidedResult, error) {
+	if cfg.Target.Name == "" {
+		return nil, fmt.Errorf("explore: guided fuzz needs a target")
+	}
+	if cfg.Plans <= 0 {
+		cfg.Plans = 64
+	}
+	if cfg.MutantsPerHit <= 0 {
+		cfg.MutantsPerHit = 4
+	}
+
+	res := &GuidedResult{}
+	tracker := newCoverageTracker()
+	var queue []Plan // pending mutants, FIFO
+	nextSeed := cfg.BaseSeed
+	mutantsRun := 0
+
+	for res.Runs < cfg.Plans {
+		// Assemble one round: queued mutants first — but never more than
+		// half the round. Mutants are correlated with their parents, and a
+		// queue that monopolizes the budget turns the campaign into a
+		// family tree of the first few seeds; keeping half of every round
+		// fresh preserves the global exploration the corpus feeds on.
+		round := make([]Plan, 0, guidedBatch)
+		fromQueue := 0
+		for len(round) < guidedBatch/2 && res.Runs+len(round) < cfg.Plans && fromQueue < len(queue) {
+			round = append(round, queue[fromQueue])
+			fromQueue++
+		}
+		queue = queue[fromQueue:]
+		for len(round) < guidedBatch && res.Runs+len(round) < cfg.Plans {
+			round = append(round, NewPlan(cfg.Target, nextSeed, cfg.Budget))
+			nextSeed++
+		}
+		mutantsRun += fromQueue
+
+		outs := make([]*Outcome, len(round))
+		errs := make([]error, len(round))
+		exp.ForEach(cfg.Parallel, len(round), func(i int) {
+			outs[i], errs[i] = SafeExecute(round[i])
+		})
+
+		// Feedback, in round order (determinism).
+		for i, out := range outs {
+			res.Runs++
+			if errs[i] != nil {
+				res.Errors = append(res.Errors, fmt.Sprintf("%s seed %d: %v", round[i].Target, round[i].Seed, errs[i]))
+				continue
+			}
+			if out.Failed() {
+				res.Failures++
+				res.Findings = append(res.Findings, Finding{
+					Target:   round[i].Target,
+					Seed:     round[i].Seed,
+					Artifact: NewArtifact(round[i], out),
+				})
+			}
+			if tracker.observe(out) {
+				res.Coverage.Corpus++
+				for m := 0; m < cfg.MutantsPerHit; m++ {
+					queue = append(queue, mutate(cfg.Target, round[i], out, m))
+				}
+			}
+		}
+	}
+
+	cov := tracker.coverage()
+	res.Coverage.TraceHashes = cov.TraceHashes
+	res.Coverage.StateSigs = cov.StateSigs
+	res.Coverage.Mutants = mutantsRun
+	return res, nil
+}
+
+// mutate derives the idx-th mutant of a corpus entry. Every mutant gets a
+// fresh derived seed (so its strategy tail, tape draws and workload differ
+// from the parent's) plus one structural edit keyed on idx:
+//
+//	0 — seed splice: the parent's plan shape under a new seed;
+//	1 — prefix extension: pin a seed-chosen prefix of the parent's
+//	    executed schedule and explore fresh past it;
+//	2 — crash jitter: add or move a crash (NoCrashes targets get a seed
+//	    splice instead — their oracles go vacuous on any crash, so a
+//	    crash mutant would only buy vacuous "novelty");
+//	3 — preemption pinch: pin the parent's schedule up to just past a
+//	    recorded register write and hand the window around the write to
+//	    the writer alone — preemption-budget tightening around a
+//	    linearization point;
+//	4+ — DLS jitter: nudge Φ/Δ one notch, or graft a DLS policy onto a
+//	    non-DLS parent.
+func mutate(tgt Target, parent Plan, out *Outcome, idx int) Plan {
+	child := clonePlan(parent)
+	child.Seed = mix(parent.Seed, streamMutant+int64(idx)+1)
+	child.Prefix = nil
+	child.Tape = ""
+	rng := rand.New(rand.NewSource(child.Seed))
+
+	// Structural operators first, the plain splice last: with the default
+	// MutantsPerHit the whole structural repertoire runs per corpus hit.
+	op := [5]int{1, 3, 4, 2, 0}[idx%5]
+	if op == 2 && (tgt.NoCrashes || (len(child.Crashes) == 0 && len(out.Schedule) == 0)) {
+		op = 0
+	}
+	switch op {
+	case 1: // prefix extension
+		if n := len(out.Schedule); n > 4 {
+			cut := n/4 + rng.Intn(n/2)
+			child.Prefix = append([]int32(nil), out.Schedule[:cut]...)
+			// Keep the parent's tape draws for the pinned stretch so the
+			// prefix replays the same policy decisions it was recorded under.
+			if cut < len(out.Tape) {
+				child.Tape = out.Tape[:cut]
+			} else {
+				child.Tape = out.Tape
+			}
+		}
+	case 2: // crash jitter
+		steps := child.Steps
+		if steps <= 0 {
+			steps = out.Steps + 1
+		}
+		at := steps/2 + rng.Int63n(maxInt64(steps/2, 1))
+		if len(child.Crashes) > 0 && rng.Intn(2) == 0 {
+			child.Crashes[rng.Intn(len(child.Crashes))].Step = at
+		} else {
+			child.Crashes = append(child.Crashes, Crash{Proc: rng.Intn(maxProc(out)), Step: at})
+		}
+	case 3: // preemption pinch around a register linearization point
+		if len(out.Writes) > 0 && len(out.Schedule) > 0 {
+			w := out.Writes[rng.Intn(len(out.Writes))]
+			width := int64(8 + rng.Intn(25))
+			start := w.Step - width
+			if start < 0 {
+				start = 0
+			}
+			end := w.Step + width
+			if end > int64(len(out.Schedule)) {
+				end = int64(len(out.Schedule))
+			}
+			child.Prefix = append([]int32(nil), out.Schedule[:end]...)
+			for i := start; i < end; i++ {
+				child.Prefix[i] = int32(w.Proc)
+			}
+		}
+	case 4: // DLS jitter / graft
+		if child.DLS != nil {
+			// Octave jumps, not ±1 nudges: the fresh-plan generator caps
+			// Φ at 8 and Δ at 16, so doubling is how mutants reach the
+			// timing regimes (Φ up to 64, Δ up to 128) that only the
+			// corpus feedback ever explores.
+			d := *child.DLS
+			switch rng.Intn(4) {
+			case 0:
+				d.Phi *= 2
+			case 1:
+				d.Phi /= 2
+			case 2:
+				d.Delta = d.Delta*2 + 1
+			default:
+				d.Delta /= 2
+			}
+			d = d.Normalize()
+			if d.Phi > 64 {
+				d.Phi = 64
+			}
+			if d.Delta > 128 {
+				d.Delta = 128
+			}
+			child.DLS = &d
+		} else {
+			child.Strategy = StrategyDLS
+			d := adversary.DLS{Phi: 1 + rng.Int63n(8), Delta: rng.Int63n(33)}
+			child.DLS = &d
+		}
+	}
+	return child
+}
+
+// maxProc bounds crash-proc draws by the run's process count.
+func maxProc(out *Outcome) int {
+	n := 1
+	for _, p := range out.Schedule {
+		if int(p)+1 > n {
+			n = int(p) + 1
+		}
+	}
+	return n
+}

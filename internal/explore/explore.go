@@ -36,6 +36,7 @@ import (
 	"runtime/debug"
 	"strings"
 
+	"tbwf/internal/adversary"
 	"tbwf/internal/exp"
 	"tbwf/internal/net"
 	"tbwf/internal/register"
@@ -65,6 +66,13 @@ const (
 	// maxPreemptions switches), each owned by one process — the classic
 	// few-context-switches adversary.
 	StrategyPBound Strategy = "pbound"
+	// StrategyDLS is the Dwork–Lynch–Stockmeyer partial-synchrony
+	// adversary: scheduling honors the plan's Φ speed bound (a rotating
+	// victim is starved up to Φ·|alive| consecutive global steps, never
+	// more) and register/fabric effects are delayed up to Δ steps. The
+	// policy point lives in Plan.DLS; a plan with this strategy and no
+	// policy gets one derived from its seed.
+	StrategyDLS Strategy = "dls"
 )
 
 // Plan is the complete, self-contained description of one exploration run.
@@ -95,6 +103,12 @@ type Plan struct {
 	// (applied by the target's fabric at the listed kernel steps); empty
 	// for shared-memory targets.
 	Partitions []net.PartitionEvent `json:"partitions,omitempty"`
+	// DLS pins the (Φ,Δ) adversary point when Strategy is StrategyDLS:
+	// Phi bounds relative process speeds, Delta bounds effect delays
+	// (kernel register writes on shared-memory targets, fabric link
+	// delays on net/* targets). Nil with StrategyDLS means "derive the
+	// point from the seed"; ignored for the other strategies.
+	DLS *adversary.DLS `json:"dls,omitempty"`
 }
 
 // Env is what a target's Build receives: the deterministic context of one
@@ -110,12 +124,25 @@ type Env struct {
 	// Partitions is the plan's partition/heal schedule; net/* targets pass
 	// it to their fabric.
 	Partitions []net.PartitionEvent
-	rng        *rand.Rand
+	// DLS is the plan's normalized adversary point (nil unless the plan
+	// runs the dls strategy). Targets with their own delay machinery —
+	// the net/* fabrics — read Delta here and route it into their link
+	// delay distributions instead of the kernel's effect-delay hook.
+	DLS      *adversary.DLS
+	rng      *rand.Rand
+	stateFns []func() string
 }
 
 // Rand is the target-local derivation stream: deterministic in the seed
 // and independent of the schedule and tape streams. Build-time draws only.
 func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// RecordState registers a post-run state reporter whose string joins the
+// run's coarse state signature (Outcome.StateSig) — the coverage loop's
+// novelty key. Targets register domain state the generic signature cannot
+// see (the leader vector, say); the fn runs after the run ends and must
+// only read plain memory (Peek-style accessors, observer snapshots).
+func (e *Env) RecordState(fn func() string) { e.stateFns = append(e.stateFns, fn) }
 
 // Outcome is what one executed plan produced.
 type Outcome struct {
@@ -132,6 +159,12 @@ type Outcome struct {
 	// and register-operation counters. Two runs with equal hashes took the
 	// same steps in the same order and issued the same operations.
 	TraceHash string `json:"trace_hash"`
+	// StateSig is the coarse state signature (see coverage.go): verdict
+	// statuses × per-process gap/operation buckets × target-registered
+	// state (leader vector). Much coarser than TraceHash — it buckets
+	// runs by *what kind of behavior* they reached, which is the
+	// coverage loop's novelty key.
+	StateSig string `json:"state_sig"`
 	// Err is the kernel error (a task panic with its stack), if any.
 	Err string `json:"err,omitempty"`
 
@@ -140,6 +173,10 @@ type Outcome struct {
 	Schedule []int32 `json:"-"`
 	// Tape is the policy decision record after the run.
 	Tape string `json:"-"`
+	// Writes is the run's register write log (step, process, register),
+	// the anchor points for the coverage loop's preemption-pinch mutation
+	// — schedule tightening around linearization points.
+	Writes []sim.WriteEvent `json:"-"`
 }
 
 // Failed reports whether any oracle failed.
@@ -173,12 +210,26 @@ func Execute(p Plan) (*Outcome, error) {
 	if steps <= 0 {
 		steps = tgt.Steps
 	}
+	// Normalize the adversary point before anything derives from the plan:
+	// a dls plan without an explicit policy gets a seed-derived one, so a
+	// bare {strategy: "dls"} plan is still a complete run description.
+	if p.Strategy == StrategyDLS && p.DLS == nil {
+		d := defaultDLS(p.Seed)
+		p.DLS = &d
+	}
+	if p.DLS != nil {
+		d := p.DLS.Normalize()
+		p.DLS = &d
+	}
 	env := &Env{
 		Seed:       p.Seed,
 		Steps:      steps,
 		Tape:       register.ReplayTape(mix(p.Seed, streamTape), p.Tape),
 		Partitions: p.Partitions,
 		rng:        rand.New(rand.NewSource(mix(p.Seed, streamTarget))),
+	}
+	if p.Strategy == StrategyDLS {
+		env.DLS = p.DLS
 	}
 
 	base := newPlanSchedule(p, steps)
@@ -188,7 +239,16 @@ func Execute(p Plan) (*Outcome, error) {
 			sched = sim.Restrict(base, m)
 		}
 	}
-	k := sim.New(tgt.N, sim.WithSchedule(sched))
+	k := sim.New(tgt.N, sim.WithSchedule(sched), sim.WithWriteLog(true))
+	if env.DLS != nil && env.DLS.Delta > 0 && !tgt.Fabric {
+		// The Δ half of the adversary: register write effects are held in
+		// flight up to Delta steps. Fabric-backed targets skip the kernel
+		// hook — their registers are quorum protocols whose every message
+		// already pays a fabric delay drawn from the same Δ (the target
+		// wires env.DLS into its FabricConfig), and stacking both would
+		// double-charge the bound.
+		k.SetEffectDelay(adversary.DelayFn(env.DLS.Delta, mix(p.Seed, streamDelay)))
+	}
 	for _, c := range p.Crashes {
 		if c.Proc >= 0 && c.Proc < tgt.N && c.Step >= 0 {
 			k.CrashAt(c.Proc, c.Step)
@@ -207,6 +267,7 @@ func Execute(p Plan) (*Outcome, error) {
 		Idle:     res.Idle,
 		Schedule: append([]int32(nil), k.Trace().Schedule()...),
 		Tape:     env.Tape.Bits(),
+		Writes:   k.Trace().Writes(),
 	}
 	if runErr != nil {
 		// A task panicked: the panic (with the stack the kernel captured)
@@ -225,7 +286,18 @@ func Execute(p Plan) (*Outcome, error) {
 		out.Verdicts = check(k, res)
 	}
 	out.TraceHash = traceHash(k)
+	out.StateSig = stateSig(k, out, env.stateExtra())
 	return out, nil
+}
+
+// defaultDLS derives a seed-determined (Φ,Δ) point for dls plans that do
+// not pin one: Φ in [1,8], Δ in [0,16]. The caps keep every process
+// comfortably inside the oracles' timeliness premises (def5TimelyBound,
+// messengerTimelyBound) so sound targets stay sound at any derived point;
+// the frontier mapper pins harsher points explicitly.
+func defaultDLS(seed int64) adversary.DLS {
+	rng := rand.New(rand.NewSource(mix(seed, streamDelay)))
+	return adversary.DLS{Phi: 1 + rng.Int63n(8), Delta: rng.Int63n(17)}
 }
 
 // SafeExecute is Execute with panic isolation: a panic escaping a target's
@@ -250,6 +322,8 @@ const (
 	streamTape     = 0x74617065     // "tape"
 	streamTarget   = 0x746172676574 // "target"
 	streamGen      = 0x67656e       // "gen"
+	streamDelay    = 0x64656c6179   // "delay"
+	streamMutant   = 0x6d7574       // "mut"
 )
 
 // mix derives an independent 63-bit stream seed from (seed, stream) with a

@@ -279,9 +279,9 @@ func TestPlanScheduleHolesAndDeadPids(t *testing.T) {
 // TestStrategySchedulesStayInAliveSet exercises the pattern and segment
 // generators over awkward alive sets, including a singleton.
 func TestStrategySchedulesStayInAliveSet(t *testing.T) {
-	for _, strat := range []Strategy{StrategyPattern, StrategyPBound} {
+	for _, strat := range []Strategy{StrategyPattern, StrategyPBound, StrategyDLS} {
 		for seed := int64(1); seed <= 20; seed++ {
-			s := newStrategySchedule(strat, seed, 1_000)
+			s := newStrategySchedule(Plan{Strategy: strat}, seed, 1_000)
 			alive := []int{1, 3, 4}
 			for step := int64(0); step < 200; step++ {
 				if step == 100 {

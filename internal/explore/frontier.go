@@ -1,0 +1,358 @@
+package explore
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tbwf/internal/adversary"
+	"tbwf/internal/exp"
+)
+
+// The frontier mapper sweeps targets over an explicit (Φ,Δ) grid under the
+// DLS adversary and records, per cell, how each oracle fared. The output
+// is the paper's graceful-degradation story as data: sound constructions
+// should hold (or go vacuous) across the whole grid, while
+// assumption-calibrated ablations fail at a rate that grows with the
+// timing parameters — the pass/fail frontier the map renders.
+
+// FrontierSchema identifies the frontier artifact (BENCH_frontier.json).
+const FrontierSchema = "tbwf-frontier/v1"
+
+// FrontierConfig parameterizes a frontier sweep.
+type FrontierConfig struct {
+	// Targets are the systems to sweep.
+	Targets []Target
+	// Phis and Deltas are the grid axes, ascending.
+	Phis, Deltas []int64
+	// Seeds is the number of runs per (target, cell); default 4.
+	Seeds int
+	// BaseSeed offsets the seed range (same meaning as Config.BaseSeed).
+	BaseSeed int64
+	// Budget overrides every target's step budget when positive.
+	Budget int64
+	// Parallel is the worker-pool size (<= 0: one worker per CPU).
+	Parallel int
+}
+
+// FrontierDoc is the JSON artifact a sweep produces.
+type FrontierDoc struct {
+	Schema string  `json:"schema"`
+	Phis   []int64 `json:"phis"`
+	Deltas []int64 `json:"deltas"`
+	Seeds  int     `json:"seeds"`
+	Budget int64   `json:"budget,omitempty"`
+	// Targets holds one frontier per swept target, in sweep order.
+	Targets []TargetFrontier `json:"targets"`
+}
+
+// TargetFrontier is one target's pass/fail surface.
+type TargetFrontier struct {
+	Target  string   `json:"target"`
+	Ablated bool     `json:"ablated"`
+	Oracles []string `json:"oracles,omitempty"`
+	// Cells is the flattened grid, Φ-major then Δ: cells[0] is the mildest
+	// corner (Phis[0], Deltas[0]) and the last cell the harshest.
+	Cells []FrontierCell `json:"cells"`
+}
+
+// FrontierCell aggregates the runs at one (Φ,Δ) point.
+type FrontierCell struct {
+	Phi   int64 `json:"phi"`
+	Delta int64 `json:"delta"`
+	// Runs = Fails + Passes + Vacuous (+ Errors). A run counts as vacuous
+	// only when no oracle failed and at least one was vacuous.
+	Runs    int `json:"runs"`
+	Fails   int `json:"fails"`
+	Passes  int `json:"passes"`
+	Vacuous int `json:"vacuous"`
+	Errors  int `json:"errors,omitempty"`
+	// Oracles breaks the counts down per oracle name.
+	Oracles []OracleRate `json:"oracles,omitempty"`
+}
+
+// OracleRate is one oracle's verdict counts at one cell.
+type OracleRate struct {
+	Oracle  string `json:"oracle"`
+	Fails   int    `json:"fails"`
+	Passes  int    `json:"passes"`
+	Vacuous int    `json:"vacuous"`
+}
+
+// MapFrontier sweeps the grid: Seeds plans per (target, cell), every plan
+// forced onto the DLS strategy with that cell's policy pinned, executed on
+// the worker pool. Deterministic in the config, independent of Parallel.
+func MapFrontier(cfg FrontierConfig) (*FrontierDoc, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("explore: frontier sweep needs targets")
+	}
+	if len(cfg.Phis) == 0 || len(cfg.Deltas) == 0 {
+		return nil, fmt.Errorf("explore: frontier sweep needs both phi and delta values")
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 4
+	}
+
+	type unit struct {
+		target     int // index into cfg.Targets
+		cell       int // index into the target's flattened cell grid
+		phi, delta int64
+		seed       int64
+	}
+	var units []unit
+	cells := len(cfg.Phis) * len(cfg.Deltas)
+	for t := range cfg.Targets {
+		for pi, phi := range cfg.Phis {
+			for di, delta := range cfg.Deltas {
+				for s := 0; s < cfg.Seeds; s++ {
+					units = append(units, unit{
+						target: t, cell: pi*len(cfg.Deltas) + di,
+						phi: phi, delta: delta,
+						seed: cfg.BaseSeed + int64(s),
+					})
+				}
+			}
+		}
+	}
+
+	outs := make([]*Outcome, len(units))
+	errs := make([]error, len(units))
+	exp.ForEach(cfg.Parallel, len(units), func(i int) {
+		u := units[i]
+		p := NewPlan(cfg.Targets[u.target], u.seed, cfg.Budget)
+		// Force the cell's adversary onto the plan, whatever strategy the
+		// generator drew: the cell *is* the (Φ,Δ) hypothesis under test.
+		p.Strategy = StrategyDLS
+		d := adversary.DLS{Phi: u.phi, Delta: u.delta}.Normalize()
+		p.DLS = &d
+		outs[i], errs[i] = SafeExecute(p)
+	})
+
+	doc := &FrontierDoc{
+		Schema: FrontierSchema,
+		Phis:   cfg.Phis, Deltas: cfg.Deltas,
+		Seeds: cfg.Seeds, Budget: cfg.Budget,
+	}
+	for _, tgt := range cfg.Targets {
+		tf := TargetFrontier{Target: tgt.Name, Ablated: tgt.Ablated, Oracles: tgt.Oracles}
+		tf.Cells = make([]FrontierCell, cells)
+		for pi, phi := range cfg.Phis {
+			for di, delta := range cfg.Deltas {
+				tf.Cells[pi*len(cfg.Deltas)+di] = FrontierCell{Phi: phi, Delta: delta}
+			}
+		}
+		doc.Targets = append(doc.Targets, tf)
+	}
+	for i, u := range units {
+		cell := &doc.Targets[u.target].Cells[u.cell]
+		cell.Runs++
+		if errs[i] != nil {
+			cell.Errors++
+			continue
+		}
+		out := outs[i]
+		switch {
+		case out.Failed():
+			cell.Fails++
+		case anyVacuous(out.Verdicts):
+			cell.Vacuous++
+		default:
+			cell.Passes++
+		}
+		for _, v := range out.Verdicts {
+			r := oracleRate(cell, v.Oracle)
+			switch {
+			case !v.OK:
+				r.Fails++
+			case strings.HasPrefix(v.Detail, "vacuous:"):
+				r.Vacuous++
+			default:
+				r.Passes++
+			}
+		}
+	}
+	return doc, nil
+}
+
+func anyVacuous(vs []Verdict) bool {
+	for _, v := range vs {
+		if strings.HasPrefix(v.Detail, "vacuous:") {
+			return true
+		}
+	}
+	return false
+}
+
+// oracleRate finds or appends the cell's rate row for an oracle.
+func oracleRate(cell *FrontierCell, oracle string) *OracleRate {
+	for i := range cell.Oracles {
+		if cell.Oracles[i].Oracle == oracle {
+			return &cell.Oracles[i]
+		}
+	}
+	cell.Oracles = append(cell.Oracles, OracleRate{Oracle: oracle})
+	return &cell.Oracles[len(cell.Oracles)-1]
+}
+
+// Encode renders the document as indented JSON with a trailing newline.
+func (d *FrontierDoc) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("explore: encode frontier: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeFrontier parses a frontier document and validates its schema.
+func DecodeFrontier(data []byte) (*FrontierDoc, error) {
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("explore: decode frontier: %w", err)
+	}
+	if probe.Schema != FrontierSchema {
+		return nil, fmt.Errorf("explore: frontier schema mismatch: expected %q, found %q", FrontierSchema, probe.Schema)
+	}
+	var d FrontierDoc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("explore: decode frontier: %w", err)
+	}
+	return &d, nil
+}
+
+var frontierSpecRe = regexp.MustCompile(`^(phi|delta)=(\d+(?:\.\.\d+)?(?:,\d+(?:\.\.\d+)?)*)$`)
+
+// ParseFrontierSpec parses a grid spec like "phi=1..8,delta=0..64" or
+// "phi=1,2,4,8,delta=0,8,32". Each axis takes a comma list of values
+// and/or inclusive lo..hi ranges; both axes are required. Values are
+// deduplicated and sorted ascending.
+func ParseFrontierSpec(spec string) (phis, deltas []int64, err error) {
+	// Split on the axis keys, not on commas: commas separate both list
+	// elements and the two axes, so "phi=1,2,delta=3" is only parseable by
+	// finding where the next key begins.
+	axes := map[string][]int64{}
+	rest := strings.TrimSpace(spec)
+	for rest != "" {
+		// The current axis runs until the next ",phi=" or ",delta=".
+		end := len(rest)
+		for _, key := range []string{",phi=", ",delta="} {
+			if i := strings.Index(rest, key); i >= 0 && i < end {
+				end = i
+			}
+		}
+		part := rest[:end]
+		if end < len(rest) {
+			rest = rest[end+1:]
+		} else {
+			rest = ""
+		}
+		m := frontierSpecRe.FindStringSubmatch(part)
+		if m == nil {
+			return nil, nil, fmt.Errorf("explore: bad frontier spec part %q (want phi=... or delta=...)", part)
+		}
+		if _, dup := axes[m[1]]; dup {
+			return nil, nil, fmt.Errorf("explore: frontier spec repeats axis %q", m[1])
+		}
+		var vals []int64
+		for _, tok := range strings.Split(m[2], ",") {
+			if lo, hi, ok := strings.Cut(tok, ".."); ok {
+				a, _ := strconv.ParseInt(lo, 10, 64)
+				b, err := strconv.ParseInt(hi, 10, 64)
+				if err != nil || b < a {
+					return nil, nil, fmt.Errorf("explore: bad frontier range %q", tok)
+				}
+				if b-a > 256 {
+					return nil, nil, fmt.Errorf("explore: frontier range %q too wide (max 257 values)", tok)
+				}
+				for v := a; v <= b; v++ {
+					vals = append(vals, v)
+				}
+			} else {
+				v, err := strconv.ParseInt(tok, 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("explore: bad frontier value %q", tok)
+				}
+				vals = append(vals, v)
+			}
+		}
+		axes[m[1]] = vals
+	}
+	phis, deltas = dedupSort(axes["phi"]), dedupSort(axes["delta"])
+	if len(phis) == 0 || len(deltas) == 0 {
+		return nil, nil, fmt.Errorf("explore: frontier spec needs both phi= and delta= (got %q)", spec)
+	}
+	for _, phi := range phis {
+		if phi < 1 {
+			return nil, nil, fmt.Errorf("explore: phi must be >= 1 (got %d)", phi)
+		}
+	}
+	for _, d := range deltas {
+		if d < 0 {
+			return nil, nil, fmt.Errorf("explore: delta must be >= 0 (got %d)", d)
+		}
+	}
+	return phis, deltas, nil
+}
+
+func dedupSort(vals []int64) []int64 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	out := vals[:0]
+	for i, v := range vals {
+		if i == 0 || v != vals[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RenderFrontierMap renders the document as a markdown grid per target:
+// rows are Φ, columns Δ, each cell the failure rate at that point ("·"
+// for zero failures, "(v)" when every run was vacuous).
+func RenderFrontierMap(d *FrontierDoc) string {
+	var sb strings.Builder
+	for ti, tf := range d.Targets {
+		if ti > 0 {
+			sb.WriteByte('\n')
+		}
+		mark := ""
+		if tf.Ablated {
+			mark = " (ablated — failures expected)"
+		}
+		fmt.Fprintf(&sb, "**%s**%s — oracles: %s\n\n", tf.Target, mark, strings.Join(tf.Oracles, ", "))
+		sb.WriteString("| Φ \\ Δ |")
+		for _, delta := range d.Deltas {
+			fmt.Fprintf(&sb, " %d |", delta)
+		}
+		sb.WriteString("\n|---|")
+		for range d.Deltas {
+			sb.WriteString("---|")
+		}
+		sb.WriteByte('\n')
+		for pi, phi := range d.Phis {
+			fmt.Fprintf(&sb, "| **%d** |", phi)
+			for di := range d.Deltas {
+				cell := tf.Cells[pi*len(d.Deltas)+di]
+				sb.WriteString(" " + renderCell(cell) + " |")
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func renderCell(c FrontierCell) string {
+	if c.Runs == 0 {
+		return "—"
+	}
+	if c.Fails == 0 {
+		if c.Vacuous == c.Runs {
+			return "(v)"
+		}
+		return "·"
+	}
+	return fmt.Sprintf("%d%%", (100*c.Fails+c.Runs/2)/c.Runs)
+}

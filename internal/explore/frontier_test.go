@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func frontierTargetByName(t *testing.T, name string) Target {
+	t.Helper()
+	tgt, err := TargetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tgt
+}
+
+func TestParseFrontierSpec(t *testing.T) {
+	for _, tc := range []struct {
+		spec         string
+		phis, deltas []int64
+	}{
+		{"phi=1..4,delta=0..2", []int64{1, 2, 3, 4}, []int64{0, 1, 2}},
+		{"phi=1,2,4,8,delta=0,8,32", []int64{1, 2, 4, 8}, []int64{0, 8, 32}},
+		{"delta=16,phi=2", []int64{2}, []int64{16}},
+		{"phi=4,1..2,delta=0,0,3", []int64{1, 2, 4}, []int64{0, 3}},
+	} {
+		phis, deltas, err := ParseFrontierSpec(tc.spec)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.spec, err)
+		}
+		if !reflect.DeepEqual(phis, tc.phis) || !reflect.DeepEqual(deltas, tc.deltas) {
+			t.Fatalf("%q: got phi=%v delta=%v, want phi=%v delta=%v", tc.spec, phis, deltas, tc.phis, tc.deltas)
+		}
+	}
+	for _, bad := range []string{
+		"", "phi=1..4", "delta=0..2", "phi=0,delta=1", "phi=1,delta=-1",
+		"phi=1,phi=2,delta=0", "phi=8..1,delta=0", "gamma=3,delta=0", "phi=a,delta=0",
+	} {
+		if _, _, err := ParseFrontierSpec(bad); err == nil {
+			t.Fatalf("%q: expected parse error", bad)
+		}
+	}
+}
+
+// TestFrontierSweep runs the probe targets over a small grid and checks the
+// acceptance shape: the adaptive monitor passes everywhere, the ablated
+// fixed monitors fail at a rate that never decreases along either axis,
+// pass at the mildest corner they were calibrated for, and collapse
+// entirely at the harshest cell.
+func TestFrontierSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier sweep is a multi-run campaign")
+	}
+	cfg := FrontierConfig{
+		Targets: []Target{
+			frontierTargetByName(t, "frontier/monitor-adaptive"),
+			frontierTargetByName(t, "frontier/monitor-fixed"),
+			frontierTargetByName(t, "frontier/monitor-fixed-wide"),
+		},
+		Phis:     []int64{1, 4, 8},
+		Deltas:   []int64{0, 8, 32},
+		Seeds:    2,
+		BaseSeed: 1,
+	}
+	doc, err := MapFrontier(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != FrontierSchema {
+		t.Fatalf("schema %q, want %q", doc.Schema, FrontierSchema)
+	}
+
+	byName := map[string]TargetFrontier{}
+	for _, tf := range doc.Targets {
+		byName[tf.Target] = tf
+		for _, c := range tf.Cells {
+			if c.Runs != cfg.Seeds || c.Errors != 0 {
+				t.Fatalf("%s (%d,%d): runs=%d errors=%d", tf.Target, c.Phi, c.Delta, c.Runs, c.Errors)
+			}
+			if got := c.Fails + c.Passes + c.Vacuous; got != c.Runs {
+				t.Fatalf("%s (%d,%d): outcomes %d != runs %d", tf.Target, c.Phi, c.Delta, got, c.Runs)
+			}
+		}
+	}
+
+	for _, c := range byName["frontier/monitor-adaptive"].Cells {
+		if c.Fails != 0 {
+			t.Errorf("adaptive monitor fails at (%d,%d): the sound target must pass every cell", c.Phi, c.Delta)
+		}
+	}
+	for _, name := range []string{"frontier/monitor-fixed", "frontier/monitor-fixed-wide"} {
+		tf := byName[name]
+		// Failure counts must be monotone non-decreasing along both axes.
+		nd := len(cfg.Deltas)
+		at := func(pi, di int) int { return tf.Cells[pi*nd+di].Fails }
+		for pi := range cfg.Phis {
+			for di := 1; di < nd; di++ {
+				if at(pi, di) < at(pi, di-1) {
+					t.Errorf("%s: fails decrease along delta at phi=%d: %d -> %d", name, cfg.Phis[pi], at(pi, di-1), at(pi, di))
+				}
+			}
+		}
+		for di := range cfg.Deltas {
+			for pi := 1; pi < len(cfg.Phis); pi++ {
+				if at(pi, di) < at(pi-1, di) {
+					t.Errorf("%s: fails decrease along phi at delta=%d: %d -> %d", name, cfg.Deltas[di], at(pi-1, di), at(pi, di))
+				}
+			}
+		}
+		if last := tf.Cells[len(tf.Cells)-1]; last.Fails != last.Runs {
+			t.Errorf("%s: harshest cell (%d,%d) fails %d/%d, want total collapse", name, last.Phi, last.Delta, last.Fails, last.Runs)
+		}
+	}
+	if first := byName["frontier/monitor-fixed"].Cells[0]; first.Fails != 0 {
+		t.Errorf("monitor-fixed fails %d/%d at its calibration point (1,0)", first.Fails, first.Runs)
+	}
+
+	// The JSON document round-trips through its schema check.
+	enc, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeFrontier(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, dec) {
+		t.Fatal("frontier document does not round-trip")
+	}
+	if _, err := DecodeFrontier([]byte(`{"schema":"tbwf-bench/v1"}`)); err == nil || !strings.Contains(err.Error(), FrontierSchema) {
+		t.Fatalf("wrong-schema decode: got %v, want mention of %q", err, FrontierSchema)
+	}
+
+	// The rendered map names every target and shows the grid axes.
+	rendered := RenderFrontierMap(doc)
+	for _, want := range []string{"frontier/monitor-adaptive", "frontier/monitor-fixed", "ablated", "| Φ \\ Δ |", "**8**"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered map missing %q:\n%s", want, rendered)
+		}
+	}
+}

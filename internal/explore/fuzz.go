@@ -53,6 +53,10 @@ type Summary struct {
 	Runs, Failures int
 	PerTarget      []TargetSummary
 	Findings       []Finding
+	// Coverage counts the distinct behaviors the campaign reached (blind
+	// campaigns report it too, as the baseline the guided loop is compared
+	// against; Corpus/Mutants stay zero here).
+	Coverage Coverage
 	// Errors are infrastructure errors (a run that could not execute at
 	// all), distinct from oracle failures.
 	Errors []string
@@ -81,9 +85,10 @@ func Fuzz(cfg Config) (*Summary, error) {
 	}
 
 	type result struct {
-		finding *Finding
-		vacuous bool
-		err     error
+		finding   *Finding
+		vacuous   bool
+		hash, sig string
+		err       error
 	}
 	results := make([]result, len(units))
 	exp.ForEach(cfg.Parallel, len(units), func(i int) {
@@ -94,6 +99,7 @@ func Fuzz(cfg Config) (*Summary, error) {
 			results[i].err = fmt.Errorf("%s seed %d: %w", u.target.Name, u.seed, err)
 			return
 		}
+		results[i].hash, results[i].sig = out.TraceHash, out.StateSig
 		if out.Failed() {
 			results[i].finding = &Finding{
 				Target:   u.target.Name,
@@ -117,10 +123,14 @@ func Fuzz(cfg Config) (*Summary, error) {
 		per[tgt.Name] = ts
 		sum.PerTarget = append(sum.PerTarget, *ts)
 	}
+	hashes, sigs := map[string]bool{}, map[string]bool{}
 	for i, r := range results {
 		ts := per[units[i].target.Name]
 		ts.Runs++
 		sum.Runs++
+		if r.err == nil {
+			hashes[r.hash], sigs[r.sig] = true, true
+		}
 		switch {
 		case r.err != nil:
 			sum.Errors = append(sum.Errors, r.err.Error())
@@ -132,6 +142,8 @@ func Fuzz(cfg Config) (*Summary, error) {
 			ts.Vacuous++
 		}
 	}
+	sum.Coverage.TraceHashes = len(hashes)
+	sum.Coverage.StateSigs = len(sigs)
 	for i := range sum.PerTarget {
 		sum.PerTarget[i] = *per[sum.PerTarget[i].Target]
 	}

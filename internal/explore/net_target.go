@@ -28,9 +28,10 @@ import (
 func netTargets() []Target {
 	return []Target{
 		{
-			Name: "net/partition",
-			Desc: "query-abortable counter over ABD majority quorums on the fabric, seeded mid-run partition/heal; lincheck oracle",
-			N:    3,
+			Name:    "net/partition",
+			Desc:    "query-abortable counter over ABD majority quorums on the fabric, seeded mid-run partition/heal; lincheck oracle",
+			Oracles: []string{"lincheck"},
+			N:       3,
 			// ABD makes every register operation a two-phase quorum round
 			// (~10-30 kernel steps), and a partitioned client stalls until
 			// the heal; the budget covers both.
@@ -38,14 +39,16 @@ func netTargets() []Target {
 			NoCrashes:  true, // lincheck needs a complete history
 			CrashProc:  -1,
 			Partitions: true,
+			Fabric:     true,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildNetCounter(k, env, net.Config{})
 			},
 		},
 		{
-			Name: "net/reorder",
-			Desc: "Ω∆ elector over ABD registers under delay jitter + duplicate faults; Definition 5 oracle",
-			N:    3,
+			Name:    "net/reorder",
+			Desc:    "Ω∆ elector over ABD registers under delay jitter + duplicate faults; Definition 5 oracle",
+			Oracles: []string{"net-def5"},
+			N:       3,
 			// The activity monitors need ~700k steps to adapt their
 			// timeouts past ABD's quorum latency; the Definition 5 window
 			// is the second half, so the budget leaves the whole
@@ -53,17 +56,20 @@ func netTargets() []Target {
 			Steps:     2_000_000,
 			NoCrashes: true, // a late crash legitimately destabilizes the check window
 			CrashProc: -1,
+			Fabric:    true,
 			Build:     buildNetDef5,
 		},
 		{
 			Name:       "net/partition-rq1",
 			Desc:       "ablated: read quorum of 1 breaks quorum intersection; lincheck must fail",
+			Oracles:    []string{"lincheck"},
 			N:          3,
 			Steps:      300_000,
 			Ablated:    true,
 			NoCrashes:  true,
 			CrashProc:  -1,
 			Partitions: true,
+			Fabric:     true,
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildNetCounter(k, env, net.Config{ReadQuorum: 1})
 			},
@@ -89,6 +95,13 @@ func buildNetCounter(k *sim.Kernel, env *Env, cfg net.Config) (Check, error) {
 		// that reads through it.
 		DropProb:   0.1 + 0.2*env.Rand().Float64(),
 		Partitions: env.Partitions,
+	}
+	// Under the DLS adversary the fabric *is* the Δ bound: link delays are
+	// drawn from [1, 1+Δ] instead of the default jitter band. (The kernel's
+	// effect-delay hook stays off for Fabric targets — see Target.Fabric —
+	// so the bound is charged exactly once per message.)
+	if env.DLS != nil {
+		fcfg.MinDelay, fcfg.MaxDelay = 1, 1+env.DLS.Delta
 	}
 	sub, fab, err := net.NewFabric(k, fcfg, cfg)
 	if err != nil {
@@ -233,6 +246,12 @@ func buildNetDef5(k *sim.Kernel, env *Env) (Check, error) {
 		DupProb:         0.1 + 0.15*env.Rand().Float64(),
 		RetransmitEvery: 32,
 	}
+	// Δ routes into the link-delay band under the DLS adversary (see
+	// buildNetCounter); the jitter the monitors must adapt to is then the
+	// plan's pinned delay bound rather than a fixed draw.
+	if env.DLS != nil {
+		fcfg.MinDelay, fcfg.MaxDelay = 1, 1+env.DLS.Delta
+	}
 	sub, _, err := net.NewFabric(k, fcfg, net.Config{})
 	if err != nil {
 		return nil, err
@@ -249,6 +268,7 @@ func buildNetDef5(k *sim.Kernel, env *Env) (Check, error) {
 	for _, inst := range insts[1:] {
 		inst.Candidate.Set(true)
 	}
+	env.RecordState(func() string { return fmt.Sprint(obs.Leaders()) })
 	half := env.Steps / 2
 	check := func(k *sim.Kernel, res sim.RunResult) []Verdict {
 		const oracle = "net-def5"

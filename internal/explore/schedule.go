@@ -3,6 +3,7 @@ package explore
 import (
 	"math/rand"
 
+	"tbwf/internal/adversary"
 	"tbwf/internal/net"
 	"tbwf/internal/sim"
 )
@@ -29,7 +30,7 @@ type planSchedule struct {
 func newPlanSchedule(p Plan, steps int64) *planSchedule {
 	return &planSchedule{
 		prefix: p.Prefix,
-		base:   newStrategySchedule(p.Strategy, mix(p.Seed, streamSchedule), steps),
+		base:   newStrategySchedule(p, mix(p.Seed, streamSchedule), steps),
 	}
 }
 
@@ -48,15 +49,22 @@ func (s *planSchedule) Next(step int64, alive []int) int {
 	return s.base.Next(step, alive)
 }
 
-// newStrategySchedule builds the seeded base schedule for a strategy. The
-// alive-set size is discovered at the first Next call, so the same
-// schedule value works for any target.
-func newStrategySchedule(st Strategy, seed, steps int64) sim.Schedule {
-	switch st {
+// newStrategySchedule builds the seeded base schedule for a plan's
+// strategy. The alive-set size is discovered at the first Next call, so
+// the same schedule value works for any target. Execute normalizes the
+// plan before this runs, so a dls plan always carries its policy.
+func newStrategySchedule(p Plan, seed, steps int64) sim.Schedule {
+	switch p.Strategy {
 	case StrategyPattern:
 		return newPatternSchedule(seed)
 	case StrategyPBound:
 		return newSegmentSchedule(seed, steps)
+	case StrategyDLS:
+		d := adversary.DLS{Phi: 1}
+		if p.DLS != nil {
+			d = *p.DLS
+		}
+		return adversary.NewSchedule(d, seed)
 	default:
 		return sim.Random(seed, nil)
 	}
@@ -170,13 +178,19 @@ func NewPlan(tgt Target, seed, budget int64) Plan {
 	rng := rand.New(rand.NewSource(mix(seed, streamGen)))
 	strategies := tgt.Strategies
 	if len(strategies) == 0 {
-		strategies = []Strategy{StrategyWalk, StrategyPattern, StrategyPBound}
+		strategies = []Strategy{StrategyWalk, StrategyPattern, StrategyPBound, StrategyDLS}
 	}
 	p := Plan{
 		Target:   tgt.Name,
 		Seed:     seed,
 		Steps:    steps,
 		Strategy: strategies[rng.Intn(len(strategies))],
+	}
+	if p.Strategy == StrategyDLS {
+		// Pin the (Φ,Δ) point explicitly so the plan documents it (and the
+		// shrinker can relax it); same conservative caps as defaultDLS.
+		d := adversary.DLS{Phi: 1 + rng.Int63n(8), Delta: rng.Int63n(17)}
+		p.DLS = &d
 	}
 	if tgt.CrashProc >= 0 {
 		// The target wants this process crashed in every run (its oracle is

@@ -40,6 +40,7 @@ func serveTargets() []Target {
 		{
 			Name:      "serve/counter",
 			Desc:      "sim-deployed service backend (queue+backpressure+TBWF counter); FIFO, accounting and lincheck oracles",
+			Oracles:   []string{"serve-fifo", "serve-accounting", "serve-lincheck"},
 			N:         3,
 			Steps:     800_000,
 			NoCrashes: true, // the oracles need every accepted op to settle
@@ -51,6 +52,7 @@ func serveTargets() []Target {
 		{
 			Name:      "serve/register",
 			Desc:      "sim-deployed service backend over the register object (read/write/cas wire ops); FIFO, accounting and lincheck oracles",
+			Oracles:   []string{"serve-fifo", "serve-accounting", "serve-lincheck"},
 			N:         3,
 			Steps:     800_000,
 			NoCrashes: true,

@@ -44,6 +44,7 @@ func shardTargets() []Target {
 		{
 			Name:      "shard/kv",
 			Desc:      "sharded keyspace (2 TBWF stacks, batched workers); FIFO, accounting and per-shard lincheck oracles",
+			Oracles:   []string{"shard-fifo", "shard-accounting", "shard-lincheck"},
 			N:         3,
 			Steps:     800_000,
 			NoCrashes: true, // the oracles need every accepted op to settle
@@ -55,6 +56,7 @@ func shardTargets() []Target {
 		{
 			Name:      "shard/kv-nobatchfence",
 			Desc:      "ablated: batch responses rotated across the batch's ops; per-shard lincheck must fail",
+			Oracles:   []string{"shard-fifo", "shard-accounting", "shard-lincheck"},
 			N:         3,
 			Steps:     800_000,
 			Ablated:   true,

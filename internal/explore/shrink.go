@@ -176,6 +176,21 @@ func Shrink(a *Artifact, maxAttempts int) (*Artifact, *ShrinkStats, error) {
 		}
 	}
 
+	// 6. DLS relaxation: does the failure need the delay bound, the speed
+	// bound, both? Each relaxation that still fails narrows the blamed
+	// adversary axis (the policy fields themselves are otherwise preserved
+	// verbatim through every move above — clonePlan deep-copies them).
+	if best.DLS != nil && best.DLS.Delta > 0 {
+		cand := clonePlan(best)
+		cand.DLS.Delta = 0
+		try(cand)
+	}
+	if best.DLS != nil && best.DLS.Phi > 1 {
+		cand := clonePlan(best)
+		cand.DLS.Phi = 1
+		try(cand)
+	}
+
 	stats.StepsAfter = best.Steps
 	stats.PinnedAfter = countPinned(best.Prefix)
 	stats.CrashesAfter = len(best.Crashes)
@@ -216,5 +231,9 @@ func crashesWithin(crashes []Crash, steps int64) []Crash {
 func clonePlan(p Plan) Plan {
 	p.Prefix = append([]int32(nil), p.Prefix...)
 	p.Crashes = append([]Crash(nil), p.Crashes...)
+	if p.DLS != nil {
+		d := *p.DLS
+		p.DLS = &d
+	}
 	return p
 }

@@ -36,9 +36,19 @@ type Target struct {
 	N int
 	// Steps is the default step budget when the plan does not set one.
 	Steps int64
+	// Oracles names the property oracles the target's check emits, for
+	// -list output and the frontier map's per-oracle rate rows. (The
+	// kernel-level "no-panic" oracle can additionally appear on any
+	// target whose run panics.)
+	Oracles []string
 	// Ablated marks deliberately broken variants: excluded from "all"
 	// campaigns unless asked for, and *expected* to produce failures.
 	Ablated bool
+	// Fabric marks targets whose registers are quorum protocols over
+	// net.Fabric: the DLS adversary's Δ routes into the fabric's link
+	// delay distribution (the target reads env.DLS) instead of the
+	// kernel's effect-delay hook, so the bound is charged once.
+	Fabric bool
 	// NoCrashes excludes the target from random crash injection (its
 	// oracle's premise cannot survive a crash).
 	NoCrashes bool
@@ -100,6 +110,7 @@ func Targets() []Target {
 		{
 			Name:      "qa-counter",
 			Desc:      "query-abortable counter under taped abort/effect adversaries; lincheck oracle",
+			Oracles:   []string{"lincheck"},
 			N:         3,
 			Steps:     200_000,
 			NoCrashes: true, // lincheck needs a complete history
@@ -111,6 +122,7 @@ func Targets() []Target {
 		{
 			Name:      "qa-counter-misreport",
 			Desc:      "ablated: one response misreported to the checker; lincheck must fail",
+			Oracles:   []string{"lincheck"},
 			N:         3,
 			Steps:     200_000,
 			Ablated:   true,
@@ -123,6 +135,7 @@ func Targets() []Target {
 		{
 			Name:      "counter-atomic",
 			Desc:      "full TBWF counter stack on Ω∆-from-atomic-registers; progress + log-accounting oracles",
+			Oracles:   []string{"log-accounting", "tbwf-progress"},
 			N:         3,
 			Steps:     600_000,
 			CrashProc: -1,
@@ -133,6 +146,7 @@ func Targets() []Target {
 		{
 			Name:      "counter-abortable",
 			Desc:      "full TBWF counter stack on Ω∆-from-abortable-registers (Theorem 15); progress + log-accounting oracles",
+			Oracles:   []string{"log-accounting", "tbwf-progress"},
 			N:         3,
 			Steps:     2_500_000,
 			CrashProc: -1,
@@ -143,6 +157,7 @@ func Targets() []Target {
 		{
 			Name:      "omega-registers",
 			Desc:      "Ω∆ from atomic registers, all candidates; Definition 5 oracle",
+			Oracles:   []string{"omega-def5"},
 			N:         3,
 			Steps:     400_000,
 			NoCrashes: true, // a late crash legitimately destabilizes the check window
@@ -152,9 +167,16 @@ func Targets() []Target {
 		{
 			Name:      "omega-churn",
 			Desc:      "Ω∆ under perpetual candidacy churn; leadership-stability oracle",
+			Oracles:   []string{"omega-churn-stability"},
 			N:         3,
 			Steps:     400_000,
 			CrashProc: -1,
+			// The churn-stability oracle is calibrated for adversaries whose
+			// timing regime is stationary: the DLS schedule rotates its
+			// starvation victim every era, so monitor timeouts keep being
+			// re-surprised and second-half leadership stability is not a
+			// sound expectation at high phi (a premise, not a protocol bug).
+			Strategies: []Strategy{StrategyWalk, StrategyPattern, StrategyPBound},
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildOmegaChurn(k, env, false)
 			},
@@ -162,10 +184,17 @@ func Targets() []Target {
 		{
 			Name:      "omega-churn-noselfpunish",
 			Desc:      "ablated (A2): Figure 3 without self-punishment; churn steals leadership forever",
+			Oracles:   []string{"omega-churn-stability"},
 			N:         3,
 			Steps:     400_000,
 			Ablated:   true,
 			CrashProc: -1,
+			// The churn-stability oracle is calibrated for adversaries whose
+			// timing regime is stationary: the DLS schedule rotates its
+			// starvation victim every era, so monitor timeouts keep being
+			// re-surprised and second-half leadership stability is not a
+			// sound expectation at high phi (a premise, not a protocol bug).
+			Strategies: []Strategy{StrategyWalk, StrategyPattern, StrategyPBound},
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildOmegaChurn(k, env, true)
 			},
@@ -173,6 +202,7 @@ func Targets() []Target {
 		{
 			Name:      "elector-atomic",
 			Desc:      "bake-off: Figure 3 elector through the pluggable seam, process 0 non-candidate; Definition 5 oracle",
+			Oracles:   []string{"elector-def5"},
 			N:         3,
 			Steps:     400_000,
 			NoCrashes: true, // a late crash legitimately destabilizes the check window
@@ -184,6 +214,7 @@ func Targets() []Target {
 		{
 			Name:      "elector-abortable",
 			Desc:      "bake-off: Figure 6 elector through the pluggable seam (default abort policy), process 0 non-candidate; Definition 5 oracle",
+			Oracles:   []string{"elector-def5"},
 			N:         3,
 			Steps:     800_000,
 			NoCrashes: true,
@@ -195,6 +226,7 @@ func Targets() []Target {
 		{
 			Name:      "elector-nerio",
 			Desc:      "bake-off: Nerio epoch/lease elector, process 0 non-candidate; Definition 5 oracle",
+			Oracles:   []string{"elector-def5"},
 			N:         3,
 			Steps:     400_000,
 			NoCrashes: true,
@@ -206,6 +238,7 @@ func Targets() []Target {
 		{
 			Name:      "elector-nerio-nodepose",
 			Desc:      "ablated: Nerio without deposition; the epoch freezes on the non-candidate and Definition 5 must fail",
+			Oracles:   []string{"elector-def5"},
 			N:         3,
 			Steps:     400_000,
 			Ablated:   true,
@@ -218,6 +251,7 @@ func Targets() []Target {
 		{
 			Name:      "elector-reputation",
 			Desc:      "bake-off: reputation-penalty elector, process 0 non-candidate; Definition 5 oracle",
+			Oracles:   []string{"elector-def5"},
 			N:         3,
 			Steps:     400_000,
 			NoCrashes: true,
@@ -229,9 +263,16 @@ func Targets() []Target {
 		{
 			Name:      "elector-reputation-churn",
 			Desc:      "bake-off: reputation-penalty elector under perpetual candidacy churn; leadership-stability oracle",
+			Oracles:   []string{"elector-churn-stability"},
 			N:         3,
 			Steps:     400_000,
 			CrashProc: -1,
+			// The churn-stability oracle is calibrated for adversaries whose
+			// timing regime is stationary: the DLS schedule rotates its
+			// starvation victim every era, so monitor timeouts keep being
+			// re-surprised and second-half leadership stability is not a
+			// sound expectation at high phi (a premise, not a protocol bug).
+			Strategies: []Strategy{StrategyWalk, StrategyPattern, StrategyPBound},
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildElectorChurn(k, env, elector.Reputation)
 			},
@@ -239,10 +280,17 @@ func Targets() []Target {
 		{
 			Name:      "elector-reputation-nopenalty",
 			Desc:      "ablated: reputation without penalties; churn steals leadership forever and the stability oracle must fail",
+			Oracles:   []string{"elector-churn-stability"},
 			N:         3,
 			Steps:     400_000,
 			Ablated:   true,
 			CrashProc: -1,
+			// The churn-stability oracle is calibrated for adversaries whose
+			// timing regime is stationary: the DLS schedule rotates its
+			// starvation victim every era, so monitor timeouts keep being
+			// re-surprised and second-half leadership stability is not a
+			// sound expectation at high phi (a premise, not a protocol bug).
+			Strategies: []Strategy{StrategyWalk, StrategyPattern, StrategyPBound},
 			Build: func(k *sim.Kernel, env *Env) (Check, error) {
 				return buildElectorChurn(k, env, elector.NewReputation(elector.ReputationOptions{NoPenalty: true}))
 			},
@@ -250,6 +298,7 @@ func Targets() []Target {
 		{
 			Name:      "heartbeat-dual",
 			Desc:      "Figure 5 dual-register heartbeat vs a pathologically slow sender; suspicion oracle",
+			Oracles:   []string{"hb-suspects-slow-sender"},
 			N:         2,
 			Steps:     400_000,
 			CrashProc: -1,
@@ -261,6 +310,7 @@ func Targets() []Target {
 		{
 			Name:      "heartbeat-single",
 			Desc:      "ablated (A1): single-register heartbeat; aborts alone fool the receiver",
+			Oracles:   []string{"hb-suspects-slow-sender"},
 			N:         2,
 			Steps:     400_000,
 			Ablated:   true,
@@ -273,6 +323,7 @@ func Targets() []Target {
 		{
 			Name:      "messenger-backoff",
 			Desc:      "Figure 4 messenger with reader back-off; delivery oracle",
+			Oracles:   []string{"messenger-delivery"},
 			N:         2,
 			Steps:     150_000,
 			NoCrashes: true, // a crashed writer never delivers, trivially
@@ -284,6 +335,7 @@ func Targets() []Target {
 		{
 			Name:      "messenger-nobackoff",
 			Desc:      "ablated (A3): no reader back-off; phase-locked schedules starve delivery",
+			Oracles:   []string{"messenger-delivery"},
 			N:         2,
 			Steps:     150_000,
 			Ablated:   true,
@@ -296,6 +348,7 @@ func Targets() []Target {
 		{
 			Name:      "monitor-pair",
 			Desc:      "activity monitor A(p,q) with q crashing mid-run; Definition 9 Property 5b oracle",
+			Oracles:   []string{"monitor-5b"},
 			N:         2,
 			Steps:     150_000,
 			CrashProc: 1,
@@ -306,6 +359,7 @@ func Targets() []Target {
 		{
 			Name:      "monitor-nogate",
 			Desc:      "ablated: fault-counter gate removed; a crashed process is charged forever",
+			Oracles:   []string{"monitor-5b"},
 			N:         2,
 			Steps:     150_000,
 			Ablated:   true,
@@ -317,6 +371,7 @@ func Targets() []Target {
 		{
 			Name:      "selftest-panic",
 			Desc:      "ablated: a task that panics at a seed-derived step; exercises the panic artifact path",
+			Oracles:   []string{"selftest", "no-panic"},
 			N:         1,
 			Steps:     20_000,
 			Ablated:   true,
@@ -327,7 +382,8 @@ func Targets() []Target {
 	}
 	ts = append(ts, netTargets()...)
 	ts = append(ts, serveTargets()...)
-	return append(ts, shardTargets()...)
+	ts = append(ts, shardTargets()...)
+	return append(ts, frontierTargets()...)
 }
 
 // TargetNames returns the registered target names, registry order.
@@ -540,6 +596,7 @@ func buildOmegaDef5(k *sim.Kernel, env *Env) (Check, error) {
 	for _, inst := range sys.Instances {
 		inst.Candidate.Set(true)
 	}
+	env.RecordState(func() string { return fmt.Sprint(obs.Leaders()) })
 	half := env.Steps / 2
 	check := func(k *sim.Kernel, res sim.RunResult) []Verdict {
 		const oracle = "omega-def5"
@@ -577,6 +634,7 @@ func buildOmegaChurn(k *sim.Kernel, env *Env, ablate bool) (Check, error) {
 	for _, inst := range dep.Instances {
 		inst.Candidate.Set(true)
 	}
+	env.RecordState(func() string { return fmt.Sprint(obs.Leaders()) })
 	period := env.Steps / 30
 	if period < 2_000 {
 		period = 2_000
@@ -635,6 +693,7 @@ func buildElectorDef5(k *sim.Kernel, env *Env, builder elector.Builder) (Check, 
 	for _, inst := range insts[1:] { // process 0 stays an Ncandidate
 		inst.Candidate.Set(true)
 	}
+	env.RecordState(func() string { return fmt.Sprint(obs.Leaders()) })
 	half := env.Steps / 2
 	check := func(k *sim.Kernel, res sim.RunResult) []Verdict {
 		const oracle = "elector-def5"
@@ -674,6 +733,7 @@ func buildElectorChurn(k *sim.Kernel, env *Env, builder elector.Builder) (Check,
 	for _, inst := range insts {
 		inst.Candidate.Set(true)
 	}
+	env.RecordState(func() string { return fmt.Sprint(obs.Leaders()) })
 	period := env.Steps / 30
 	if period < 2_000 {
 		period = 2_000

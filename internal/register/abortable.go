@@ -114,8 +114,9 @@ func (r *Abortable[T]) Write(v T) bool {
 	op := r.begin(true)
 	op.val = v
 	defer r.discard(op)
-	r.k.OpStep() // invocation step
-	r.k.OpStep() // response step
+	r.k.OpStep()      // invocation step
+	r.k.EffectDelay() // Δ adversary: a longer window means more contention
+	r.k.OpStep()      // response step
 	aborted := r.finish(op, proc)
 	if aborted {
 		r.k.Metrics().WriteAborts[proc]++

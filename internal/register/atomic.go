@@ -48,8 +48,9 @@ func (r *Atomic[T]) Write(v T) {
 	proc := r.k.CurrentProc()
 	r.k.Metrics().Writes[proc]++
 	r.stats.Writes++
-	r.k.OpStep() // invocation step
-	r.k.OpStep() // response step
+	r.k.OpStep()      // invocation step
+	r.k.EffectDelay() // Δ adversary: the effect may be held in flight
+	r.k.OpStep()      // response step
 	r.val = v
 	r.k.Trace().RecordWrite(sim.WriteEvent{
 		Step: r.k.Step(), Proc: proc, Register: r.name,

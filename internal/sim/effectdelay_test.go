@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+
+	"tbwf/internal/prim"
+)
+
+// TestEffectDelayStretchesOperations: with a constant-d delay installed,
+// each EffectDelay call costs the task exactly d extra steps; without one
+// it costs nothing.
+func TestEffectDelayStretchesOperations(t *testing.T) {
+	const d, ops = 3, 10
+	run := func(install bool) int64 {
+		k := New(1)
+		if install {
+			k.SetEffectDelay(func() int64 { return d })
+		}
+		k.Spawn(0, "writer", func(p prim.Proc) {
+			for i := 0; i < ops; i++ {
+				p.Step() // invocation
+				k.EffectDelay()
+				p.Step() // response
+			}
+		})
+		res, err := k.Run(1_000)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		k.Shutdown()
+		return res.Steps
+	}
+	base := run(false)
+	delayed := run(true)
+	if delayed-base != d*ops {
+		t.Fatalf("delay cost %d steps over %d ops, want %d", delayed-base, ops, d*ops)
+	}
+}
+
+// TestEffectDelayCrashInterrupt: a crash landing inside the stretched
+// window unwinds the task there — the delayed effect is interruptible, not
+// atomic with the invocation.
+func TestEffectDelayCrashInterrupt(t *testing.T) {
+	k := New(1)
+	k.SetEffectDelay(func() int64 { return 100 })
+	reached := false
+	k.Spawn(0, "writer", func(p prim.Proc) {
+		p.Step()
+		k.EffectDelay()
+		reached = true
+	})
+	k.CrashAt(0, 10)
+	if _, err := k.Run(1_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	k.Shutdown()
+	if reached {
+		t.Fatal("task survived a crash scheduled inside its effect-delay window")
+	}
+}
+
+// TestEffectDelayNilIsFree: no fn installed, EffectDelay consumes no steps
+// and is callable from any task.
+func TestEffectDelayNilIsFree(t *testing.T) {
+	k := New(1)
+	k.Spawn(0, "t", func(p prim.Proc) {
+		k.EffectDelay()
+		p.Step()
+		k.EffectDelay()
+	})
+	res, err := k.Run(100)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	k.Shutdown()
+	if !res.Idle || res.Steps != 2 {
+		t.Fatalf("res = %+v, want idle after 2 steps", res)
+	}
+}

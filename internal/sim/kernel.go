@@ -60,6 +60,8 @@ type Kernel struct {
 
 	afterStep []func(step int64)
 
+	effectDelay func() int64 // Δ adversary: extra steps per register effect (nil = off)
+
 	aliveBuf []int // reused by aliveProcs to keep the step loop allocation-free
 
 	trace   *Trace
@@ -480,6 +482,31 @@ func (k *Kernel) OpStep() {
 		panic("sim: OpStep called outside a running task")
 	}
 	k.yield(k.current)
+}
+
+// SetEffectDelay installs the Δ effect-delay adversary: each EffectDelay
+// call stretches the in-flight window of the current register operation by
+// fn() extra steps. A nil fn disables the adversary (the default); the hot
+// path then pays a single nil check. The draw function must be
+// deterministic in its own seeded stream for runs to replay.
+func (k *Kernel) SetEffectDelay(fn func() int64) { k.effectDelay = fn }
+
+// EffectDelay yields the current task for the configured number of extra
+// steps. Registers call it between an operation's invocation and response
+// steps, so the operation stays in flight — contention windows lengthen,
+// and a crash landing inside the stretched window still interrupts the
+// operation — exactly the DLS adversary's "effects delayed up to Δ".
+func (k *Kernel) EffectDelay() {
+	if k.effectDelay == nil {
+		return
+	}
+	t := k.current
+	if t == nil {
+		panic("sim: EffectDelay called outside a running task")
+	}
+	for i := k.effectDelay(); i > 0; i-- {
+		k.yield(t)
+	}
 }
 
 // CurrentProc returns the process id of the currently running task.
