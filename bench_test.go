@@ -23,6 +23,7 @@ import (
 	"tbwf/internal/prim"
 	"tbwf/internal/qa"
 	"tbwf/internal/register"
+	"tbwf/internal/rtbench"
 	"tbwf/internal/sim"
 )
 
@@ -544,3 +545,12 @@ func BenchmarkDeployBuild(b *testing.B) {
 		})
 	}
 }
+
+// The rt hot-path families (internal/rtbench): the gate pacing fast
+// path, the bounded MPSC queue behind the serve and shard workers (with
+// its pre-campaign mutex-ring baseline), and the end-to-end zero-alloc
+// invoke path on the live runtime. cmd/tbwf-bench -rt records the same
+// leaves into BENCH_rt.json and gates regressions against it.
+func BenchmarkGatePace(b *testing.B)   { rtbench.RunFamily(b, "GatePace") }
+func BenchmarkServeQueue(b *testing.B) { rtbench.RunFamily(b, "ServeQueue") }
+func BenchmarkInvokePath(b *testing.B) { rtbench.RunFamily(b, "InvokePath") }

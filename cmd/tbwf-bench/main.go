@@ -49,6 +49,10 @@ func run(args []string) error {
 	jsonPath := fs.String("json", "", "write machine-readable results to this JSON file")
 	list := fs.Bool("list", false, "list experiments and exit")
 	checkFrontier := fs.String("check-frontier", "", "validate a tbwf-frontier JSON document (BENCH_frontier.json) and exit")
+	check := fs.String("check", "", "validate committed BENCH_*.json documents (comma-separated paths, schema-sniffed) and exit")
+	rtFlag := fs.Bool("rt", false, "run the rt hot-path benchmarks (internal/rtbench) instead of the simulation experiments")
+	loadReport := fs.String("load-report", "", "with -rt: embed this tbwf-load report's p99 leg into the JSON document")
+	compare := fs.String("compare", "", "re-run the rt benchmarks and fail on regression against this BENCH_rt.json (the CI perf gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +61,34 @@ func run(args []string) error {
 	}
 	if *checkFrontier != "" {
 		return validateFrontierDoc(*checkFrontier)
+	}
+	if *check != "" {
+		failed := 0
+		for _, path := range strings.Split(*check, ",") {
+			if err := validateBenchFile(strings.TrimSpace(path)); err != nil {
+				fmt.Fprintf(os.Stderr, "tbwf-bench: %v\n", err)
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d document(s) failed validation", failed)
+		}
+		return nil
+	}
+	if *compare != "" {
+		return compareRTDoc(*compare)
+	}
+	if *rtFlag {
+		doc := runRTBenches()
+		if *loadReport != "" {
+			if err := attachLoadReport(&doc, *loadReport); err != nil {
+				return err
+			}
+		}
+		if *jsonPath != "" {
+			return writeRTJSON(*jsonPath, doc)
+		}
+		return nil
 	}
 
 	experiments := exp.All()

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tbwf/internal/rtbench"
+)
+
+// rtSchema names the rt hot-path benchmark document (BENCH_rt.json);
+// EXPERIMENTS.md §RT documents it. It is a sibling of tbwf-bench/v1
+// (simulation experiment tables) and tbwf-frontier/v1 (fuzz frontier
+// maps); -check validates all three by schema sniff.
+const rtSchema = "tbwf-rtbench/v1"
+
+// rtDoc is the machine-readable rt benchmark document written by
+// `tbwf-bench -rt -json`.
+type rtDoc struct {
+	Schema     string    `json:"schema"`
+	NumCPU     int       `json:"num_cpu"`
+	Go         string    `json:"go"`
+	Benchmarks []rtEntry `json:"benchmarks"`
+	Derived    rtDerived `json:"derived"`
+	Load       *rtLoad   `json:"load,omitempty"`
+}
+
+// rtEntry is one rtbench leaf's record.
+type rtEntry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+}
+
+// rtDerived carries the machine-independent ratios the perf gate runs
+// on: absolute ns/op moves with the host, but the same binary's
+// current-vs-baseline ratio does not.
+type rtDerived struct {
+	// ServeQueueSpeedup8P is ring ns/op over mpsc ns/op at 8 producers —
+	// how much faster the serve/shard worker queues got relative to the
+	// mutex ring they replaced. The acceptance floor is 1.3.
+	ServeQueueSpeedup8P float64 `json:"serve_queue_speedup_8p"`
+	// GateTimerAllocsSaved is the timer-baseline leg's allocs/op minus the
+	// pooled park's: the per-gap allocations the campaign deleted.
+	GateTimerAllocsSaved float64 `json:"gate_timer_allocs_saved"`
+	// InvokeAllocsPerOp repeats InvokePath/rt allocs/op as a named
+	// headline; the acceptance bound is amortized zero.
+	InvokeAllocsPerOp float64 `json:"invoke_allocs_per_op"`
+}
+
+// rtLoad pins the service-level latency leg: the timely-client p99 of a
+// tbwf-load run against a live tbwf-serve, copied from the load
+// generator's report by -load-report.
+type rtLoad struct {
+	Source      string  `json:"source"`
+	TotalOps    int64   `json:"total_ops"`
+	Errors      int64   `json:"errors"`
+	TimelyP99US float64 `json:"timely_p99_us"`
+}
+
+// runRTBenches executes every rtbench leaf through testing.Benchmark and
+// assembles the document.
+func runRTBenches() rtDoc {
+	doc := rtDoc{Schema: rtSchema, NumCPU: runtime.NumCPU(), Go: runtime.Version()}
+	byName := map[string]rtEntry{}
+	for _, l := range rtbench.All() {
+		r := testing.Benchmark(l.F)
+		e := rtEntry{
+			Name:        l.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+			AllocsPerOp: float64(r.MemAllocs) / float64(r.N),
+		}
+		if e.NsPerOp > 0 {
+			e.OpsPerSec = 1e9 / e.NsPerOp
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+		byName[e.Name] = e
+		fmt.Printf("%-28s %12.1f ns/op %10.3f allocs/op %14.0f ops/s\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.OpsPerSec)
+	}
+	if ring, ok := byName["ServeQueue/ring/p=8"]; ok {
+		if m, ok := byName["ServeQueue/mpsc/p=8"]; ok && m.NsPerOp > 0 {
+			doc.Derived.ServeQueueSpeedup8P = ring.NsPerOp / m.NsPerOp
+		}
+	}
+	if base, ok := byName["GatePace/timer-baseline"]; ok {
+		if parked, ok := byName["GatePace/parked"]; ok {
+			doc.Derived.GateTimerAllocsSaved = base.AllocsPerOp - parked.AllocsPerOp
+		}
+	}
+	if inv, ok := byName["InvokePath/rt"]; ok {
+		doc.Derived.InvokeAllocsPerOp = inv.AllocsPerOp
+	}
+	fmt.Printf("derived: serve-queue speedup at 8 producers %.2fx, %.1f timer allocs/gap deleted, invoke path %.3f allocs/op\n",
+		doc.Derived.ServeQueueSpeedup8P, doc.Derived.GateTimerAllocsSaved, doc.Derived.InvokeAllocsPerOp)
+	return doc
+}
+
+// attachLoadReport copies the pinned tbwf-load leg's headline numbers
+// into the rt document.
+func attachLoadReport(doc *rtDoc, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep struct {
+		TotalOps    int64   `json:"total_ops"`
+		Errors      int64   `json:"errors"`
+		TimelyP99US float64 `json:"timely_p99_us"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.TotalOps == 0 {
+		return fmt.Errorf("%s: report has no completed operations", path)
+	}
+	doc.Load = &rtLoad{
+		Source:      "tbwf-load",
+		TotalOps:    rep.TotalOps,
+		Errors:      rep.Errors,
+		TimelyP99US: rep.TimelyP99US,
+	}
+	return nil
+}
+
+func writeRTJSON(path string, doc rtDoc) error {
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func decodeRTDoc(path string) (rtDoc, error) {
+	var doc rtDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != rtSchema {
+		return doc, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, rtSchema)
+	}
+	return doc, nil
+}
+
+// rtRequiredLeaves must be present in any valid rt document; they are
+// the leaves the acceptance criteria and the perf gate reference.
+var rtRequiredLeaves = []string{
+	"GatePace/zero",
+	"GatePace/parked",
+	"GatePace/timer-baseline",
+	"ServeQueue/ring/p=8",
+	"ServeQueue/mpsc/p=8",
+	"InvokePath/rt",
+}
+
+// validateRTDoc checks a committed BENCH_rt.json: schema, required
+// leaves, and that the snapshot itself upholds the campaign's acceptance
+// bounds (a regressed snapshot must not be committable).
+func validateRTDoc(path string) error {
+	doc, err := decodeRTDoc(path)
+	if err != nil {
+		return err
+	}
+	have := map[string]rtEntry{}
+	for _, e := range doc.Benchmarks {
+		have[e.Name] = e
+	}
+	for _, name := range rtRequiredLeaves {
+		if _, ok := have[name]; !ok {
+			return fmt.Errorf("%s: missing benchmark %q", path, name)
+		}
+	}
+	if s := doc.Derived.ServeQueueSpeedup8P; s < 1.3 {
+		return fmt.Errorf("%s: serve-queue speedup at 8 producers is %.2fx, acceptance floor is 1.30x", path, s)
+	}
+	if a := doc.Derived.InvokeAllocsPerOp; a > 0.05 {
+		return fmt.Errorf("%s: invoke path allocates %.3f objects/op, want amortized 0", path, a)
+	}
+	if doc.Load == nil || doc.Load.TimelyP99US <= 0 {
+		return fmt.Errorf("%s: missing pinned tbwf-load p99 leg", path)
+	}
+	fmt.Printf("%s: schema %s, %d benchmarks, speedup %.2fx, invoke %.3f allocs/op, load p99 %.0fµs\n",
+		path, doc.Schema, len(doc.Benchmarks), doc.Derived.ServeQueueSpeedup8P,
+		doc.Derived.InvokeAllocsPerOp, doc.Load.TimelyP99US)
+	return nil
+}
+
+// compareRTDoc is the CI perf gate: it re-runs the rt benchmarks and
+// fails on a regression against the committed document. The gate runs on
+// machine-independent quantities — allocation counts are exact and the
+// current-vs-baseline speedup is a same-binary ratio — so it holds on
+// any host. Absolute ns/op is additionally gated at 10% tolerance, but
+// only when the committed document was produced on a matching host
+// (same CPU count and Go version); otherwise absolute timing comparisons
+// are noise and are skipped with a note.
+func compareRTDoc(path string) error {
+	want, err := decodeRTDoc(path)
+	if err != nil {
+		return err
+	}
+	wantBy := map[string]rtEntry{}
+	for _, e := range want.Benchmarks {
+		wantBy[e.Name] = e
+	}
+	got := runRTBenches()
+	var fails []string
+	for _, g := range got.Benchmarks {
+		w, ok := wantBy[g.Name]
+		if !ok {
+			continue
+		}
+		// Allocations are deterministic: any increase is a regression.
+		if g.AllocsPerOp > w.AllocsPerOp+0.05 {
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %.3f, committed %.3f", g.Name, g.AllocsPerOp, w.AllocsPerOp))
+		}
+	}
+	// The speedup ratio must hold its floor and stay within 10% of the
+	// committed ratio.
+	if floor := 1.3; got.Derived.ServeQueueSpeedup8P < floor {
+		fails = append(fails, fmt.Sprintf("serve-queue speedup at 8 producers %.2fx, floor %.2fx", got.Derived.ServeQueueSpeedup8P, floor))
+	}
+	if w := want.Derived.ServeQueueSpeedup8P; w > 0 && got.Derived.ServeQueueSpeedup8P < 0.9*w {
+		fails = append(fails, fmt.Sprintf("serve-queue speedup at 8 producers %.2fx, >10%% below committed %.2fx", got.Derived.ServeQueueSpeedup8P, w))
+	}
+	if sameHost := got.NumCPU == want.NumCPU && got.Go == want.Go; sameHost {
+		for _, g := range got.Benchmarks {
+			w, ok := wantBy[g.Name]
+			if !ok || w.NsPerOp <= 0 || !absoluteGated(g.Name) {
+				continue
+			}
+			ns := g.NsPerOp
+			// Best-of-3: a single run on a loaded host jitters well past
+			// any honest tolerance; a true regression fails every retry.
+			for retry := 0; retry < 2 && ns > 1.10*w.NsPerOp; retry++ {
+				if re := remeasure(g.Name); re > 0 && re < ns {
+					ns = re
+				}
+			}
+			if ns > 1.10*w.NsPerOp {
+				fails = append(fails, fmt.Sprintf("%s: %.1f ns/op, >10%% above committed %.1f", g.Name, ns, w.NsPerOp))
+			}
+		}
+	} else {
+		fmt.Printf("note: committed document from a different host (%d CPU, %s); absolute ns/op gate skipped, ratio and allocation gates applied\n",
+			want.NumCPU, want.Go)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("perf gate failed against %s:\n  %s", path, strings.Join(fails, "\n  "))
+	}
+	fmt.Printf("perf gate passed against %s\n", path)
+	return nil
+}
+
+// absoluteGated reports whether a leaf's absolute ns/op is stable enough
+// to gate at 10%: the zero-pace fast path and the mpsc queue are tight
+// arithmetic loops. The rest are exempt — baseline legs are reference
+// implementations whose movement feeds the ratio gates, the parked legs
+// are timer-resolution bound, and InvokePath's wall time is dominated by
+// leader-election scheduling (its gated headline is allocs/op, which is
+// deterministic).
+func absoluteGated(name string) bool {
+	return name == "GatePace/zero" || strings.HasPrefix(name, "ServeQueue/mpsc/")
+}
+
+// remeasure re-runs one leaf by name and returns its ns/op (0 if the
+// leaf is unknown).
+func remeasure(name string) float64 {
+	for _, l := range rtbench.All() {
+		if l.Name == name {
+			r := testing.Benchmark(l.F)
+			if r.N == 0 {
+				return 0
+			}
+			return float64(r.T.Nanoseconds()) / float64(r.N)
+		}
+	}
+	return 0
+}
+
+// validateBenchFile validates one committed BENCH_*.json by schema
+// sniff; `tbwf-bench -check` runs it over every committed document.
+func validateBenchFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	switch head.Schema {
+	case benchSchema:
+		return validateBenchDoc(path, data)
+	case "tbwf-frontier/v1":
+		return validateFrontierDoc(path)
+	case rtSchema:
+		return validateRTDoc(path)
+	default:
+		return fmt.Errorf("%s: unknown schema %q", path, head.Schema)
+	}
+}
+
+// validateBenchDoc checks a tbwf-bench/v1 experiment-table document.
+func validateBenchDoc(path string, data []byte) error {
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmark entries", path)
+	}
+	for _, e := range doc.Benchmarks {
+		if e.ID == "" || e.Name == "" {
+			return fmt.Errorf("%s: entry with empty id or name", path)
+		}
+		if e.Steps < 0 || e.StepsPerSec < 0 || e.AllocsPerStep < 0 || e.WallSeconds < 0 {
+			return fmt.Errorf("%s: entry %s has negative metrics", path, e.ID)
+		}
+	}
+	fmt.Printf("%s: schema %s, %d experiments\n", path, doc.Schema, len(doc.Benchmarks))
+	return nil
+}

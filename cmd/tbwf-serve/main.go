@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -75,6 +76,8 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		"max keyed ops folded into one QA round per worker turn (default 16; 1 disables batching)")
 	admission := fs.String("admission", "",
 		"keyed admission policy, e.g. 'rate=5000,burst=100,inflight=4096' (empty: admit everything)")
+	pprofAddr := fs.String("pprof", "",
+		"serve net/http/pprof on this side address, e.g. 127.0.0.1:6060 (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,8 +124,32 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		return err
 	}
 
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			srv.Stop()
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		// A separate listener and mux: the profiler must not share the
+		// service port (it would skew the very latency being profiled and
+		// expose debug handlers on the service address).
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Handler: mux}
+		go pprofSrv.Serve(pln)
+		fmt.Fprintf(os.Stderr, "tbwf-serve: pprof on http://%s/debug/pprof/\n", pln.Addr())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		srv.Stop()
 		return err
 	}
@@ -145,9 +172,15 @@ func run(args []string, ready chan<- string, stop <-chan struct{}) error {
 		fmt.Fprintf(os.Stderr, "tbwf-serve: %v, shutting down\n", s)
 	case <-stop:
 	case err := <-serveErr:
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
 		srv.Stop()
 		return err
 	}
 	httpSrv.Close()
+	if pprofSrv != nil {
+		pprofSrv.Close()
+	}
 	return srv.Stop()
 }

@@ -73,13 +73,13 @@ func TestResolveArbitratesElectorAndLegacyOmega(t *testing.T) {
 		want           string
 		wantErr        bool
 	}{
-		{"", "", "atomic", false},                  // both empty: default
-		{"nerio", "", "nerio", false},              // -elector alone
-		{"", "abortable", "abortable", false},      // legacy -omega alone
-		{"nerio", "nerio-lease", "nerio", false},   // agreeing spellings
-		{"nerio", "abortable", "", true},           // conflict is an error
-		{"", "paxos", "", true},                    // unknown legacy value
-		{"bogus", "", "", true},                    // unknown elector value
+		{"", "", "atomic", false},                // both empty: default
+		{"nerio", "", "nerio", false},            // -elector alone
+		{"", "abortable", "abortable", false},    // legacy -omega alone
+		{"nerio", "nerio-lease", "nerio", false}, // agreeing spellings
+		{"nerio", "abortable", "", true},         // conflict is an error
+		{"", "paxos", "", true},                  // unknown legacy value
+		{"bogus", "", "", true},                  // unknown elector value
 		{"atomic", "atomic-registers", "atomic", false},
 	}
 	for _, tc := range cases {

@@ -38,17 +38,47 @@ func New[S, O, R any](typ Type[S, O, R], n int, f Factories[O], maxScan int) (*S
 	if maxScan <= 0 {
 		maxScan = DefaultMaxScan
 	}
-	return &SharedObject[S, O, R]{
+	so := &SharedObject[S, O, R]{
 		typ:     typ,
 		n:       n,
 		maxScan: maxScan,
 		store:   slotStore[O]{n: n, f: f},
 		handles: make(map[int]*Handle[S, O, R]),
-	}, nil
+	}
+	so.store.minNext = so.minNext
+	return so, nil
 }
 
-// Slots returns how many log slots have been allocated so far.
+// minNext is the slot store's reclaim bound: the lowest replay position
+// over all handles, or 0 while any handle is still uncreated (it would
+// start replaying at 0). Handle positions only grow, so the returned
+// value is a conservative lower bound on every future slot access.
+func (so *SharedObject[S, O, R]) minNext() int64 {
+	so.mu.Lock()
+	defer so.mu.Unlock()
+	if len(so.handles) < so.n {
+		return 0
+	}
+	m := int64(-1)
+	for _, h := range so.handles {
+		if v := h.next.Load(); m < 0 || v < m {
+			m = v
+		}
+	}
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Slots returns how many log slots have been materialized so far (the
+// absolute log length).
 func (so *SharedObject[S, O, R]) Slots() int64 { return so.store.len() }
+
+// SlotsAllocated returns how many slots were freshly constructed. On a
+// recycling store (rt substrate with all handles advancing) it stays far
+// below Slots; on sim and net the two are equal.
+func (so *SharedObject[S, O, R]) SlotsAllocated() int64 { return so.store.allocated() }
 
 // Handle returns process me's handle, creating it on first use. A process
 // must funnel all its operations through its single handle: the handle
@@ -63,10 +93,10 @@ func (so *SharedObject[S, O, R]) Handle(me int) *Handle[S, O, R] {
 		return h
 	}
 	h := &Handle[S, O, R]{
-		so:      so,
-		me:      me,
-		state:   so.typ.Init(),
-		applied: make(map[tag]struct{}),
+		so:         so,
+		me:         me,
+		state:      so.typ.Init(),
+		appliedSeq: make([]int64, so.n),
 	}
 	so.handles[me] = h
 	return h
@@ -81,13 +111,19 @@ type Handle[S, O, R any] struct {
 	ballot int64 // proposer ballot counter, unique per process
 
 	// Replay cache: the object state after applying decided slots
-	// [0, next).
+	// [0, next). next is atomic because the slot store's recycler reads
+	// every handle's position from other goroutines; only the owning
+	// task writes it.
 	state S
-	next  int64
-	// applied guards against a descriptor being applied twice during
-	// replay; by construction it cannot trigger, but a silent duplicate
-	// would corrupt the state, so it is checked.
-	applied map[tag]struct{}
+	next  atomic.Int64
+	// appliedSeq[p] is the highest Seq of process p applied so far; it
+	// guards against a descriptor being applied twice during replay. By
+	// construction duplicates cannot occur — and each process's
+	// descriptors are decided at strictly increasing slots, hence replay
+	// in strictly increasing Seq order, which is why a per-process
+	// watermark carries the same information as the per-operation set it
+	// replaced (that set grew one heap entry per applied op forever).
+	appliedSeq []int64
 
 	// Fate of the current operation, discovered during replay.
 	curFound bool
@@ -135,18 +171,17 @@ func (h *Handle[S, O, R]) nextBallot() int64 {
 // apply folds one decided descriptor into the replay cache and advances the
 // log position.
 func (h *Handle[S, O, R]) apply(d Desc[O]) {
-	h.next++
+	h.next.Add(1)
 	h.nReplayed.Add(1)
 	if d.Nop {
 		return
 	}
-	t := tag{proc: d.Proc, seq: d.Seq}
-	if _, dup := h.applied[t]; dup {
+	if d.Seq <= h.appliedSeq[d.Proc] {
 		// Cannot happen (one slot per decided descriptor); skipping keeps
 		// the state correct if it ever did.
 		return
 	}
-	h.applied[t] = struct{}{}
+	h.appliedSeq[d.Proc] = d.Seq
 	s, r := h.so.typ.Apply(h.state, d.Op)
 	h.state = s
 	if d.Proc == h.me && d.Seq == h.seq {
@@ -168,7 +203,7 @@ func (h *Handle[S, O, R]) Invoke(op O) (R, bool) {
 	desc := Desc[O]{Proc: h.me, Seq: h.seq, Op: op}
 
 	for scanned := 0; scanned < h.so.maxScan; scanned++ {
-		s := h.so.store.slot(h.next)
+		s := h.so.store.slot(h.next.Load())
 		dec, ok := s.readDecision()
 		if !ok {
 			return zero, false // ⊥ (op not yet proposed anywhere: fate is "not applied", settled by Query)
@@ -178,7 +213,7 @@ func (h *Handle[S, O, R]) Invoke(op O) (R, bool) {
 			continue
 		}
 		// First undecided slot: propose our descriptor.
-		h.proposed = append(h.proposed, h.next)
+		h.proposed = append(h.proposed, h.next.Load())
 		h.nProposals.Add(1)
 		v, ok := s.propose(h.me, h.nextBallot(), desc)
 		if !ok {
@@ -215,7 +250,7 @@ func (h *Handle[S, O, R]) Query() (R, QueryOutcome) {
 		if k > maxProposed {
 			maxProposed = k
 		}
-		if k < h.next {
+		if k < h.next.Load() {
 			continue
 		}
 		s := h.so.store.slot(k)
@@ -236,8 +271,8 @@ func (h *Handle[S, O, R]) Query() (R, QueryOutcome) {
 	}
 	// Replay up to and including the last proposed slot; every slot in
 	// range is now decided unless a read aborts.
-	for h.next <= maxProposed {
-		dec, ok := h.so.store.slot(h.next).readDecision()
+	for h.next.Load() <= maxProposed {
+		dec, ok := h.so.store.slot(h.next.Load()).readDecision()
 		if !ok {
 			return zero, QueryAborted
 		}
@@ -256,10 +291,13 @@ func (h *Handle[S, O, R]) Query() (R, QueryOutcome) {
 // SnapshotLog reads the decided prefix of the operation log with a fresh
 // cursor (it does not touch the handle's replay cache). ok=false means a
 // read aborted. The returned descriptors are the object's linearization
-// order; verifiers use it to cross-check responses.
+// order; verifiers use it to cross-check responses. On a recycling store
+// (rt substrate) the cursor starts at the store's floor, so the snapshot
+// is the still-retained decided suffix; the sim substrate never recycles
+// and verifiers there see the full log from slot 0.
 func (h *Handle[S, O, R]) SnapshotLog() ([]Desc[O], bool) {
 	var log []Desc[O]
-	for k := int64(0); k < h.so.store.len(); k++ {
+	for k := h.so.store.floor(); k < h.so.store.len(); k++ {
 		dec, ok := h.so.store.slot(k).readDecision()
 		if !ok {
 			return log, false
@@ -278,10 +316,10 @@ func (h *Handle[S, O, R]) SnapshotLog() ([]Desc[O], bool) {
 // proposals.
 func (h *Handle[S, O, R]) Sync() (S, bool) {
 	for {
-		if h.next >= h.so.store.len() {
+		if h.next.Load() >= h.so.store.len() {
 			return h.state, true
 		}
-		dec, ok := h.so.store.slot(h.next).readDecision()
+		dec, ok := h.so.store.slot(h.next.Load()).readDecision()
 		if !ok {
 			return h.state, false
 		}

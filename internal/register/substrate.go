@@ -2,6 +2,7 @@ package register
 
 import (
 	"tbwf/internal/prim"
+	"tbwf/internal/rt"
 	"tbwf/internal/sim"
 )
 
@@ -48,20 +49,29 @@ func Kernel(sub prim.Substrate) (*sim.Kernel, bool) {
 
 // SubstrateAtomic creates a typed atomic register on any substrate. On a
 // simulation-kernel substrate it returns this package's concrete
-// *Atomic[T] (no boxing, byte-identical behavior to NewAtomic); elsewhere
-// it goes through the substrate's type-erased factory.
+// *Atomic[T] (no boxing, byte-identical behavior to NewAtomic); on the
+// real-time runtime it returns rt's concrete *rt.Atomic[T] — the live
+// invoke path's zero-alloc fast path, since the type-erased fallback
+// boxes every struct-typed Write into a fresh interface allocation.
+// Other substrates (net) go through the type-erased factory.
 func SubstrateAtomic[T any](sub prim.Substrate, name string, init T) prim.Register[T] {
 	if k, ok := Kernel(sub); ok {
 		return NewAtomic(k, name, init)
+	}
+	if _, ok := sub.(*rt.Runtime); ok {
+		return rt.NewNamedAtomic(name, init)
 	}
 	return prim.NewRegister(sub, name, init)
 }
 
 // SubstrateAbortable creates a typed abortable register on any substrate,
-// with the same simulation fast path as SubstrateAtomic.
+// with the same sim/rt fast paths as SubstrateAtomic.
 func SubstrateAbortable[T any](sub prim.Substrate, name string, init T, opts ...AbOption) prim.AbortableRegister[T] {
 	if k, ok := Kernel(sub); ok {
 		return NewAbortable(k, name, init, opts...)
+	}
+	if _, ok := sub.(*rt.Runtime); ok {
+		return rt.NewNamedAbortable(name, init, opts...)
 	}
 	return prim.NewAbortable(sub, name, init, opts...)
 }

@@ -1,4 +1,4 @@
-package rt
+package rt_test
 
 import (
 	"testing"
@@ -7,6 +7,7 @@ import (
 	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
+	"tbwf/internal/rt"
 )
 
 // Graceful degradation on real goroutines: one process gets growing
@@ -15,10 +16,10 @@ import (
 // everything that completes is consistent.
 func TestLiveGracefulDegradation(t *testing.T) {
 	const n, opsEach = 3, 6
-	r := New(n, Steady(0))
+	r := rt.New(n, rt.Steady(0))
 	// Process 0 degrades: after each burst of 200 steps it sleeps, with
 	// the sleep doubling — unbounded gaps, hence untimely.
-	r.SetProfile(0, GrowingGaps(200, 2*time.Millisecond, 2))
+	r.SetProfile(0, rt.GrowingGaps(200, 2*time.Millisecond, 2))
 
 	st, err := deploy.Build[int64, objtype.CounterOp, int64](r, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
@@ -66,13 +67,13 @@ func TestLiveGracefulDegradation(t *testing.T) {
 }
 
 func TestProfileShapes(t *testing.T) {
-	s := Steady(3 * time.Millisecond)
+	s := rt.Steady(3 * time.Millisecond)
 	for i := int64(0); i < 5; i++ {
 		if s(i) != 3*time.Millisecond {
 			t.Fatal("steady profile not constant")
 		}
 	}
-	g := GrowingGaps(3, time.Millisecond, 2)
+	g := rt.GrowingGaps(3, time.Millisecond, 2)
 	var gaps []time.Duration
 	for i := int64(0); i < 12; i++ {
 		if d := g(i); d > 0 {

@@ -1,4 +1,4 @@
-package rt
+package rt_test
 
 import (
 	"fmt"
@@ -7,6 +7,7 @@ import (
 
 	"tbwf/internal/elector"
 	"tbwf/internal/elector/electortest"
+	"tbwf/internal/rt"
 )
 
 // Every registered elector passes the elector conformance suite on the
@@ -22,7 +23,7 @@ func TestElectorConformanceRuntime(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			electortest.Run(t, builder, func(t *testing.T) *electortest.Harness {
-				r := New(3, nil)
+				r := rt.New(3, nil)
 				t.Cleanup(func() {
 					if err := r.Stop(); err != nil {
 						t.Errorf("runtime stop: %v", err)

@@ -1,0 +1,162 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tbwf/internal/prim"
+)
+
+// spawnStepper runs a task on process p that steps forever, counting steps.
+// Returns the counter and a channel closed once the task has started.
+func spawnStepper(r *Runtime, p int) (*atomic.Int64, chan struct{}) {
+	var steps atomic.Int64
+	started := make(chan struct{})
+	r.Spawn(p, "stepper", func(pp prim.Proc) {
+		close(started)
+		for {
+			pp.Step()
+			steps.Add(1)
+		}
+	})
+	return &steps, started
+}
+
+// Crash must interrupt a task parked inside a long gap — the task exits
+// now, not when its 30s pause would have expired.
+func TestCrashInterruptsParkedGap(t *testing.T) {
+	r := New(2, nil)
+	r.SetProfile(1, GrowingGaps(1, 30*time.Second, 1))
+	_, started := spawnStepper(r, 1)
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the task park in the gap
+
+	done := make(chan struct{})
+	go func() {
+		r.Crash(1)
+		// Stop would wait for all tasks anyway; here we only want to know
+		// the crashed task's goroutine is gone promptly.
+		r.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("crash did not interrupt a parked gap")
+	}
+}
+
+// A live profile retune must wake a parked task, which then re-draws its
+// delay from the new profile — the /v1/fault "heal" path.
+func TestRetuneWakesParkedTask(t *testing.T) {
+	r := New(1, nil)
+	defer r.Stop()
+	r.SetProfile(0, GrowingGaps(1, 30*time.Second, 1))
+	steps, started := spawnStepper(r, 0)
+	<-started
+	time.Sleep(20 * time.Millisecond) // task is now parked in a 30s gap
+
+	base := steps.Load()
+	r.SetProfile(0, nil) // heal: zero-delay
+	deadline := time.Now().Add(5 * time.Second)
+	for steps.Load() <= base {
+		if time.Now().After(deadline) {
+			t.Fatalf("retune did not wake the parked task (steps still %d)", steps.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A retune to a *different positive* profile must re-draw the gap rather
+// than serve out the stale one: park at 30s, retune to 5ms, expect steps
+// to resume at 5ms cadence.
+func TestRetuneRedrawsGap(t *testing.T) {
+	r := New(1, nil)
+	defer r.Stop()
+	r.SetProfile(0, Steady(30*time.Second))
+	steps, started := spawnStepper(r, 0)
+	<-started
+	time.Sleep(20 * time.Millisecond)
+
+	base := steps.Load()
+	r.SetProfile(0, Steady(5*time.Millisecond))
+	deadline := time.Now().Add(5 * time.Second)
+	for steps.Load() <= base {
+		if time.Now().After(deadline) {
+			t.Fatalf("retuned task did not re-draw its gap (steps still %d)", steps.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The zero-delay fast path must not allocate: steady-state pacing is an
+// atomic bump plus a Gosched.
+func TestZeroPaceAllocs(t *testing.T) {
+	g := &Gate{stopped: new(atomic.Bool), stopCh: make(chan struct{}), wake: make(chan struct{})}
+	g.zero.Store(true)
+	if avg := testing.AllocsPerRun(1000, g.pace); avg != 0 {
+		t.Fatalf("zero-delay pace allocates %.1f objects/op, want 0", avg)
+	}
+}
+
+// Paced (positive-delay) stepping must also be allocation-free in steady
+// state: parking timers come from a pool.
+func TestPacedStepAllocs(t *testing.T) {
+	g := &Gate{stopped: new(atomic.Bool), stopCh: make(chan struct{}), wake: make(chan struct{})}
+	g.profile = Steady(10 * time.Microsecond)
+	g.pace() // warm the timer pool
+	if avg := testing.AllocsPerRun(100, g.pace); avg > 0.1 {
+		t.Fatalf("paced step allocates %.2f objects/op amortized, want ~0", avg)
+	}
+}
+
+// Concurrent tasks of one process fold telemetry through the same gate;
+// the EWMA read-modify-write must not lose updates or race. Run with
+// -race for the memory-model teeth; the value assertion below checks the
+// fold still converges to the gap scale rather than being torn.
+func TestObserveGapConcurrent(t *testing.T) {
+	g := &Gate{stopped: new(atomic.Bool), stopCh: make(chan struct{}), wake: make(chan struct{})}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				g.observeGap(time.Now().UnixNano())
+			}
+		}()
+	}
+	wg.Wait()
+	if max, avg := g.maxGapNS.Load(), g.ewmaGapNS.Load(); avg < 0 || avg > max {
+		t.Fatalf("EWMA fold out of range: avg=%d max=%d", avg, max)
+	}
+}
+
+// Repeated deploy/stop cycles with parked and crashed processes must not
+// accumulate goroutines — the leak-delta extension of shutdown_test.go.
+func TestStopCyclesLeakNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for cycle := 0; cycle < 10; cycle++ {
+		r := New(3, nil)
+		r.SetProfile(2, GrowingGaps(1, time.Hour, 1))
+		for p := 0; p < 3; p++ {
+			spawnStepper(r, p)
+		}
+		time.Sleep(5 * time.Millisecond)
+		r.Crash(1)
+		if err := r.Stop(); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked over stop cycles: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

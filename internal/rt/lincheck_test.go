@@ -1,4 +1,4 @@
-package rt
+package rt_test
 
 import (
 	"sync"
@@ -8,6 +8,7 @@ import (
 	"tbwf/internal/lincheck"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
+	"tbwf/internal/rt"
 )
 
 // Successful operations on the real-time abortable register must be
@@ -20,9 +21,9 @@ import (
 func TestAbortableSuccessfulOpsLinearize(t *testing.T) {
 	const n = 3
 	const attempts = 14
-	r := New(n, nil)
+	r := rt.New(n, nil)
 	defer r.Stop()
-	reg := NewAbortable(int64(0))
+	reg := rt.NewAbortable(int64(0))
 
 	var mu sync.Mutex
 	var history []lincheck.Op[objtype.RegOp, objtype.RegResp]

@@ -53,6 +53,15 @@ func (r *Atomic[T]) Write(v T) {
 	r.val = v
 }
 
+// Reset reinitializes the register to v, as if freshly created. It exists
+// so a recycled consensus slot can reuse its registers instead of
+// allocating new ones; callers must guarantee no operation is in flight.
+func (r *Atomic[T]) Reset(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = v
+}
+
 // Abortable is an abortable register on the real-time substrate with true
 // concurrency detection: every operation registers itself as in flight,
 // briefly yields (so overlap is genuinely possible), and is *contended* if
@@ -68,20 +77,16 @@ func (r *Atomic[T]) Write(v T) {
 // sequence number. SWSR roles from WithRoles are recorded for telemetry
 // but not enforced, for the same reason.
 type Abortable[T any] struct {
-	mu       sync.Mutex
-	name     string
-	cfg      prim.AbConfig
-	val      T
-	nextOp   int64
-	inFlight map[int64]*rtOp
-	stats    prim.Stats
+	mu     sync.Mutex
+	name   string
+	cfg    prim.AbConfig
+	val    T
+	active int   // operations currently inside their overlap window
+	opGen  int64 // bumped on every begin; doubles as the op's policy Step
+	stats  prim.Stats
 }
 
 var _ prim.AbortableRegister[int] = (*Abortable[int])(nil)
-
-type rtOp struct {
-	contended bool
-}
 
 // NewAbortable creates an unnamed abortable register with initial value
 // init and the default (strongest-adversary) policies.
@@ -91,10 +96,9 @@ func NewAbortable[T any](init T) *Abortable[T] { return NewNamedAbortable("", in
 // by the same options vocabulary as the simulation substrate's registers.
 func NewNamedAbortable[T any](name string, init T, opts ...prim.AbOption) *Abortable[T] {
 	return &Abortable[T]{
-		name:     name,
-		cfg:      prim.ApplyAbOptions(opts...),
-		val:      init,
-		inFlight: make(map[int64]*rtOp),
+		name: name,
+		cfg:  prim.ApplyAbOptions(opts...),
+		val:  init,
 	}
 }
 
@@ -111,7 +115,14 @@ func (r *Abortable[T]) Stats() prim.Stats {
 	return r.stats
 }
 
-func (r *Abortable[T]) begin(isWrite bool) (int64, *rtOp) {
+// begin opens an operation's overlap window. It returns the operation's
+// id (its generation number) and whether it is already contended because
+// other operations were in flight when it began. No per-operation heap
+// object exists: an operation is contended iff active > 0 at its begin or
+// opGen advanced during its window (some other operation began before it
+// ended) — exactly the "overlapped at any point" relation the old
+// in-flight map tracked, in two ints.
+func (r *Abortable[T]) begin(isWrite bool) (id int64, contended bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if isWrite {
@@ -119,17 +130,10 @@ func (r *Abortable[T]) begin(isWrite bool) (int64, *rtOp) {
 	} else {
 		r.stats.Reads++
 	}
-	op := &rtOp{}
-	if len(r.inFlight) > 0 {
-		op.contended = true
-		for _, o := range r.inFlight {
-			o.contended = true
-		}
-	}
-	r.nextOp++
-	id := r.nextOp
-	r.inFlight[id] = op
-	return id, op
+	contended = r.active > 0
+	r.active++
+	r.opGen++
+	return r.opGen, contended
 }
 
 // Read returns the register's value, or ok=false if the read overlapped
@@ -137,13 +141,12 @@ func (r *Abortable[T]) begin(isWrite bool) (int64, *rtOp) {
 // and the value read happen under one lock acquisition, which is the
 // read's linearization point.
 func (r *Abortable[T]) Read() (T, bool) {
-	id, _ := r.begin(false)
+	id, contended := r.begin(false)
 	runtime.Gosched() // give the operation a real window
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op := r.inFlight[id]
-	delete(r.inFlight, id)
-	if op.contended && r.cfg.Abort.Abort(prim.Op{Register: r.name, Proc: -1, IsWrite: false, Step: id}) {
+	r.active--
+	if (contended || r.opGen > id) && r.cfg.Abort.Abort(prim.Op{Register: r.name, Proc: -1, IsWrite: false, Step: id}) {
 		r.stats.ReadAborts++
 		var zero T
 		return zero, false
@@ -155,13 +158,12 @@ func (r *Abortable[T]) Read() (T, bool) {
 // operation and the abort policy aborted it; an aborted write takes
 // effect iff the effect policy says so.
 func (r *Abortable[T]) Write(v T) bool {
-	id, _ := r.begin(true)
+	id, contended := r.begin(true)
 	runtime.Gosched()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	op := r.inFlight[id]
-	delete(r.inFlight, id)
-	if op.contended {
+	r.active--
+	if contended || r.opGen > id {
 		pop := prim.Op{Register: r.name, Proc: -1, IsWrite: true, Step: id}
 		if r.cfg.Abort.Abort(pop) {
 			r.stats.WriteAborts++
@@ -173,4 +175,13 @@ func (r *Abortable[T]) Write(v T) bool {
 	}
 	r.val = v
 	return true
+}
+
+// Reset reinitializes the register to v, as if freshly created, so a
+// recycled consensus slot can reuse its registers. Callers must guarantee
+// no operation is in flight.
+func (r *Abortable[T]) Reset(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.val = v
 }

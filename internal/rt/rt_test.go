@@ -1,4 +1,4 @@
-package rt
+package rt_test
 
 import (
 	"sync/atomic"
@@ -8,11 +8,12 @@ import (
 	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
+	"tbwf/internal/rt"
 )
 
 func TestAtomicRegisterConcurrent(t *testing.T) {
-	r := New(4, nil)
-	reg := NewAtomic(int64(0))
+	r := rt.New(4, nil)
+	reg := rt.NewAtomic(int64(0))
 	var reads atomic.Int64
 	for p := 0; p < 4; p++ {
 		p := p
@@ -35,8 +36,8 @@ func TestAtomicRegisterConcurrent(t *testing.T) {
 }
 
 func TestAbortableRegisterSoloSucceeds(t *testing.T) {
-	r := New(1, nil)
-	reg := NewAbortable(int64(0))
+	r := rt.New(1, nil)
+	reg := rt.NewAbortable(int64(0))
 	fails := 0
 	done := make(chan struct{})
 	r.Spawn(0, "w", func(p prim.Proc) {
@@ -61,7 +62,7 @@ func TestAbortableRegisterSoloSucceeds(t *testing.T) {
 }
 
 func TestCrashStopsTasks(t *testing.T) {
-	r := New(2, nil)
+	r := rt.New(2, nil)
 	var steps0, steps1 atomic.Int64
 	spin := func(ctr *atomic.Int64) func(prim.Proc) {
 		return func(p prim.Proc) {
@@ -93,7 +94,7 @@ func TestCrashStopsTasks(t *testing.T) {
 // their counter operations and the responses are distinct.
 func TestTBWFStackLive(t *testing.T) {
 	const n, opsEach = 3, 5
-	r := New(n, Steady(0))
+	r := rt.New(n, rt.Steady(0))
 	st, err := deploy.Build[int64, objtype.CounterOp, int64](r, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		t.Fatal(err)

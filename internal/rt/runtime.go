@@ -24,11 +24,17 @@ import (
 
 // Profile maps a process's step number to the delay taken at that step.
 // Profiles may keep internal state; each process gets its own instance.
+// A nil Profile means "no delay": the gate takes its zero-cost fast path
+// (atomic step bump + Gosched) without ever locking or calling a func.
 type Profile func(step int64) time.Duration
 
-// Steady returns a profile with a constant delay per step (0 means just a
-// cooperative yield): a timely process.
+// Steady returns a profile with a constant delay per step. A non-positive
+// delay returns nil — the canonical timely profile — so a zero pace rides
+// the gate's fast path instead of paying a profile call per step.
 func Steady(d time.Duration) Profile {
+	if d <= 0 {
+		return nil
+	}
 	return func(int64) time.Duration { return d }
 }
 
@@ -61,9 +67,22 @@ func GrowingGaps(burst int64, firstGap time.Duration, factor float64) Profile {
 // state, so profile invocation is serialized (the sleep itself is not —
 // only the task that drew the gap sleeps, mirroring how a single slow task
 // does not freeze its siblings mid-call).
+//
+// Parking protocol: a task that drew a positive gap parks on a pooled
+// timer, selecting against the runtime's stopCh and the gate's wake
+// channel. SetProfile and Crash close-and-replace wake, so Stop, a crash,
+// and a live profile retune all interrupt a parked task immediately — a
+// process deep in a grown gap reacts to /v1/fault now, not when its old
+// gap expires. A retuned task re-draws its gap from the new profile.
+//
+// The zero-delay fast path: when the profile is nil the gate never takes
+// mu at all — pace is the crash/stop loads, the telemetry fold, an atomic
+// step bump, and a Gosched.
 type Gate struct {
-	mu      sync.Mutex // guards profile invocation
+	zero    atomic.Bool // profile == nil: take the fast path
+	mu      sync.Mutex  // guards profile invocation and wake rotation
 	profile Profile
+	wake    chan struct{} // closed+replaced by SetProfile/Crash; wakes parked tasks
 	step    atomic.Int64
 	crashed atomic.Bool
 	stopped *atomic.Bool  // the runtime's stop flag, shared
@@ -77,6 +96,30 @@ type Gate struct {
 	ewmaGapNS  atomic.Int64 // exponentially weighted moving average, α=1/16
 }
 
+// timerPool recycles parking timers across all gates, so steady-state
+// paced stepping allocates no timer or channel per gap.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer, fired bool) {
+	if !fired && !t.Stop() {
+		// The timer fired while we were being woken some other way; drain
+		// so the next Reset starts from a clean channel.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 func (g *Gate) pace() {
 	if g.stopped.Load() {
 		prim.ExitTask("runtime stopped")
@@ -86,25 +129,50 @@ func (g *Gate) pace() {
 	}
 	g.observeGap(time.Now().UnixNano())
 	step := g.step.Add(1)
+	if g.zero.Load() {
+		runtime.Gosched()
+		return
+	}
 	g.mu.Lock()
-	d := g.profile(step)
+	var d time.Duration
+	if g.profile != nil {
+		d = g.profile(step)
+	}
+	wake := g.wake
 	g.mu.Unlock()
-	if d > 0 {
-		// Interruptible sleep: a process deep in a grown gap must not hold
-		// up Stop for the remainder of its pause.
-		t := time.NewTimer(d)
+	for d > 0 {
+		t := getTimer(d)
 		select {
 		case <-t.C:
+			putTimer(t, true)
+			return
 		case <-g.stopCh:
-			t.Stop()
+			putTimer(t, false)
 			prim.ExitTask("runtime stopped")
+		case <-wake:
+			putTimer(t, false)
+			// Woken early: either the process crashed or its profile was
+			// retuned. Re-check, then re-draw the gap from the (possibly
+			// new) profile rather than serving out the stale one.
+			if g.crashed.Load() {
+				prim.ExitTask("process crashed")
+			}
+			g.mu.Lock()
+			if g.profile == nil {
+				d = 0
+			} else {
+				d = g.profile(step)
+			}
+			wake = g.wake
+			g.mu.Unlock()
 		}
-	} else {
-		runtime.Gosched()
 	}
+	runtime.Gosched()
 }
 
-// observeGap folds one inter-step gap into the gate's telemetry.
+// observeGap folds one inter-step gap into the gate's telemetry. Both
+// folds are CAS loops: concurrent tasks of one process pace through the
+// same gate, and a plain load/store read-modify-write would lose updates.
 func (g *Gate) observeGap(now int64) {
 	prev := g.lastStepNS.Swap(now)
 	if prev == 0 || now <= prev {
@@ -117,8 +185,20 @@ func (g *Gate) observeGap(now int64) {
 			break
 		}
 	}
-	old := g.ewmaGapNS.Load()
-	g.ewmaGapNS.Store(old + (gap-old)/16)
+	for {
+		old := g.ewmaGapNS.Load()
+		next := old + (gap-old)/16
+		if next == old || g.ewmaGapNS.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// interrupt wakes every task currently parked on this gate. Callers must
+// hold g.mu.
+func (g *Gate) interrupt() {
+	close(g.wake)
+	g.wake = make(chan struct{})
 }
 
 // Runtime hosts n processes as goroutine groups.
@@ -142,11 +222,9 @@ var _ prim.Spawner = (*Runtime)(nil)
 func New(n int, def Profile) *Runtime {
 	r := &Runtime{n: n, gates: make([]*Gate, n), stopCh: make(chan struct{})}
 	for p := 0; p < n; p++ {
-		prof := def
-		if prof == nil {
-			prof = Steady(0)
-		}
-		r.gates[p] = &Gate{profile: prof, stopped: &r.stopped, stopCh: r.stopCh}
+		g := &Gate{profile: def, stopped: &r.stopped, stopCh: r.stopCh, wake: make(chan struct{})}
+		g.zero.Store(def == nil)
+		r.gates[p] = g
 	}
 	return r
 }
@@ -154,20 +232,28 @@ func New(n int, def Profile) *Runtime {
 // N returns the number of processes.
 func (r *Runtime) N() int { return r.n }
 
-// SetProfile replaces process p's pacing profile. It may be called while
-// tasks are running (e.g. to degrade a process mid-run).
+// SetProfile replaces process p's pacing profile (nil means no delay). It
+// may be called while tasks are running (e.g. to degrade or heal a process
+// mid-run); tasks parked inside a gap wake immediately and re-draw their
+// delay from the new profile.
 func (r *Runtime) SetProfile(p int, prof Profile) {
-	if prof == nil {
-		prof = Steady(0)
-	}
 	g := r.gates[p]
 	g.mu.Lock()
 	g.profile = prof
+	g.zero.Store(prof == nil)
+	g.interrupt()
 	g.mu.Unlock()
 }
 
-// Crash crashes process p: its tasks exit at their next step.
-func (r *Runtime) Crash(p int) { r.gates[p].crashed.Store(true) }
+// Crash crashes process p: its tasks exit at their next step, and tasks
+// parked inside a gap exit now instead of sleeping out the remainder.
+func (r *Runtime) Crash(p int) {
+	g := r.gates[p]
+	g.crashed.Store(true)
+	g.mu.Lock()
+	g.interrupt()
+	g.mu.Unlock()
+}
 
 // proc implements prim.Proc for one task of one process.
 type proc struct {

@@ -1,4 +1,4 @@
-package rt
+package rt_test
 
 import (
 	"runtime"
@@ -8,6 +8,7 @@ import (
 	"tbwf/internal/deploy"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
+	"tbwf/internal/rt"
 )
 
 // Stopping a full deploy.Build deployment must tear down every goroutine the
@@ -16,7 +17,7 @@ import (
 func TestStopTearsDownDeployment(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	r := New(3, nil)
+	r := rt.New(3, nil)
 	stack, err := deploy.Build[int64, objtype.CounterOp, int64](r, objtype.Counter{}, deploy.BuildConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -67,8 +68,8 @@ func TestStopTearsDownDeployment(t *testing.T) {
 // Stop must also be prompt and idempotent when a process is mid-gap in a
 // degraded profile (the sleep is interruptible).
 func TestStopInterruptsDegradedProcess(t *testing.T) {
-	r := New(2, nil)
-	r.SetProfile(1, GrowingGaps(1, 30*time.Second, 1))
+	r := rt.New(2, nil)
+	r.SetProfile(1, rt.GrowingGaps(1, 30*time.Second, 1))
 	stepped := make(chan struct{})
 	r.Spawn(1, "sleeper", func(pp prim.Proc) {
 		close(stepped)

@@ -9,6 +9,7 @@ import (
 
 	"tbwf/internal/core"
 	"tbwf/internal/deploy"
+	"tbwf/internal/mpsc"
 	"tbwf/internal/objtype"
 	"tbwf/internal/prim"
 	"tbwf/internal/qa"
@@ -51,9 +52,33 @@ type Pending struct {
 	done  chan Result
 }
 
-// NewPending prepares an in-flight request slot for one operation.
+// pendingPool recycles Pending slots (and their buffered completion
+// channels), so the steady-state submit path allocates nothing.
+// Ownership rule: a Pending may be Released only by the caller that
+// received its Result — a caller that abandons a request (e.g. HTTP
+// context cancellation while the op is queued) must NOT Release, because
+// the worker still holds the Pending and will complete it; the abandoned
+// Pending is simply garbage-collected.
+var pendingPool = sync.Pool{
+	New: func() any { return &Pending{done: make(chan Result, 1)} },
+}
+
+// NewPending prepares an in-flight request slot for one operation. The
+// slot comes from a pool; callers that consume the Result may hand the
+// slot back with Release.
 func NewPending(kind string) *Pending {
-	return &Pending{Kind: kind, start: time.Now(), done: make(chan Result, 1)}
+	pd := pendingPool.Get().(*Pending)
+	pd.Kind = kind
+	pd.Tag = nil
+	pd.start = time.Now()
+	return pd
+}
+
+// Release returns the Pending to the pool. Only the caller that received
+// the Result may call it, exactly once, and must not touch pd after.
+func (pd *Pending) Release() {
+	pd.Tag = nil
+	pendingPool.Put(pd)
 }
 
 // Done exposes the completion channel; exactly one Result arrives.
@@ -72,15 +97,31 @@ func (pd *Pending) Poll() (Result, bool) {
 
 // Result is one completed operation.
 type Result struct {
-	// Resp is the wire-encoded response (what /v1/invoke returns).
+	// Resp is the wire-encoded response (what /v1/invoke returns). It may
+	// implement Releaser; the consumer that finishes with it (after JSON
+	// encoding) should then hand it back to its pool.
 	Resp any
 	// Raw is the typed response R of the object's sequential type — the
-	// fuzzer's linearizability oracle consumes this.
+	// fuzzer's linearizability oracle consumes this. Backends built with
+	// DropRaw leave it nil to keep the live path free of interface boxing.
 	Raw any
 	// Latency is submit-to-completion wall time (meaningful on the live
 	// substrate; on the simulation kernel it reflects host time, not
 	// simulated steps).
 	Latency time.Duration
+}
+
+// Releaser is implemented by pooled wire-response values; calling Release
+// returns the value to its pool. Consumers must not touch the value
+// afterwards.
+type Releaser interface{ Release() }
+
+// ReleaseResult returns the Result's pooled parts (currently the Resp
+// struct) to their pools. Safe on any Result; the zero Result is a no-op.
+func ReleaseResult(r Result) {
+	if rel, ok := r.Resp.(Releaser); ok {
+		rel.Release()
+	}
 }
 
 // Hooks observe backend events. Both are optional and are called from
@@ -131,6 +172,10 @@ type BackendConfig struct {
 	// SnapshotComponents sizes the snapshot object (default: the
 	// substrate's process count).
 	SnapshotComponents int
+	// DropRaw leaves Result.Raw nil. The HTTP path sets it: only the
+	// fuzzer's linearizability oracle reads Raw, and boxing every typed
+	// response into an interface is an allocation per op.
+	DropRaw bool
 	// Build configures the TBWF stack (elector, register options).
 	Build deploy.BuildConfig
 }
@@ -152,49 +197,13 @@ func NewBackend(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, er
 	return build(sub, cfg, hooks)
 }
 
-// ring is a mutex-guarded bounded FIFO. It replaces a Go channel so that
-// simulation-kernel tasks can poll it without ever blocking outside the
-// kernel's own scheduling (the cardinal sim rule), and so that submission
-// order is exactly pop order on both substrates.
-type ring[O any] struct {
-	mu    sync.Mutex
-	buf   []queued[O]
-	head  int
-	count int
-}
-
-func newRing[O any](capacity int) *ring[O] { return &ring[O]{buf: make([]queued[O], capacity)} }
-
-func (r *ring[O]) push(it queued[O]) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.count == len(r.buf) {
-		return false
-	}
-	r.buf[(r.head+r.count)%len(r.buf)] = it
-	r.count++
-	return true
-}
-
-func (r *ring[O]) pop() (queued[O], bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.count == 0 {
-		return queued[O]{}, false
-	}
-	it := r.buf[r.head]
-	r.buf[r.head] = queued[O]{}
-	r.head = (r.head + 1) % len(r.buf)
-	r.count--
-	return it, true
-}
-
-func (r *ring[O]) depth() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.count
-}
-
+// queued pairs a decoded operation with its in-flight slot inside a
+// replica's request queue. The queue itself is the repo's single bounded
+// MPSC implementation (internal/mpsc): lock-free pushes from any number
+// of submitters, pop order exactly equal to linearized push order (the
+// fuzzer's FIFO oracle), and non-blocking polls so simulation-kernel
+// tasks never block outside the kernel's own scheduling (the cardinal
+// sim rule).
 type queued[O any] struct {
 	op O
 	pd *Pending
@@ -208,15 +217,21 @@ type queued[O any] struct {
 // protocol steps or it is untimely, and the poll loop makes the worker's
 // timeliness directly observable by Ω∆ on both substrates.
 type tbwfBackend[S, O, R any] struct {
-	sub    prim.Substrate
-	hooks  Hooks
-	stack  *deploy.Stack[S, O, R]
-	decode func(WireOp) (O, error)
-	encode func(R) any
-	read   *WireOp // nil: no read-only op
-	kindsL []string
-	queues []*ring[O]
+	sub     prim.Substrate
+	hooks   Hooks
+	stack   *deploy.Stack[S, O, R]
+	decode  func(WireOp) (O, error)
+	encode  func(R) any
+	read    *WireOp // nil: no read-only op
+	kindsL  []string
+	dropRaw bool
+	queues  []*mpsc.Queue[queued[O]]
 }
+
+// workerBatch bounds how many queued items one worker wake drains before
+// re-checking its queue: enough to amortize the queue poll, small enough
+// to keep a replica's latency tail bounded under bursts.
+const workerBatch = 32
 
 func newBackend[S, O, R any](sub prim.Substrate, cfg BackendConfig, hooks Hooks, typ qa.Type[S, O, R],
 	decode func(WireOp) (O, error), encode func(R) any, read *WireOp, kinds []string) (*tbwfBackend[S, O, R], error) {
@@ -225,17 +240,18 @@ func newBackend[S, O, R any](sub prim.Substrate, cfg BackendConfig, hooks Hooks,
 		return nil, err
 	}
 	b := &tbwfBackend[S, O, R]{
-		sub:    sub,
-		hooks:  hooks,
-		stack:  stack,
-		decode: decode,
-		encode: encode,
-		read:   read,
-		kindsL: kinds,
-		queues: make([]*ring[O], sub.N()),
+		sub:     sub,
+		hooks:   hooks,
+		stack:   stack,
+		decode:  decode,
+		encode:  encode,
+		read:    read,
+		kindsL:  kinds,
+		dropRaw: cfg.DropRaw,
+		queues:  make([]*mpsc.Queue[queued[O]], sub.N()),
 	}
 	for p := range b.queues {
-		b.queues[p] = newRing[O](cfg.QueueDepth)
+		b.queues[p] = mpsc.New[queued[O]](cfg.QueueDepth)
 	}
 	return b, nil
 }
@@ -246,18 +262,31 @@ func (b *tbwfBackend[S, O, R]) Start() {
 		q := b.queues[p]
 		client := b.stack.Clients[p]
 		b.sub.Spawn(p, fmt.Sprintf("serve-worker[%d]", p), func(pp prim.Proc) {
+			batch := make([]queued[O], workerBatch)
 			for {
-				item, ok := q.pop()
-				if !ok {
+				n := q.PopBatch(batch)
+				if n == 0 {
 					pp.Step() // unwinds via prim.ExitTask on stop/crash/budget
 					continue
 				}
-				r := client.Invoke(pp, item.op)
-				lat := time.Since(item.pd.start)
-				if b.hooks.Served != nil {
-					b.hooks.Served(p, item.pd, lat)
+				// One queue wake services the whole run of queued ops,
+				// mirroring internal/shard's batch amortization; each op
+				// still gets its own Invoke (the serve layer's objects are
+				// not batch-typed).
+				for i := 0; i < n; i++ {
+					item := batch[i]
+					batch[i] = queued[O]{} // don't retain the Pending
+					r := client.Invoke(pp, item.op)
+					lat := time.Since(item.pd.start)
+					if b.hooks.Served != nil {
+						b.hooks.Served(p, item.pd, lat)
+					}
+					res := Result{Resp: b.encode(r), Latency: lat}
+					if !b.dropRaw {
+						res.Raw = r
+					}
+					item.pd.done <- res
 				}
-				item.pd.done <- Result{Resp: b.encode(r), Raw: r, Latency: lat}
 			}
 		})
 	}
@@ -268,7 +297,7 @@ func (b *tbwfBackend[S, O, R]) Submit(p int, op WireOp, pd *Pending) error {
 	if err != nil {
 		return err
 	}
-	if !b.queues[p].push(queued[O]{op: decoded, pd: pd}) {
+	if !b.queues[p].Push(queued[O]{op: decoded, pd: pd}) {
 		if b.hooks.Rejected != nil {
 			b.hooks.Rejected(p)
 		}
@@ -285,7 +314,7 @@ func (b *tbwfBackend[S, O, R]) ReadOp() (WireOp, error) {
 }
 
 func (b *tbwfBackend[S, O, R]) Kinds() []string      { return b.kindsL }
-func (b *tbwfBackend[S, O, R]) QueueDepth(p int) int { return b.queues[p].depth() }
+func (b *tbwfBackend[S, O, R]) QueueDepth(p int) int { return b.queues[p].Len() }
 func (b *tbwfBackend[S, O, R]) ClientStats(p int) core.Stats {
 	return b.stack.Clients[p].Stats()
 }
@@ -316,6 +345,53 @@ var objectBuilders = map[string]func(sub prim.Substrate, cfg BackendConfig, hook
 	"jobqueue": buildJobQueue,
 }
 
+// Pooled wire-response structs. The builders' encode closures used to
+// allocate a map[string]… per served op; these produce the identical JSON
+// shapes from pooled values that the HTTP handler releases after
+// encoding (see ReleaseResult), so a steady-state op allocates nothing.
+
+type counterResp struct {
+	Prev int64 `json:"prev"`
+}
+
+var counterRespPool = sync.Pool{New: func() any { return new(counterResp) }}
+
+func (c *counterResp) Release() { counterRespPool.Put(c) }
+
+type registerResp struct {
+	Prev    int64 `json:"prev"`
+	Swapped bool  `json:"swapped"`
+}
+
+var registerRespPool = sync.Pool{New: func() any { return new(registerResp) }}
+
+func (c *registerResp) Release() { registerRespPool.Put(c) }
+
+type snapViewResp struct {
+	View []int64 `json:"view"`
+}
+
+var snapViewRespPool = sync.Pool{New: func() any { return new(snapViewResp) }}
+
+func (c *snapViewResp) Release() { c.View = nil; snapViewRespPool.Put(c) }
+
+type snapPrevResp struct {
+	Prev int64 `json:"prev"`
+}
+
+var snapPrevRespPool = sync.Pool{New: func() any { return new(snapPrevResp) }}
+
+func (c *snapPrevResp) Release() { snapPrevRespPool.Put(c) }
+
+type jobqueueResp struct {
+	Value int64 `json:"value"`
+	Ok    bool  `json:"ok"`
+}
+
+var jobqueueRespPool = sync.Pool{New: func() any { return new(jobqueueResp) }}
+
+func (c *jobqueueResp) Release() { jobqueueRespPool.Put(c) }
+
 func buildCounter(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, error) {
 	readOp := WireOp{Kind: "read"}
 	return newBackend[int64, objtype.CounterOp, int64](sub, cfg, hooks, objtype.Counter{},
@@ -328,7 +404,11 @@ func buildCounter(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend, 
 			}
 			return objtype.CounterOp{}, fmt.Errorf("serve: counter op kind %q (want add or read)", op.Kind)
 		},
-		func(r int64) any { return map[string]int64{"prev": r} },
+		func(r int64) any {
+			c := counterRespPool.Get().(*counterResp)
+			c.Prev = r
+			return c
+		},
 		&readOp, []string{"add", "read"})
 }
 
@@ -347,7 +427,9 @@ func buildRegister(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend,
 			return objtype.RegOp{}, fmt.Errorf("serve: register op kind %q (want read, write or cas)", op.Kind)
 		},
 		func(r objtype.RegResp) any {
-			return map[string]any{"prev": r.Prev, "swapped": r.Swapped}
+			c := registerRespPool.Get().(*registerResp)
+			c.Prev, c.Swapped = r.Prev, r.Swapped
+			return c
 		},
 		&readOp, []string{"read", "write", "cas"})
 }
@@ -370,9 +452,13 @@ func buildSnapshot(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend,
 		},
 		func(r objtype.SnapResp) any {
 			if r.View != nil {
-				return map[string]any{"view": r.View}
+				c := snapViewRespPool.Get().(*snapViewResp)
+				c.View = r.View
+				return c
 			}
-			return map[string]any{"prev": r.Prev}
+			c := snapPrevRespPool.Get().(*snapPrevResp)
+			c.Prev = r.Prev
+			return c
 		},
 		&readOp, []string{"update", "scan"})
 }
@@ -389,7 +475,9 @@ func buildJobQueue(sub prim.Substrate, cfg BackendConfig, hooks Hooks) (Backend,
 			return objtype.QueueOp{}, fmt.Errorf("serve: jobqueue op kind %q (want enq or deq)", op.Kind)
 		},
 		func(r objtype.QueueResp) any {
-			return map[string]any{"value": r.V, "ok": r.Ok}
+			c := jobqueueRespPool.Get().(*jobqueueResp)
+			c.Value, c.Ok = r.V, r.Ok
+			return c
 		},
 		nil, []string{"enq", "deq"})
 }

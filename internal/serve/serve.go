@@ -227,7 +227,10 @@ func New(cfg Config) (*Server, error) {
 		Object:             cfg.Object,
 		QueueDepth:         cfg.QueueDepth,
 		SnapshotComponents: cfg.SnapshotComponents,
-		Build:              deploy.BuildConfig{Elector: builder},
+		// Only the fuzzer's linearizability oracle consumes Result.Raw;
+		// the HTTP path drops it to keep the live path boxing-free.
+		DropRaw: true,
+		Build:   deploy.BuildConfig{Elector: builder},
 	}, Hooks{
 		Served:   func(p int, pd *Pending, lat time.Duration) { s.metrics.recordServed(p, pd.Kind, lat) },
 		Rejected: func(p int) { s.metrics.recordRejected(p) },
@@ -412,9 +415,14 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, p int, op Wire
 			Resp:      res.Resp,
 			LatencyUS: float64(res.Latency) / 1e3,
 		})
+		// This handler consumed the Result, so it owns the pooled parts.
+		ReleaseResult(res)
+		pd.Release()
 	case <-r.Context().Done():
 		// Client gone; the worker will still complete the operation (it is
 		// already queued) and the buffered done channel absorbs the result.
+		// The abandoned Pending must NOT be released — the worker still
+		// holds it; it is garbage-collected instead.
 	case <-s.stopping:
 		writeError(w, http.StatusServiceUnavailable, "server stopping")
 	}

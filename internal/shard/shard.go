@@ -2,12 +2,12 @@ package shard
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"tbwf/internal/deploy"
 	"tbwf/internal/elector"
+	"tbwf/internal/mpsc"
 	"tbwf/internal/prim"
 	"tbwf/internal/register"
 	"tbwf/internal/serve/telemetry"
@@ -88,51 +88,14 @@ type Result struct {
 	Latency time.Duration
 }
 
+// queued pairs a keyed op with its in-flight slot inside a
+// (shard, replica) lane. The lanes are the repo's single bounded MPSC
+// queue implementation (internal/mpsc), shared with the serve layer: sim
+// tasks poll it without blocking, and pop order is exactly linearized
+// push order on both substrates.
 type queued struct {
 	op Op
 	pd *Pending
-}
-
-// kring is a mutex-guarded bounded FIFO, same shape as the serve layer's
-// ring: sim tasks poll it without blocking, and pop order is exactly
-// push order on both substrates.
-type kring struct {
-	mu    sync.Mutex
-	buf   []queued
-	head  int
-	count int
-}
-
-func newKring(capacity int) *kring { return &kring{buf: make([]queued, capacity)} }
-
-func (r *kring) push(it queued) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.count == len(r.buf) {
-		return false
-	}
-	r.buf[(r.head+r.count)%len(r.buf)] = it
-	r.count++
-	return true
-}
-
-func (r *kring) pop() (queued, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.count == 0 {
-		return queued{}, false
-	}
-	it := r.buf[r.head]
-	r.buf[r.head] = queued{}
-	r.head = (r.head + 1) % len(r.buf)
-	r.count--
-	return it, true
-}
-
-func (r *kring) depth() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.count
 }
 
 // Stats is one shard's counter snapshot.
@@ -153,7 +116,7 @@ type Stats struct {
 type mapShard struct {
 	stack   *deploy.Stack[map[string]int64, []Op, []Resp]
 	flag    string // the elector's canonical flag name
-	queues  []*kring
+	queues  []*mpsc.Queue[queued]
 	bucket  *bucket
 	rr      atomic.Int64
 	served  telemetry.Counter
@@ -205,12 +168,12 @@ func New(sub prim.Substrate, cfg Config) (*Map, error) {
 		sh := &mapShard{
 			stack:  stack,
 			flag:   builder.FlagName(),
-			queues: make([]*kring, sub.N()),
+			queues: make([]*mpsc.Queue[queued], sub.N()),
 			bucket: newBucket(cfg.Admission),
 			hist:   make([]telemetry.Counter, cfg.MaxBatch+1),
 		}
 		for p := range sh.queues {
-			sh.queues[p] = newKring(cfg.QueueDepth)
+			sh.queues[p] = mpsc.New[queued](cfg.QueueDepth)
 		}
 		m.shards[s] = sh
 	}
@@ -232,20 +195,14 @@ func (m *Map) Start() {
 			q := sh.queues[p]
 			client := sh.stack.Clients[p]
 			m.sub.Spawn(p, fmt.Sprintf("shard[%d]-worker[%d]", s, p), func(pp prim.Proc) {
-				items := make([]queued, 0, m.cfg.MaxBatch)
+				buf := make([]queued, m.cfg.MaxBatch)
 				for {
-					items = items[:0]
-					for len(items) < m.cfg.MaxBatch {
-						it, ok := q.pop()
-						if !ok {
-							break
-						}
-						items = append(items, it)
-					}
-					if len(items) == 0 {
+					n := q.PopBatch(buf)
+					if n == 0 {
 						pp.Step()
 						continue
 					}
+					items := buf[:n]
 					// The QA log retains the batch slice; give it its own.
 					ops := make([]Op, len(items))
 					for i := range items {
@@ -269,6 +226,7 @@ func (m *Map) Start() {
 							m.cfg.Hooks.Served(s, p, it.pd, size, lat)
 						}
 						it.pd.done <- Result{Resp: resps[i], Latency: lat}
+						items[i] = queued{} // don't retain the Pending
 					}
 				}
 			})
@@ -314,7 +272,7 @@ func (m *Map) Submit(key string, replica int, op Op, pd *Pending) (int, int, err
 	} else if max <= 0 {
 		m.inflight.Add(1)
 	}
-	if !sh.queues[replica].push(queued{op: op, pd: pd}) {
+	if !sh.queues[replica].Push(queued{op: op, pd: pd}) {
 		m.inflight.Add(-1)
 		return shed(&sh.shedQF, ErrQueueFull)
 	}
@@ -371,7 +329,7 @@ func (m *Map) MeanBatch(s int) float64 {
 }
 
 // QueueDepth returns the current occupancy of shard s's replica-p queue.
-func (m *Map) QueueDepth(s, p int) int { return m.shards[s].queues[p].depth() }
+func (m *Map) QueueDepth(s, p int) int { return m.shards[s].queues[p].Len() }
 
 // Leaders returns shard s's per-process Ω∆ leader outputs.
 func (m *Map) Leaders(s int) []int { return m.shards[s].stack.Leaders() }
